@@ -1,0 +1,217 @@
+// Benchmarks regenerating every table and figure of the paper, plus
+// microbenchmarks of the simulator's hot paths. Each Table 3/4 benchmark
+// performs the paper's full instrumented-run protocol (T_numa, T_global,
+// T_local) at reduced problem sizes and reports the derived model
+// parameters as benchmark metrics, so `go test -bench .` both regenerates
+// the results and tracks the harness's own cost.
+package numasim_test
+
+import (
+	"testing"
+
+	"numasim"
+	"numasim/internal/harness"
+)
+
+// benchOpts uses the reduced problem sizes so a full -bench run stays
+// under a minute. Note that Table 4's overhead *ratios* are size-dependent
+// (fixed page-movement transients over shrunken compute); the values the
+// paper should be compared against come from `go run ./cmd/tables` at
+// default sizes (see EXPERIMENTS.md).
+var benchOpts = numasim.HarnessOptions{NProc: 7, Small: true}
+
+// benchEval evaluates one application per iteration and reports α, β, γ.
+func benchEval(b *testing.B, app string) {
+	b.Helper()
+	var last harness.Table3Row
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts
+		ev := numasim.NewEvaluator()
+		cfg := numasim.DefaultConfig()
+		cfg.NProc = opts.NProc
+		ev.Config = cfg
+		rows, err := harness.Table3Single(opts, app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	b.ReportMetric(last.Eval.Alpha, "alpha")
+	b.ReportMetric(last.Eval.Beta, "beta")
+	b.ReportMetric(last.Eval.Gamma, "gamma")
+}
+
+// BenchmarkTable3 regenerates each row of the paper's Table 3 (E5).
+func BenchmarkTable3(b *testing.B) {
+	for _, app := range harness.Table3Apps {
+		app := app
+		b.Run(app, func(b *testing.B) { benchEval(b, app) })
+	}
+}
+
+// BenchmarkTable4 regenerates each row of the paper's Table 4 (E6),
+// reporting the measured overhead ratio.
+func BenchmarkTable4(b *testing.B) {
+	for _, app := range harness.Table4Apps {
+		app := app
+		b.Run(app, func(b *testing.B) {
+			var pct float64
+			for i := 0; i < b.N; i++ {
+				row, err := harness.Table4Single(benchOpts, app)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pct = row.DeltaPct
+			}
+			b.ReportMetric(pct, "dS/T%")
+		})
+	}
+}
+
+// BenchmarkTable1 and BenchmarkTable2 derive the protocol action matrices
+// from the implementation (E3, E4).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := numasim.ProtocolTable(false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := numasim.ProtocolTable(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1 and BenchmarkFigure2 regenerate the architecture
+// diagrams (E1, E2).
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if numasim.Figure1(benchOpts) == "" {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if numasim.Figure2() == "" {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFalseSharing runs the §4.2 Primes2 experiment (E8).
+func BenchmarkFalseSharing(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		r, err := harness.FalseSharing(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = r.Tuned.Alpha - r.Untuned.Alpha
+	}
+	b.ReportMetric(gap, "alpha-gain")
+}
+
+// BenchmarkAblateThreshold sweeps the pin threshold (E9), the design
+// parameter §2.3.2 exposes.
+func BenchmarkAblateThreshold(b *testing.B) {
+	for _, lim := range []int{0, 4, -1} {
+		lim := lim
+		name := "never-pin"
+		if lim >= 0 {
+			name = string(rune('0' + lim))
+		}
+		b.Run("limit-"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.ThresholdSweep(benchOpts, "Primes3", []int{lim}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblateAffinity compares the affinity scheduler with the
+// original single-queue behaviour (E11).
+func BenchmarkAblateAffinity(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		r, err := harness.AffinityCompare(benchOpts, "Primes1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = r.AffLocal - r.HopLocal
+	}
+	b.ReportMetric(gap, "local-gain")
+}
+
+// ---------------------------------------------------------------------
+// Simulator hot-path microbenchmarks.
+// ---------------------------------------------------------------------
+
+// BenchmarkLocalAccess measures the simulator's cost for the common case:
+// a load that hits a local replica through the software TLB.
+func BenchmarkLocalAccess(b *testing.B) {
+	cfg := numasim.DefaultConfig()
+	cfg.NProc = 1
+	sys := numasim.NewSystem(cfg, numasim.AllLocalPolicy(), numasim.Affinity)
+	va := sys.Runtime.Alloc("data", 4096)
+	b.ResetTimer()
+	err := sys.Runtime.Run(1, func(id int, c *numasim.Context) {
+		c.Store32(va, 1)
+		for i := 0; i < b.N; i++ {
+			c.Load32(va)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPageMigration measures a full ownership transfer: write fault,
+// sync, flush, copy.
+func BenchmarkPageMigration(b *testing.B) {
+	cfg := numasim.DefaultConfig()
+	cfg.NProc = 2
+	sys := numasim.NewSystem(cfg, numasim.NeverPinPolicy(), numasim.Affinity)
+	va := sys.Runtime.Alloc("pingpong", 4096)
+	b.ResetTimer()
+	err := sys.Runtime.Run(1, func(id int, c *numasim.Context) {
+		for i := 0; i < b.N; i++ {
+			c.MigrateTo(i % 2)
+			c.Store32(va, uint32(i))
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPolicyCompare races the placement policies on the
+// phase-changing probe.
+func BenchmarkPolicyCompare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.PolicyCompare(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMix runs two applications concurrently (the application-mix
+// experiment).
+func BenchmarkMix(b *testing.B) {
+	var local float64
+	for i := 0; i < b.N; i++ {
+		r, err := harness.MixRun(benchOpts, []string{"ParMult", "Primes1"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		local = r.LocalFrac
+	}
+	b.ReportMetric(local, "local-frac")
+}

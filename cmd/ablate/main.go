@@ -1,0 +1,127 @@
+// Command ablate runs the ablation studies DESIGN.md calls out: the pin
+// threshold (§2.3.2), page size, scheduling affinity (§4.7), the Unix
+// master (§4.6), the G/L latency ratio, and the simulation's scheduling
+// quantum.
+//
+// Usage:
+//
+//	ablate [-nproc N] [-small] [-app NAME] [-sweep threshold|pagesize|gl|quantum]
+//	ablate -exp affinity|unixmaster|remote|replication|mix|policies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"numasim/internal/harness"
+	"numasim/internal/sim"
+)
+
+// render picks plain-text or CSV sweep output.
+func render(csv bool, title, param string, rows []harness.SweepRow) string {
+	if csv {
+		return harness.RenderSweepCSV(param, rows)
+	}
+	return harness.RenderSweep(title, param, rows)
+}
+
+func main() {
+	nproc := flag.Int("nproc", 7, "number of processors")
+	smallFlag := flag.Bool("small", false, "use reduced problem sizes")
+	app := flag.String("app", "Primes3", "application to sweep")
+	size := flag.Int("size", 0, "problem size override for the swept application (0: 1000000 for Primes3, else the workload default)")
+	sweep := flag.String("sweep", "", "sweep to run: threshold, pagesize, gl, quantum")
+	exp := flag.String("exp", "", "experiment to run: affinity, unixmaster, remote, replication, mix, policies")
+	csv := flag.Bool("csv", false, "emit sweeps as CSV for plotting")
+	flag.Parse()
+
+	opts := harness.Options{NProc: *nproc, Small: *smallFlag, AppSize: *size}
+	if opts.AppSize == 0 && *app == "Primes3" {
+		// Sweeps run the application many times; use a mid-scale sieve.
+		opts.AppSize = 1000000
+	}
+	all := *sweep == "" && *exp == ""
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "ablate:", err)
+		os.Exit(1)
+	}
+
+	if all || *sweep == "threshold" {
+		rows, err := harness.ThresholdSweep(opts, *app, []int{0, 1, 2, 4, 8, 16, -1})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(render(*csv, fmt.Sprintf("Pin threshold sweep (§2.3.2) on %s", *app), "threshold", rows))
+	}
+	if all || *sweep == "pagesize" {
+		rows, err := harness.PageSizeSweep(opts, *app, []int{1024, 2048, 4096, 8192})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(render(*csv, fmt.Sprintf("Page size sweep on %s", *app), "page_size", rows))
+	}
+	if all || *sweep == "gl" {
+		rows, err := harness.GLSweep(opts, *app, []float64{0.5, 1, 2, 4})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(render(*csv, fmt.Sprintf("Global-latency sweep on %s", *app), "g_scale", rows))
+	}
+	if all || *sweep == "quantum" {
+		rows, err := harness.QuantumSweep(opts, *app, []sim.Time{
+			50 * sim.Microsecond, 200 * sim.Microsecond, 1 * sim.Millisecond})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(render(*csv, fmt.Sprintf("Scheduling quantum sweep on %s", *app), "quantum", rows))
+	}
+	if all || *exp == "affinity" {
+		r, err := harness.AffinityCompare(opts, "Primes1")
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r.Render())
+	}
+	if all || *exp == "remote" {
+		r, err := harness.RemoteCompare(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r.Render())
+	}
+	if all || *exp == "replication" {
+		r, err := harness.ReplicationCompare(opts, "IMatMult")
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r.Render())
+	}
+	if all || *exp == "policies" {
+		rows, err := harness.PolicyCompare(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(harness.RenderPolicyCompare(rows))
+	}
+	if all || *exp == "mix" {
+		r, err := harness.MixRun(opts, []string{"IMatMult", "Primes1", "FFT"})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r.Render())
+	}
+	if all || *exp == "unixmaster" {
+		r, err := harness.UnixMasterCompare(opts, "Syscaller")
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Unix master (§4.6) on %s\n", r.App)
+		fmt.Printf("  syscalls on home CPU:  user %.3fs, %.1f%% local references\n",
+			r.Off.UserSec, 100*r.OffLoc)
+		fmt.Printf("  syscalls on master:    user %.3fs, %.1f%% local references\n",
+			r.On.UserSec, 100*r.OnLoc)
+		fmt.Println()
+	}
+}

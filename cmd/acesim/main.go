@@ -1,0 +1,154 @@
+// Command acesim runs one of the paper's applications on the simulated
+// ACE under a chosen NUMA policy and reports timing, placement and
+// reference statistics — optionally with a reference trace and
+// false-sharing analysis (§4.2, §5).
+//
+// Usage:
+//
+//	acesim -app IMatMult [-policy threshold] [-threshold 4] [-nproc 7]
+//	       [-workers N] [-sched affinity] [-trace] [-unixmaster]
+//
+// Policies: threshold (default), allglobal, alllocal, neverpin, pragma,
+// reconsider, freezedefrost. Apps: ParMult, Gfetch, IMatMult, Primes1, Primes2,
+// Primes2-untuned, Primes3, FFT, PlyTrace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"numasim/internal/ace"
+	"numasim/internal/cthreads"
+	"numasim/internal/numa"
+	"numasim/internal/policy"
+	"numasim/internal/sched"
+	"numasim/internal/trace"
+	"numasim/internal/vm"
+	"numasim/internal/workloads"
+)
+
+func main() {
+	app := flag.String("app", "IMatMult", "application to run")
+	polName := flag.String("policy", "threshold", "placement policy")
+	threshold := flag.Int("threshold", policy.DefaultThreshold, "move limit for the threshold policy")
+	nproc := flag.Int("nproc", 7, "number of processors")
+	workers := flag.Int("workers", 0, "worker threads (default: one per processor)")
+	schedName := flag.String("sched", "affinity", "scheduler: affinity or noaffinity")
+	doTrace := flag.Bool("trace", false, "collect a reference trace and report sharing classes")
+	traceOut := flag.String("traceout", "", "save the reference trace to this file (implies -trace)")
+	unixMaster := flag.Bool("unixmaster", false, "funnel system calls to processor 0 (§4.6)")
+	pageSize := flag.Int("pagesize", 4096, "page size in bytes")
+	size := flag.Int("size", 0, "problem size (0: workload default); units for ParMult, pages for Gfetch, matrix side for IMatMult/FFT, limit for Primes1-3, triangles for PlyTrace")
+	perProc := flag.Bool("perproc", false, "report per-processor reference counts")
+	replication := flag.Bool("replication", true, "replicate read-only pages (disable for the Li-style migration ablation)")
+	flag.Parse()
+
+	var w workloads.Workload
+	var err error
+	if *size > 0 {
+		w, err = workloads.NewSized(*app, *size)
+	} else {
+		w, err = workloads.ByName(*app)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acesim:", err)
+		os.Exit(1)
+	}
+
+	var pol numa.Policy
+	switch strings.ToLower(*polName) {
+	case "threshold":
+		pol = policy.NewThreshold(*threshold)
+	case "allglobal":
+		pol = policy.AllGlobal{}
+	case "alllocal":
+		pol = policy.AllLocal{}
+	case "neverpin":
+		pol = policy.NeverPin()
+	case "pragma":
+		pol = policy.NewPragma(nil)
+	case "reconsider":
+		pol = policy.NewReconsider(*threshold, 64)
+	case "freezedefrost":
+		pol = policy.NewFreezeDefrost(0, 0)
+	default:
+		fmt.Fprintf(os.Stderr, "acesim: unknown policy %q\n", *polName)
+		os.Exit(1)
+	}
+
+	mode := sched.Affinity
+	if strings.HasPrefix(strings.ToLower(*schedName), "no") {
+		mode = sched.NoAffinity
+	}
+
+	cfg := ace.DefaultConfig()
+	cfg.NProc = *nproc
+	cfg.PageSize = *pageSize
+	machine := ace.NewMachine(cfg)
+	kernel := vm.NewKernel(machine, pol)
+	kernel.UnixMaster = *unixMaster
+	if !*replication {
+		kernel.NUMA().SetReplication(false)
+	}
+	var collector *trace.Collector
+	if *doTrace || *traceOut != "" {
+		collector = trace.New(machine.PageShift(), true)
+		kernel.RefTrace = collector.Hook()
+	}
+	rt := cthreads.New(kernel, mode)
+
+	if err := w.Run(rt, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "acesim:", err)
+		os.Exit(1)
+	}
+
+	eng := machine.Engine()
+	fmt.Printf("%s on %d CPUs under %s (%s scheduler)\n", w.Name(), *nproc, pol.Name(), mode)
+	fmt.Printf("  user time:   %v\n", eng.TotalUserTime())
+	fmt.Printf("  system time: %v\n", eng.TotalSysTime())
+	refs := machine.TotalRefs()
+	fmt.Printf("  references:  %d (%.1f%% local)\n", refs.Total(), 100*refs.LocalFraction())
+	fmt.Printf("  faults:      %d\n", machine.TotalFaults())
+	ns := kernel.NUMA().Stats()
+	fmt.Printf("  protocol:    %d copies, %d syncs, %d flushes, %d moves, %d pins\n",
+		ns.Copies, ns.Syncs, ns.Flushes, ns.Moves, ns.Pins)
+	var aliasDrops uint64
+	for i := 0; i < machine.NProc(); i++ {
+		aliasDrops += machine.MMU(i).Stats().AliasDrops
+	}
+	fmt.Printf("  mmu:         %d alias drops (Rosetta one-VA-per-frame rule)\n", aliasDrops)
+	vs := kernel.Stats()
+	fmt.Printf("  paging:      %d zero-fills, %d pageouts, %d pageins, %d COW copies\n",
+		vs.ZeroFillFaults, vs.Pageouts, vs.Pageins, vs.COWCopies)
+	if *perProc {
+		fmt.Println("  per processor:")
+		for i := 0; i < machine.NProc(); i++ {
+			r := machine.Proc(i).Refs()
+			fmt.Printf("    cpu%-2d  local %9d  global %9d  remote %7d  faults %6d\n",
+				i, r.LocalFetch+r.LocalStore, r.GlobalFetch+r.GlobalStore,
+				r.RemoteFetch+r.RemoteStore, machine.Proc(i).Faults)
+		}
+	}
+	if collector != nil {
+		fmt.Println()
+		fmt.Print(collector.Summarize().Render())
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "acesim:", err)
+				os.Exit(1)
+			}
+			if err := collector.Save(f); err != nil {
+				fmt.Fprintln(os.Stderr, "acesim:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "acesim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace written to %s\n", *traceOut)
+		}
+	}
+}

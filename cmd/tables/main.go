@@ -1,0 +1,90 @@
+// Command tables regenerates the tables and figures of the paper's
+// evaluation: Tables 1-2 (the NUMA manager's action matrices, derived from
+// the implementation), Table 3 (user times and model parameters for the
+// application mix), Table 4 (system-time overhead), and Figures 1-2
+// (architecture diagrams). Published values are printed alongside measured
+// ones.
+//
+// Usage:
+//
+//	tables [-nproc N] [-workers N] [-small] [-table N | -figure N | -exp NAME]
+//
+// Experiments: falsesharing (§4.2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"numasim/internal/harness"
+)
+
+func main() {
+	nproc := flag.Int("nproc", 7, "number of processors for parallel runs")
+	workers := flag.Int("workers", 0, "worker threads (default: one per processor)")
+	smallFlag := flag.Bool("small", false, "use reduced problem sizes")
+	table := flag.Int("table", 0, "print only table N (1-4)")
+	figure := flag.Int("figure", 0, "print only figure N (1-2)")
+	exp := flag.String("exp", "", "print only the named experiment (falsesharing)")
+	csv := flag.Bool("csv", false, "emit Tables 3 and 4 as CSV")
+	flag.Parse()
+
+	opts := harness.Options{NProc: *nproc, Workers: *workers, Small: *smallFlag}
+	all := *table == 0 && *figure == 0 && *exp == ""
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+
+	if all || *figure == 1 {
+		fmt.Println(harness.Figure1(opts))
+	}
+	if all || *figure == 2 {
+		fmt.Println(harness.Figure2())
+	}
+	if all || *table == 1 {
+		s, err := harness.ProtocolTable(false)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(s)
+	}
+	if all || *table == 2 {
+		s, err := harness.ProtocolTable(true)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(s)
+	}
+	if all || *table == 3 {
+		rows, err := harness.Table3(opts)
+		if err != nil {
+			fail(err)
+		}
+		if *csv {
+			fmt.Print(harness.RenderTable3CSV(rows))
+		} else {
+			fmt.Println(harness.RenderTable3(rows))
+		}
+	}
+	if all || *table == 4 {
+		rows, err := harness.Table4(opts)
+		if err != nil {
+			fail(err)
+		}
+		if *csv {
+			fmt.Print(harness.RenderTable4CSV(rows))
+		} else {
+			fmt.Println(harness.RenderTable4(rows))
+		}
+	}
+	if all || *exp == "falsesharing" {
+		r, err := harness.FalseSharing(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r.Render())
+	}
+}

@@ -1,0 +1,57 @@
+// Command traceview analyses a reference trace captured with
+// `acesim -traceout FILE`: overall sharing classes, the busiest pages, and
+// the falsely-shared pages that application tuning (§4.2) could fix.
+//
+// Usage:
+//
+//	traceview [-top N] FILE
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"numasim/internal/trace"
+)
+
+func main() {
+	top := flag.Int("top", 10, "number of busiest pages to list")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceview [-top N] FILE")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	c, err := trace.Load(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+
+	fmt.Print(c.Summarize().Render())
+	pages := c.Pages()
+	sort.Slice(pages, func(i, j int) bool {
+		return pages[i].Reads+pages[i].Writes > pages[j].Reads+pages[j].Writes
+	})
+	if len(pages) > *top {
+		pages = pages[:*top]
+	}
+	fmt.Printf("\nbusiest %d pages:\n", len(pages))
+	fmt.Printf("  %-10s %-16s %7s %7s %9s %9s %s\n",
+		"page", "class", "readers", "writers", "reads", "writes", "")
+	for _, p := range pages {
+		note := ""
+		if p.FalselyShared {
+			note = "FALSELY SHARED — consider padding/segregating (§4.2)"
+		}
+		fmt.Printf("  %#-10x %-16s %7d %7d %9d %9d %s\n",
+			uint64(p.VPN)<<c.PageShift(), p.Class, p.Readers, p.Writers, p.Reads, p.Writes, note)
+	}
+}

@@ -1,0 +1,59 @@
+// Pageout and pinning (§4.3 footnote 4): "our system never reconsiders a
+// pinning decision (unless the pinned page is paged out and back in)."
+//
+// This example pins a page in global memory by ping-ponging writes, then
+// walks a large array on a machine with tiny global memory until the
+// pinned page is evicted to backing store. When it is touched again it
+// returns with fresh placement state — cacheable once more.
+package main
+
+import (
+	"fmt"
+
+	"numasim"
+)
+
+func main() {
+	cfg := numasim.DefaultConfig()
+	cfg.NProc = 2
+	cfg.GlobalFrames = 24 // tiny global memory: pageout happens quickly
+	cfg.LocalFrames = 64
+	sys := numasim.NewSystem(cfg, numasim.ThresholdPolicy(2), numasim.Affinity)
+
+	hot := sys.Runtime.Alloc("hot", 4096)
+	big := sys.Runtime.Alloc("big", 40*4096)
+
+	page := func() *numasim.Page {
+		return sys.Runtime.Task().EntryAt(hot).Object().Page(0)
+	}
+
+	err := sys.Runtime.Run(1, func(id int, c *numasim.Context) {
+		// Phase 1: two processors fight over the hot page until it pins.
+		for i := 0; i < 4; i++ {
+			c.MigrateTo(i % 2)
+			c.Store32(hot, uint32(i))
+		}
+		fmt.Printf("after ping-pong:   state=%-16v moves=%d pinned=%v\n",
+			page().State(), page().Moves(), page().Pinned())
+
+		// Phase 2: touch enough memory that the hot page is paged out.
+		for i := uint32(0); i < 40; i++ {
+			c.Store32(big+i*4096, i)
+		}
+		if page() != nil {
+			fmt.Println("hot page unexpectedly still resident")
+			return
+		}
+		fmt.Printf("after pressure:    paged out (pageouts=%d)\n",
+			sys.Kernel.Stats().Pageouts)
+
+		// Phase 3: touch it again — data intact, placement state reset.
+		v := c.Load32(hot)
+		fmt.Printf("after pagein:      state=%-16v moves=%d pinned=%v value=%d (pageins=%d)\n",
+			page().State(), page().Moves(), page().Pinned(), v,
+			sys.Kernel.Stats().Pageins)
+	})
+	if err != nil {
+		panic(err)
+	}
+}

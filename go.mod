@@ -1,0 +1,3 @@
+module numasim
+
+go 1.22

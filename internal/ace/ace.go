@@ -1,0 +1,350 @@
+// Package ace models the hardware of the IBM ACE Multiprocessor Workstation
+// (§2.2 of the paper): a set of processor modules, each with a ROMP-class
+// CPU, a Rosetta-class MMU and a local memory, connected to one or more
+// global memories by the Inter-Processor Communication bus.
+//
+// The model is a timing model, not an ISA emulator. Applications execute
+// real Go code for their computations and charge virtual time for each
+// simulated memory reference and for counted instruction work, using the
+// latencies the paper measured: 32-bit local fetch 0.65µs / store 0.84µs,
+// global fetch 1.5µs / store 1.4µs.
+package ace
+
+import (
+	"fmt"
+
+	"numasim/internal/mem"
+	"numasim/internal/mmu"
+	"numasim/internal/sim"
+)
+
+// CostModel gives the virtual-time cost of every charged operation.
+type CostModel struct {
+	// 32-bit memory reference latencies (§2.2).
+	LocalFetch  sim.Time
+	LocalStore  sim.Time
+	GlobalFetch sim.Time
+	GlobalStore sim.Time
+	// Remote references (one processor into another's local memory, §4.4).
+	// The ACE supports them but the paper's system deliberately does not use
+	// them; they are modelled for the remote-reference extension experiment.
+	RemoteFetch sim.Time
+	RemoteStore sim.Time
+
+	// Instruction costs. The ROMP has no hardware multiply/divide and no
+	// floating point unit, which the paper leans on repeatedly ("division
+	// is expensive on the ACE", "the high cost of integer multiplication").
+	Instr sim.Time // simple register/ALU instruction
+	Mul   sim.Time // integer multiply
+	Div   sim.Time // integer divide
+	FAdd  sim.Time // floating add/sub
+	FMul  sim.Time // floating multiply
+	FDiv  sim.Time // floating divide
+
+	// Kernel overheads, charged as system time.
+	FaultBase sim.Time // trap entry + machine-independent VM fault handling
+	NUMAOp    sim.Time // one NUMA-manager decision/bookkeeping step
+	MMUOp     sim.Time // dropping or changing one translation, possibly cross-CPU
+}
+
+// DefaultCostModel returns the paper's measured memory latencies and
+// ROMP-plausible instruction costs.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		LocalFetch:  650 * sim.Nanosecond,
+		LocalStore:  840 * sim.Nanosecond,
+		GlobalFetch: 1500 * sim.Nanosecond,
+		GlobalStore: 1400 * sim.Nanosecond,
+		RemoteFetch: 1800 * sim.Nanosecond,
+		RemoteStore: 1700 * sim.Nanosecond,
+
+		Instr: 500 * sim.Nanosecond, // ~2 MIPS
+		Mul:   5 * sim.Microsecond,  // software multiply
+		Div:   15 * sim.Microsecond, // software divide
+		FAdd:  1 * sim.Microsecond,  // FPA-assisted floating point
+		FMul:  1500 * sim.Nanosecond,
+		FDiv:  4 * sim.Microsecond,
+
+		FaultBase: 500 * sim.Microsecond,
+		NUMAOp:    50 * sim.Microsecond,
+		MMUOp:     10 * sim.Microsecond,
+	}
+}
+
+// FetchCost returns the cost of one 32-bit fetch from a frame of the given
+// kind by processor proc.
+func (c *CostModel) FetchCost(f *mem.Frame, proc int) sim.Time {
+	if f.Kind() == mem.Global {
+		return c.GlobalFetch
+	}
+	if f.Proc() == proc {
+		return c.LocalFetch
+	}
+	return c.RemoteFetch
+}
+
+// StoreCost returns the cost of one 32-bit store to a frame of the given
+// kind by processor proc.
+func (c *CostModel) StoreCost(f *mem.Frame, proc int) sim.Time {
+	if f.Kind() == mem.Global {
+		return c.GlobalStore
+	}
+	if f.Proc() == proc {
+		return c.LocalStore
+	}
+	return c.RemoteStore
+}
+
+// CopyCost returns the cost for processor proc to copy a full page from src
+// to dst, word by word, at memory speed. This is what makes page movement
+// expensive and is the dominant term in the paper's system times (§3.3).
+func (c *CostModel) CopyCost(src, dst *mem.Frame, proc, pageSize int) sim.Time {
+	words := sim.Time(pageSize / 4)
+	return words * (c.FetchCost(src, proc) + c.StoreCost(dst, proc))
+}
+
+// ZeroCost returns the cost for processor proc to zero-fill a page.
+func (c *CostModel) ZeroCost(dst *mem.Frame, proc, pageSize int) sim.Time {
+	words := sim.Time(pageSize / 4)
+	return words * c.StoreCost(dst, proc)
+}
+
+// GOverL returns the paper's G/L ratio for the given store fraction of the
+// reference mix: §2.2 reports 2.3 for pure fetches and about 2 for a mix
+// with 45% stores.
+func (c *CostModel) GOverL(storeFrac float64) float64 {
+	g := float64(c.GlobalFetch)*(1-storeFrac) + float64(c.GlobalStore)*storeFrac
+	l := float64(c.LocalFetch)*(1-storeFrac) + float64(c.LocalStore)*storeFrac
+	return g / l
+}
+
+// Config describes one machine instance.
+type Config struct {
+	NProc        int      // processor modules (the ACE backplane allows up to 8)
+	GlobalFrames int      // frames of global memory
+	LocalFrames  int      // frames of local memory per processor
+	PageSize     int      // bytes; power of two
+	Quantum      sim.Time // scheduling time slice between involuntary yields
+	Cost         CostModel
+}
+
+// DefaultConfig returns a machine comparable to the paper's measurement
+// configuration: 7 processors (Table 4), 16 MB of global memory and 8 MB of
+// local memory per module, 4 KiB pages.
+func DefaultConfig() Config {
+	return Config{
+		NProc:        7,
+		GlobalFrames: 16 << 20 >> 12, // 16 MB
+		LocalFrames:  8 << 20 >> 12,  // 8 MB per processor
+		PageSize:     4096,
+		Quantum:      200 * sim.Microsecond,
+		Cost:         DefaultCostModel(),
+	}
+}
+
+// Validate checks the configuration for consistency.
+func (c *Config) Validate() error {
+	if c.NProc < 1 {
+		return fmt.Errorf("ace: NProc %d < 1", c.NProc)
+	}
+	if c.PageSize < 16 || c.PageSize&(c.PageSize-1) != 0 {
+		return fmt.Errorf("ace: page size %d not a power of two >= 16", c.PageSize)
+	}
+	if c.GlobalFrames < 1 {
+		return fmt.Errorf("ace: GlobalFrames %d < 1", c.GlobalFrames)
+	}
+	if c.LocalFrames < 0 {
+		return fmt.Errorf("ace: LocalFrames %d < 0", c.LocalFrames)
+	}
+	if c.Quantum <= 0 {
+		return fmt.Errorf("ace: quantum %v <= 0", c.Quantum)
+	}
+	return nil
+}
+
+// RefStats counts memory references by destination, per processor. The
+// paper's α is estimated from run times; these true counts let the harness
+// cross-check the timing-derived estimate.
+type RefStats struct {
+	LocalFetch  uint64
+	LocalStore  uint64
+	GlobalFetch uint64
+	GlobalStore uint64
+	RemoteFetch uint64
+	RemoteStore uint64
+}
+
+// Total returns the total number of references.
+func (r *RefStats) Total() uint64 {
+	return r.LocalFetch + r.LocalStore + r.GlobalFetch + r.GlobalStore + r.RemoteFetch + r.RemoteStore
+}
+
+// LocalFraction returns the fraction of references that hit local memory.
+func (r *RefStats) LocalFraction() float64 {
+	tot := r.Total()
+	if tot == 0 {
+		return 0
+	}
+	return float64(r.LocalFetch+r.LocalStore) / float64(tot)
+}
+
+// Add accumulates other into r.
+func (r *RefStats) Add(other RefStats) {
+	r.LocalFetch += other.LocalFetch
+	r.LocalStore += other.LocalStore
+	r.GlobalFetch += other.GlobalFetch
+	r.GlobalStore += other.GlobalStore
+	r.RemoteFetch += other.RemoteFetch
+	r.RemoteStore += other.RemoteStore
+}
+
+// Processor is one ACE processor module.
+type Processor struct {
+	id   int
+	res  *sim.Resource
+	refs RefStats
+	// Faults counts page faults taken on this processor.
+	Faults uint64
+}
+
+// ID returns the processor number.
+func (p *Processor) ID() int { return p.id }
+
+// Resource returns the sim resource representing the CPU's execution unit.
+func (p *Processor) Resource() *sim.Resource { return p.res }
+
+// Refs returns the processor's reference counters.
+func (p *Processor) Refs() RefStats { return p.refs }
+
+// Machine is an assembled ACE: engine, processors, memories and MMUs.
+type Machine struct {
+	cfg    Config
+	engine *sim.Engine
+	procs  []*Processor
+	memory *mem.Memory
+	mmus   []*mmu.MMU
+}
+
+// NewMachine builds a machine from cfg, panicking on invalid configuration
+// (configuration is a programming error, not an environmental condition).
+func NewMachine(cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{
+		cfg:    cfg,
+		engine: sim.NewEngine(),
+		memory: mem.NewMemory(cfg.NProc, cfg.GlobalFrames, cfg.LocalFrames, cfg.PageSize),
+	}
+	m.procs = make([]*Processor, cfg.NProc)
+	m.mmus = make([]*mmu.MMU, cfg.NProc)
+	for i := 0; i < cfg.NProc; i++ {
+		m.procs[i] = &Processor{id: i, res: &sim.Resource{Name: fmt.Sprintf("cpu%d", i)}}
+		m.mmus[i] = mmu.New(i)
+	}
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Cost returns the machine's cost model.
+func (m *Machine) Cost() *CostModel { return &m.cfg.Cost }
+
+// PageSize reports the machine page size in bytes.
+func (m *Machine) PageSize() int { return m.cfg.PageSize }
+
+// Engine returns the machine's simulation engine.
+func (m *Machine) Engine() *sim.Engine { return m.engine }
+
+// NProc reports the number of processors.
+func (m *Machine) NProc() int { return len(m.procs) }
+
+// Proc returns processor i.
+func (m *Machine) Proc(i int) *Processor { return m.procs[i] }
+
+// Memory returns the machine's physical memory.
+func (m *Machine) Memory() *mem.Memory { return m.memory }
+
+// MMU returns processor i's MMU.
+func (m *Machine) MMU(i int) *mmu.MMU { return m.mmus[i] }
+
+// PageShift returns log2 of the page size.
+func (m *Machine) PageShift() uint {
+	s := uint(0)
+	for 1<<s < m.cfg.PageSize {
+		s++
+	}
+	return s
+}
+
+// VPN returns the virtual page number of va.
+func (m *Machine) VPN(va uint32) uint32 { return va >> m.PageShift() }
+
+// PageOff returns va's offset within its page.
+func (m *Machine) PageOff(va uint32) int { return int(va) & (m.cfg.PageSize - 1) }
+
+// ChargeFetch charges th for a 32-bit fetch from frame f by processor proc
+// and counts it.
+func (m *Machine) ChargeFetch(th *sim.Thread, proc int, f *mem.Frame) {
+	c := &m.cfg.Cost
+	th.Advance(c.FetchCost(f, proc))
+	r := &m.procs[proc].refs
+	switch {
+	case f.Kind() == mem.Global:
+		r.GlobalFetch++
+	case f.Proc() == proc:
+		r.LocalFetch++
+	default:
+		r.RemoteFetch++
+	}
+}
+
+// ChargeStore charges th for a 32-bit store to frame f by processor proc and
+// counts it.
+func (m *Machine) ChargeStore(th *sim.Thread, proc int, f *mem.Frame) {
+	c := &m.cfg.Cost
+	th.Advance(c.StoreCost(f, proc))
+	r := &m.procs[proc].refs
+	switch {
+	case f.Kind() == mem.Global:
+		r.GlobalStore++
+	case f.Proc() == proc:
+		r.LocalStore++
+	default:
+		r.RemoteStore++
+	}
+}
+
+// TotalRefs sums reference statistics across all processors.
+func (m *Machine) TotalRefs() RefStats {
+	var sum RefStats
+	for _, p := range m.procs {
+		sum.Add(p.refs)
+	}
+	return sum
+}
+
+// TotalFaults sums page-fault counts across all processors.
+func (m *Machine) TotalFaults() uint64 {
+	var sum uint64
+	for _, p := range m.procs {
+		sum += p.Faults
+	}
+	return sum
+}
+
+// Topology renders the machine's memory architecture in the style of the
+// paper's Figure 1.
+func (m *Machine) Topology() string {
+	s := "ACE memory architecture (paper Figure 1)\n\n"
+	for i := range m.procs {
+		s += fmt.Sprintf("  cpu%-2d [ROMP-C + Rosetta-C MMU] -- local memory (%d KB)\n",
+			i, m.cfg.LocalFrames*m.cfg.PageSize/1024)
+	}
+	s += fmt.Sprintf("    |\n    +== IPC bus (32-bit, 80 MB/s) == global memory (%d KB)\n",
+		m.cfg.GlobalFrames*m.cfg.PageSize/1024)
+	s += fmt.Sprintf("\n  latencies: local fetch %v store %v; global fetch %v store %v\n",
+		m.cfg.Cost.LocalFetch, m.cfg.Cost.LocalStore, m.cfg.Cost.GlobalFetch, m.cfg.Cost.GlobalStore)
+	return s
+}

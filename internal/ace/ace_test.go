@@ -1,0 +1,203 @@
+package ace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"numasim/internal/mem"
+	"numasim/internal/sim"
+)
+
+func TestDefaultCostModelRatios(t *testing.T) {
+	// §2.2: global is 2.3x slower than local on fetches, 1.7x on stores,
+	// and about 2x for a mix with 45% stores (E13 in DESIGN.md).
+	c := DefaultCostModel()
+	fetch := float64(c.GlobalFetch) / float64(c.LocalFetch)
+	if math.Abs(fetch-2.3) > 0.05 {
+		t.Errorf("fetch ratio = %.2f, want ~2.3", fetch)
+	}
+	store := float64(c.GlobalStore) / float64(c.LocalStore)
+	if math.Abs(store-1.7) > 0.05 {
+		t.Errorf("store ratio = %.2f, want ~1.7", store)
+	}
+	mixed := c.GOverL(0.45)
+	if math.Abs(mixed-2.0) > 0.1 {
+		t.Errorf("mixed G/L = %.2f, want ~2.0", mixed)
+	}
+	if pure := c.GOverL(0); math.Abs(pure-2.3) > 0.05 {
+		t.Errorf("fetch-only G/L = %.2f, want ~2.3", pure)
+	}
+}
+
+func TestFetchStoreCost(t *testing.T) {
+	c := DefaultCostModel()
+	g, _ := mem.NewPool(mem.Global, -1, 1, 4096).Alloc()
+	l0, _ := mem.NewPool(mem.Local, 0, 1, 4096).Alloc()
+	if c.FetchCost(g, 0) != c.GlobalFetch {
+		t.Error("global fetch cost wrong")
+	}
+	if c.FetchCost(l0, 0) != c.LocalFetch {
+		t.Error("own-local fetch cost wrong")
+	}
+	if c.FetchCost(l0, 1) != c.RemoteFetch {
+		t.Error("remote fetch cost wrong")
+	}
+	if c.StoreCost(g, 0) != c.GlobalStore || c.StoreCost(l0, 0) != c.LocalStore || c.StoreCost(l0, 1) != c.RemoteStore {
+		t.Error("store costs wrong")
+	}
+}
+
+func TestCopyZeroCost(t *testing.T) {
+	c := DefaultCostModel()
+	g, _ := mem.NewPool(mem.Global, -1, 1, 4096).Alloc()
+	l0, _ := mem.NewPool(mem.Local, 0, 1, 4096).Alloc()
+	// Copying global->local on cpu0: 1024 words * (global fetch + local store).
+	want := 1024 * (c.GlobalFetch + c.LocalStore)
+	if got := c.CopyCost(g, l0, 0, 4096); got != want {
+		t.Errorf("CopyCost = %v, want %v", got, want)
+	}
+	if got := c.ZeroCost(l0, 0, 4096); got != 1024*c.LocalStore {
+		t.Errorf("ZeroCost = %v", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.NProc = 0 },
+		func(c *Config) { c.PageSize = 1000 },
+		func(c *Config) { c.PageSize = 8 },
+		func(c *Config) { c.GlobalFrames = 0 },
+		func(c *Config) { c.LocalFrames = -1 },
+		func(c *Config) { c.Quantum = 0 },
+	}
+	for i, mut := range bad {
+		c := DefaultConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d passed validation", i)
+		}
+	}
+}
+
+func TestNewMachine(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NProc = 3
+	m := NewMachine(cfg)
+	if m.NProc() != 3 {
+		t.Errorf("NProc = %d", m.NProc())
+	}
+	for i := 0; i < 3; i++ {
+		if m.Proc(i).ID() != i {
+			t.Errorf("proc %d has id %d", i, m.Proc(i).ID())
+		}
+		if m.MMU(i).Proc() != i {
+			t.Errorf("mmu %d has proc %d", i, m.MMU(i).Proc())
+		}
+	}
+	if m.Memory().NProc() != 3 {
+		t.Error("memory pools mismatch")
+	}
+	if m.Engine() == nil {
+		t.Error("nil engine")
+	}
+}
+
+func TestNewMachineBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewMachine(Config{})
+}
+
+func TestVPNAndOffset(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PageSize = 4096
+	m := NewMachine(cfg)
+	if m.PageShift() != 12 {
+		t.Errorf("PageShift = %d", m.PageShift())
+	}
+	if m.VPN(0x12345) != 0x12 {
+		t.Errorf("VPN = %#x", m.VPN(0x12345))
+	}
+	if m.PageOff(0x12345) != 0x345 {
+		t.Errorf("PageOff = %#x", m.PageOff(0x12345))
+	}
+}
+
+func TestChargeAndCount(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NProc = 2
+	m := NewMachine(cfg)
+	g, _ := m.Memory().Global().Alloc()
+	l1, _ := m.Memory().Local(1).Alloc()
+	var done bool
+	m.Engine().Spawn("t", 0, func(th *sim.Thread) {
+		m.ChargeFetch(th, 0, g)
+		m.ChargeStore(th, 0, g)
+		m.ChargeFetch(th, 1, l1)
+		m.ChargeStore(th, 1, l1)
+		m.ChargeFetch(th, 0, l1) // remote
+		done = true
+	})
+	if err := m.Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("thread did not run")
+	}
+	r0, r1 := m.Proc(0).Refs(), m.Proc(1).Refs()
+	if r0.GlobalFetch != 1 || r0.GlobalStore != 1 || r0.RemoteFetch != 1 {
+		t.Errorf("proc0 refs = %+v", r0)
+	}
+	if r1.LocalFetch != 1 || r1.LocalStore != 1 {
+		t.Errorf("proc1 refs = %+v", r1)
+	}
+	tot := m.TotalRefs()
+	if tot.Total() != 5 {
+		t.Errorf("total refs = %d, want 5", tot.Total())
+	}
+	wantLocal := 2.0 / 5.0
+	if lf := tot.LocalFraction(); math.Abs(lf-wantLocal) > 1e-9 {
+		t.Errorf("local fraction = %v, want %v", lf, wantLocal)
+	}
+	c := DefaultCostModel()
+	wantTime := c.GlobalFetch + c.GlobalStore + c.LocalFetch + c.LocalStore + c.RemoteFetch
+	if got := m.Engine().TotalUserTime(); got != wantTime {
+		t.Errorf("user time = %v, want %v", got, wantTime)
+	}
+}
+
+func TestLocalFractionEmpty(t *testing.T) {
+	var r RefStats
+	if r.LocalFraction() != 0 {
+		t.Error("empty stats should report 0")
+	}
+}
+
+func TestTopology(t *testing.T) {
+	m := NewMachine(DefaultConfig())
+	top := m.Topology()
+	for _, want := range []string{"cpu0", "cpu6", "IPC bus", "global memory", "Figure 1"} {
+		if !strings.Contains(top, want) {
+			t.Errorf("topology missing %q:\n%s", want, top)
+		}
+	}
+}
+
+func TestTotalFaults(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NProc = 2
+	m := NewMachine(cfg)
+	m.Proc(0).Faults = 3
+	m.Proc(1).Faults = 4
+	if m.TotalFaults() != 7 {
+		t.Errorf("TotalFaults = %d", m.TotalFaults())
+	}
+}

@@ -1,0 +1,414 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"numasim/internal/numa"
+
+	"numasim/internal/metrics"
+	"numasim/internal/policy"
+	"numasim/internal/sched"
+	"numasim/internal/sim"
+	"numasim/internal/workloads"
+)
+
+// ---------------------------------------------------------------------
+// E8: false sharing — the §4.2 Primes2 tuning experiment.
+// ---------------------------------------------------------------------
+
+// FalseSharingResult compares the untuned and tuned Primes2.
+type FalseSharingResult struct {
+	Untuned, Tuned metrics.Eval
+}
+
+// FalseSharing reproduces the §4.2 experiment: copying the divisors out of
+// the writably-shared output vector into private memory raised Primes2's α
+// from 0.66 to 1.00.
+func FalseSharing(opts Options) (FalseSharingResult, error) {
+	opts = opts.withDefaults()
+	ev := opts.evaluator()
+	untuned, err := ev.Evaluate(func() metrics.Runner { return opts.instance("Primes2-untuned") })
+	if err != nil {
+		return FalseSharingResult{}, err
+	}
+	tuned, err := ev.Evaluate(func() metrics.Runner { return opts.instance("Primes2") })
+	if err != nil {
+		return FalseSharingResult{}, err
+	}
+	return FalseSharingResult{Untuned: untuned, Tuned: tuned}, nil
+}
+
+// Render formats the experiment.
+func (r FalseSharingResult) Render() string {
+	headers := []string{"Primes2 variant", "Tnuma", "alpha", "gamma", "local refs", "| paper alpha"}
+	rows := [][]string{
+		{"untuned (shared divisors)", fmtF(r.Untuned.Tnuma, 2), fmtF(r.Untuned.Alpha, 2),
+			fmtF(r.Untuned.Gamma, 2), fmtF(r.Untuned.MeasuredLocalFrac, 2), "0.66"},
+		{"tuned (private divisors)", fmtF(r.Tuned.Tnuma, 2), fmtF(r.Tuned.Alpha, 2),
+			fmtF(r.Tuned.Gamma, 2), fmtF(r.Tuned.MeasuredLocalFrac, 2), "1.00"},
+	}
+	return "False sharing (§4.2): Primes2 before and after divisor privatization\n" +
+		renderTable(headers, rows)
+}
+
+// ---------------------------------------------------------------------
+// E9: pin-threshold sweep (§2.3.2's boot-time parameter).
+// ---------------------------------------------------------------------
+
+// SweepRow is one point of a parameter sweep.
+type SweepRow struct {
+	Param        string
+	Tnuma, Snuma float64
+	Alpha, Gamma float64
+	Pins, Moves  uint64
+}
+
+// ThresholdSweep measures a workload under varying move limits; limit<0
+// selects the never-pin policy.
+func ThresholdSweep(opts Options, app string, limits []int) ([]SweepRow, error) {
+	opts = opts.withDefaults()
+	cfg := opts.config()
+	var rows []SweepRow
+	for _, lim := range limits {
+		p := policy.NewThreshold(max(lim, 0))
+		if lim < 0 {
+			p = policy.NeverPin()
+		}
+		res, err := metrics.Run(opts.instance(app), metrics.RunSpec{
+			Config: cfg, Policy: p, Workers: opts.Workers, Sched: sched.Affinity,
+		})
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("%d", lim)
+		if lim < 0 {
+			name = "never-pin"
+		}
+		rows = append(rows, SweepRow{
+			Param: name,
+			Tnuma: res.UserSec, Snuma: res.SysSec,
+			Pins: res.NUMA.Pins, Moves: res.NUMA.Moves,
+		})
+	}
+	return rows, nil
+}
+
+// RenderSweepCSV renders a sweep as CSV (one header line plus one line per
+// point), ready for plotting.
+func RenderSweepCSV(param string, rows []SweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s,user_sec,sys_sec,pins,moves\n", param)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%.6f,%.6f,%d,%d\n", r.Param, r.Tnuma, r.Snuma, r.Pins, r.Moves)
+	}
+	return b.String()
+}
+
+// RenderSweep renders a sweep result.
+func RenderSweep(title, param string, rows []SweepRow) string {
+	headers := []string{param, "Tuser", "Tsys", "pins", "moves"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{r.Param, fmtF(r.Tnuma, 3), fmtF(r.Snuma, 3),
+			fmt.Sprintf("%d", r.Pins), fmt.Sprintf("%d", r.Moves)})
+	}
+	return title + "\n" + renderTable(headers, body)
+}
+
+// ---------------------------------------------------------------------
+// E11: processor affinity (§4.7).
+// ---------------------------------------------------------------------
+
+// AffinityResult compares the paper's affinity scheduler against the
+// original single-queue behaviour.
+type AffinityResult struct {
+	App                string
+	Affinity, Hopping  metrics.RunResult
+	AffLocal, HopLocal float64
+}
+
+// AffinityCompare runs a workload under both scheduling disciplines.
+func AffinityCompare(opts Options, app string) (AffinityResult, error) {
+	opts = opts.withDefaults()
+	cfg := opts.config()
+	aff, err := metrics.Run(opts.instance(app), metrics.RunSpec{
+		Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
+	})
+	if err != nil {
+		return AffinityResult{}, err
+	}
+	hop, err := metrics.Run(opts.instance(app), metrics.RunSpec{
+		Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.NoAffinity,
+	})
+	if err != nil {
+		return AffinityResult{}, err
+	}
+	return AffinityResult{
+		App: app, Affinity: aff, Hopping: hop,
+		AffLocal: aff.Refs.LocalFraction(),
+		HopLocal: hop.Refs.LocalFraction(),
+	}, nil
+}
+
+// Render formats the comparison.
+func (r AffinityResult) Render() string {
+	headers := []string{"scheduler", "Tuser", "Tsys", "local refs", "moves", "pins"}
+	rows := [][]string{
+		{"affinity (paper §4.7)", fmtF(r.Affinity.UserSec, 3), fmtF(r.Affinity.SysSec, 3),
+			fmtF(r.AffLocal, 3), fmt.Sprintf("%d", r.Affinity.NUMA.Moves), fmt.Sprintf("%d", r.Affinity.NUMA.Pins)},
+		{"single queue (original)", fmtF(r.Hopping.UserSec, 3), fmtF(r.Hopping.SysSec, 3),
+			fmtF(r.HopLocal, 3), fmt.Sprintf("%d", r.Hopping.NUMA.Moves), fmt.Sprintf("%d", r.Hopping.NUMA.Pins)},
+	}
+	return fmt.Sprintf("Processor affinity (§4.7) on %s\n", r.App) + renderTable(headers, rows)
+}
+
+// ---------------------------------------------------------------------
+// E12: the Unix master (§4.6).
+// ---------------------------------------------------------------------
+
+// UnixMasterResult compares runs with and without the Unix-master effect.
+type UnixMasterResult struct {
+	App           string
+	Off, On       metrics.RunResult
+	OffP0, OnP0   uint64 // references made by processor 0
+	OffLoc, OnLoc float64
+}
+
+// UnixMasterCompare runs a workload with syscalls funnelled to CPU 0.
+func UnixMasterCompare(opts Options, app string) (UnixMasterResult, error) {
+	opts = opts.withDefaults()
+	cfg := opts.config()
+	off, err := metrics.Run(opts.instance(app), metrics.RunSpec{
+		Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
+	})
+	if err != nil {
+		return UnixMasterResult{}, err
+	}
+	on, err := metrics.Run(opts.instance(app), metrics.RunSpec{
+		Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
+		UnixMast: true,
+	})
+	if err != nil {
+		return UnixMasterResult{}, err
+	}
+	return UnixMasterResult{
+		App: app, Off: off, On: on,
+		OffLoc: off.Refs.LocalFraction(), OnLoc: on.Refs.LocalFraction(),
+	}, nil
+}
+
+// ---------------------------------------------------------------------
+// Replication ablation: the paper's protocol replicates read-only pages;
+// Li-style pure migration keeps a single copy. IMatMult, which
+// "emphasizes the value of replicating data that is writable, but that is
+// never written", shows the difference directly.
+// ---------------------------------------------------------------------
+
+// ReplicationResult compares runs with and without read replication.
+type ReplicationResult struct {
+	App           string
+	With, Without metrics.RunResult
+}
+
+// ReplicationCompare measures a workload with replication on and off.
+func ReplicationCompare(opts Options, app string) (ReplicationResult, error) {
+	opts = opts.withDefaults()
+	cfg := opts.config()
+	with, err := metrics.Run(opts.instance(app), metrics.RunSpec{
+		Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
+	})
+	if err != nil {
+		return ReplicationResult{}, err
+	}
+	without, err := metrics.Run(opts.instance(app), metrics.RunSpec{
+		Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
+		NoReplication: true,
+	})
+	if err != nil {
+		return ReplicationResult{}, err
+	}
+	return ReplicationResult{App: app, With: with, Without: without}, nil
+}
+
+// Render formats the comparison.
+func (r ReplicationResult) Render() string {
+	headers := []string{"protocol", "Tuser", "Tsys", "copies", "pins"}
+	rows := [][]string{
+		{"replicate read-only (paper)", fmtF(r.With.UserSec, 3), fmtF(r.With.SysSec, 3),
+			fmt.Sprintf("%d", r.With.NUMA.Copies), fmt.Sprintf("%d", r.With.NUMA.Pins)},
+		{"single copy (migration only)", fmtF(r.Without.UserSec, 3), fmtF(r.Without.SysSec, 3),
+			fmt.Sprintf("%d", r.Without.NUMA.Copies), fmt.Sprintf("%d", r.Without.NUMA.Pins)},
+	}
+	return fmt.Sprintf("Read replication ablation on %s\n", r.App) + renderTable(headers, rows)
+}
+
+// ---------------------------------------------------------------------
+// §4.4 remote references: pragma-placed pages at a home processor versus
+// automatic placement, on a producer with occasional consumers — the
+// "data used frequently by one processor and infrequently by others" case.
+// ---------------------------------------------------------------------
+
+// RemoteResult compares automatic placement against a remote pragma.
+type RemoteResult struct {
+	Auto, Remote metrics.RunResult
+}
+
+// RemoteCompare runs the asymmetric-sharing probe twice.
+func RemoteCompare(opts Options) (RemoteResult, error) {
+	opts = opts.withDefaults()
+	cfg := opts.config()
+	auto, err := metrics.Run(workloads.NewHomeData(0, 0, false), metrics.RunSpec{
+		Config: cfg, Policy: policy.NewPragma(nil), Workers: opts.Workers, Sched: sched.Affinity,
+	})
+	if err != nil {
+		return RemoteResult{}, err
+	}
+	remote, err := metrics.Run(workloads.NewHomeData(0, 0, true), metrics.RunSpec{
+		Config: cfg, Policy: policy.NewPragma(nil), Workers: opts.Workers, Sched: sched.Affinity,
+	})
+	if err != nil {
+		return RemoteResult{}, err
+	}
+	return RemoteResult{Auto: auto, Remote: remote}, nil
+}
+
+// Render formats the comparison.
+func (r RemoteResult) Render() string {
+	headers := []string{"placement", "Tuser", "Tsys", "moves", "pins"}
+	rows := [][]string{
+		{"automatic (threshold)", fmtF(r.Auto.UserSec, 3), fmtF(r.Auto.SysSec, 3),
+			fmt.Sprintf("%d", r.Auto.NUMA.Moves), fmt.Sprintf("%d", r.Auto.NUMA.Pins)},
+		{"remote pragma (§4.4)", fmtF(r.Remote.UserSec, 3), fmtF(r.Remote.SysSec, 3),
+			fmt.Sprintf("%d", r.Remote.NUMA.Moves), fmt.Sprintf("%d", r.Remote.NUMA.Pins)},
+	}
+	return "Remote references (§4.4) on an asymmetric producer/consumer\n" + renderTable(headers, rows)
+}
+
+// ---------------------------------------------------------------------
+// Policy comparison: the paper's never-reconsider Threshold against the
+// §5 Reconsider extension and a PLATINUM-style freeze/defrost policy, on
+// a workload whose sharing pattern changes between phases.
+// ---------------------------------------------------------------------
+
+// PolicyRow is one policy's result on the phase-change probe.
+type PolicyRow struct {
+	Policy    string
+	UserSec   float64
+	SysSec    float64
+	LocalFrac float64
+	Pins      uint64
+}
+
+// PolicyCompare runs the Phased probe under several placement policies.
+func PolicyCompare(opts Options) ([]PolicyRow, error) {
+	opts = opts.withDefaults()
+	cfg := opts.config()
+	pols := []numa.Policy{
+		policy.NewDefault(),
+		policy.NewReconsider(policy.DefaultThreshold, 8),
+		policy.NewFreezeDefrost(0, 0),
+	}
+	var rows []PolicyRow
+	for _, pol := range pols {
+		res, err := metrics.Run(workloads.NewPhased(0, 0, 0), metrics.RunSpec{
+			Config: cfg, Policy: pol, Workers: opts.Workers, Sched: sched.Affinity,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, PolicyRow{
+			Policy:    pol.Name(),
+			UserSec:   res.UserSec,
+			SysSec:    res.SysSec,
+			LocalFrac: res.Refs.LocalFraction(),
+			Pins:      res.NUMA.Pins,
+		})
+	}
+	return rows, nil
+}
+
+// RenderPolicyCompare formats the comparison.
+func RenderPolicyCompare(rows []PolicyRow) string {
+	headers := []string{"policy", "Tuser", "Tsys", "local refs", "pins"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{r.Policy, fmtF(r.UserSec, 3), fmtF(r.SysSec, 3),
+			fmtF(r.LocalFrac, 3), fmt.Sprintf("%d", r.Pins)})
+	}
+	return "Placement policies on a phase-changing workload (shared phase, then partitioned phase)" + "\n" +
+		renderTable(headers, body)
+}
+
+// ---------------------------------------------------------------------
+// Page-size and G/L sweeps (model ablations).
+// ---------------------------------------------------------------------
+
+// PageSizeSweep measures a workload at several page sizes.
+func PageSizeSweep(opts Options, app string, sizes []int) ([]SweepRow, error) {
+	opts = opts.withDefaults()
+	var rows []SweepRow
+	for _, ps := range sizes {
+		cfg := opts.config()
+		cfg.PageSize = ps
+		res, err := metrics.Run(opts.instance(app), metrics.RunSpec{
+			Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SweepRow{
+			Param: fmt.Sprintf("%d", ps),
+			Tnuma: res.UserSec, Snuma: res.SysSec,
+			Pins: res.NUMA.Pins, Moves: res.NUMA.Moves,
+		})
+	}
+	return rows, nil
+}
+
+// GLSweep measures a workload with the global-memory latencies scaled by
+// the given factors (exploring machines with different G/L ratios).
+func GLSweep(opts Options, app string, factors []float64) ([]SweepRow, error) {
+	opts = opts.withDefaults()
+	var rows []SweepRow
+	for _, f := range factors {
+		cfg := opts.config()
+		cfg.Cost.GlobalFetch = sim.Time(float64(cfg.Cost.GlobalFetch) * f)
+		cfg.Cost.GlobalStore = sim.Time(float64(cfg.Cost.GlobalStore) * f)
+		res, err := metrics.Run(opts.instance(app), metrics.RunSpec{
+			Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SweepRow{
+			Param: fmt.Sprintf("%.2f", f),
+			Tnuma: res.UserSec, Snuma: res.SysSec,
+			Pins: res.NUMA.Pins, Moves: res.NUMA.Moves,
+		})
+	}
+	return rows, nil
+}
+
+// QuantumSweep measures sensitivity to the scheduling quantum (an artifact
+// knob of the simulation: finer quanta interleave processors more).
+func QuantumSweep(opts Options, app string, quanta []sim.Time) ([]SweepRow, error) {
+	opts = opts.withDefaults()
+	var rows []SweepRow
+	for _, q := range quanta {
+		cfg := opts.config()
+		cfg.Quantum = q
+		res, err := metrics.Run(opts.instance(app), metrics.RunSpec{
+			Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SweepRow{
+			Param: q.String(),
+			Tnuma: res.UserSec, Snuma: res.SysSec,
+			Pins: res.NUMA.Pins, Moves: res.NUMA.Moves,
+		})
+	}
+	return rows, nil
+}

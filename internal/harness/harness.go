@@ -1,0 +1,160 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation, plus the ablations DESIGN.md calls out. Each experiment
+// builds fresh machines, runs the paper's workloads under the paper's
+// policies, and renders plain-text tables with the paper's published
+// numbers alongside the measured ones.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"numasim/internal/ace"
+	"numasim/internal/metrics"
+	"numasim/internal/workloads"
+)
+
+// Options configures the experiments.
+type Options struct {
+	// NProc is the number of processors for parallel runs (the paper's
+	// Table 4 runs used 7).
+	NProc int
+	// Workers is the number of worker threads (default one per CPU).
+	Workers int
+	// Small selects reduced problem sizes (used by tests; the defaults
+	// are already scaled down from the paper's hours-long runs).
+	Small bool
+	// Threshold is the policy's move limit (default 4).
+	Threshold int
+	// AppSize, when positive, overrides the workload's primary size
+	// parameter (see workloads.NewSized). Sweeps use it to keep repeated
+	// runs quick.
+	AppSize int
+}
+
+// withDefaults fills in defaults.
+func (o Options) withDefaults() Options {
+	if o.NProc <= 0 {
+		o.NProc = 7
+	}
+	if o.Workers <= 0 {
+		o.Workers = o.NProc
+	}
+	return o
+}
+
+// config builds the machine configuration for the options.
+func (o Options) config() ace.Config {
+	cfg := ace.DefaultConfig()
+	cfg.NProc = o.NProc
+	// Lazily allocated frames make the full-size memories cheap, but the
+	// small variant also shrinks them to keep test heaps tiny.
+	if o.Small {
+		cfg.GlobalFrames = 2048
+		cfg.LocalFrames = 1024
+	}
+	return cfg
+}
+
+// instance builds a fresh workload instance by table name.
+func (o Options) instance(name string) metrics.Runner {
+	if o.Small {
+		switch name {
+		case "ParMult":
+			return workloads.NewParMult(60, 80)
+		case "Gfetch":
+			return workloads.NewGfetch(12, 4)
+		case "IMatMult":
+			return workloads.NewIMatMult(24)
+		case "Primes1":
+			return workloads.NewPrimes1(4000)
+		case "Primes2":
+			return workloads.NewPrimes2(8000, true)
+		case "Primes2-untuned":
+			return workloads.NewPrimes2(8000, false)
+		case "Primes3":
+			return workloads.NewPrimes3(60000)
+		case "FFT":
+			return workloads.NewFFT(32)
+		case "PlyTrace":
+			return workloads.NewPlyTrace(160, 128, 128)
+		case "Syscaller":
+			return workloads.NewSyscaller(1200, 40)
+		}
+	}
+	if name == "Syscaller" {
+		return workloads.NewSyscaller(0, 0)
+	}
+	if o.AppSize > 0 {
+		w, err := workloads.NewSized(name, o.AppSize)
+		if err == nil {
+			return w
+		}
+	}
+	w, err := workloads.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// evaluator builds the three-run evaluator for the options.
+func (o Options) evaluator() *metrics.Evaluator {
+	ev := metrics.NewEvaluator()
+	ev.Config = o.config()
+	ev.Workers = o.Workers
+	if o.Threshold > 0 {
+		ev.Threshold = o.Threshold
+	}
+	return ev
+}
+
+// newMachineFor builds a machine for the config (thin indirection so the
+// mix experiment reads naturally).
+func newMachineFor(cfg ace.Config) *ace.Machine { return ace.NewMachine(cfg) }
+
+// fmtF renders a float with sensible precision for the tables.
+func fmtF(v float64, prec int) string {
+	if math.IsNaN(v) {
+		return "na"
+	}
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// renderTable renders a fixed-width text table.
+func renderTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	line(headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}

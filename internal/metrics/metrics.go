@@ -1,0 +1,218 @@
+// Package metrics implements the paper's evaluation methodology (§3.1):
+// the three instrumented runs (T_numa under the placement policy, T_global
+// with all writable data in global memory, T_local single-threaded on a
+// one-processor machine), and the model parameters derived from them —
+//
+//	α = (T_global − T_numa) / (T_global − T_local)          (eq. 4)
+//	β = ((T_global − T_local)/T_local) · (L/(G−L))          (eq. 5)
+//	γ = T_numa / T_local                                    (eq. 1)
+//
+// α resembles a cache hit ratio over references to writable data; β is the
+// fraction of run time an all-local run would spend referencing writable
+// data; γ is the user-time expansion factor.
+//
+// Because the simulator also counts true per-processor reference
+// destinations, each evaluation additionally reports the measured local
+// fraction as a cross-check on the timing-derived α — something the
+// paper's hardware could not do ("Conventional memory-management systems
+// provide no way to measure the relative frequencies of references from
+// processors to pages", §4.4).
+package metrics
+
+import (
+	"fmt"
+
+	"numasim/internal/ace"
+	"numasim/internal/cthreads"
+	"numasim/internal/numa"
+	"numasim/internal/policy"
+	"numasim/internal/sched"
+	"numasim/internal/vm"
+)
+
+// Runner is the workload contract the evaluator needs; the workloads
+// package's Workload satisfies it.
+type Runner interface {
+	Name() string
+	FetchHeavy() bool
+	Run(rt *cthreads.Runtime, nworkers int) error
+}
+
+// RunSpec describes one instrumented run.
+type RunSpec struct {
+	Config   ace.Config
+	Policy   numa.Policy
+	Workers  int
+	Sched    sched.Mode
+	UnixMast bool
+	// NoReplication disables read replication (the replication ablation).
+	NoReplication bool
+}
+
+// RunResult is the outcome of one instrumented run.
+type RunResult struct {
+	Workload  string
+	Policy    string
+	NProc     int
+	Workers   int
+	UserSec   float64
+	SysSec    float64
+	Refs      ace.RefStats
+	NUMA      numa.Stats
+	VM        vm.Stats
+	Faults    uint64
+	MMUEnters uint64
+}
+
+// Run executes one workload on a freshly built machine per spec.
+func Run(w Runner, spec RunSpec) (RunResult, error) {
+	machine := ace.NewMachine(spec.Config)
+	kernel := vm.NewKernel(machine, spec.Policy)
+	kernel.UnixMaster = spec.UnixMast
+	if spec.NoReplication {
+		kernel.NUMA().SetReplication(false)
+	}
+	rt := cthreads.New(kernel, spec.Sched)
+	if err := w.Run(rt, spec.Workers); err != nil {
+		return RunResult{}, fmt.Errorf("metrics: %s under %s: %w", w.Name(), spec.Policy.Name(), err)
+	}
+	var enters uint64
+	for i := 0; i < machine.NProc(); i++ {
+		enters += machine.MMU(i).Stats().Enters
+	}
+	return RunResult{
+		Workload:  w.Name(),
+		Policy:    spec.Policy.Name(),
+		NProc:     spec.Config.NProc,
+		Workers:   spec.Workers,
+		UserSec:   machine.Engine().TotalUserTime().Seconds(),
+		SysSec:    machine.Engine().TotalSysTime().Seconds(),
+		Refs:      machine.TotalRefs(),
+		NUMA:      kernel.NUMA().Stats(),
+		VM:        kernel.Stats(),
+		Faults:    machine.TotalFaults(),
+		MMUEnters: enters,
+	}, nil
+}
+
+// Eval is the paper's per-application evaluation: the three timing runs
+// and the derived model parameters.
+type Eval struct {
+	Workload string
+	// Total user times in (virtual) seconds, §3.1.
+	Tglobal, Tnuma, Tlocal float64
+	// Model parameters.
+	Alpha, Beta, Gamma float64
+	// GOverL is the G/L ratio used in the equations: the fetch-only ratio
+	// (≈2.3) for fetch-heavy applications, the mixed ratio (≈2.0)
+	// otherwise, per §3.2 footnote 3.
+	GOverL float64
+	// System times for the Table 4 overhead analysis, §3.3.
+	Snuma, Sglobal, DeltaS float64
+	// MeasuredLocalFrac is the true fraction of references that hit local
+	// memory in the T_numa run (simulator cross-check; not in the paper).
+	MeasuredLocalFrac float64
+	// Detailed per-run results.
+	NumaRun, GlobalRun, LocalRun RunResult
+}
+
+// Evaluator runs the paper's three-way comparison for workloads.
+type Evaluator struct {
+	// Config is the machine used for the T_numa and T_global runs. The
+	// T_local run uses a single-processor variant of the same machine.
+	Config ace.Config
+	// Workers is the number of worker threads for the parallel runs
+	// (default: one per processor).
+	Workers int
+	// Threshold is the move limit for the placement policy (default 4).
+	Threshold int
+	// Sched selects the scheduling discipline (default affinity).
+	Sched sched.Mode
+}
+
+// NewEvaluator returns an evaluator for the paper's measurement setup:
+// seven processors, the default policy.
+func NewEvaluator() *Evaluator {
+	return &Evaluator{Config: ace.DefaultConfig(), Threshold: policy.DefaultThreshold}
+}
+
+// Evaluate measures one workload: fresh is a factory returning a new
+// instance of the same workload for each of the three runs.
+func (e *Evaluator) Evaluate(fresh func() Runner) (Eval, error) {
+	cfg := e.Config
+	workers := e.Workers
+	if workers <= 0 {
+		workers = cfg.NProc
+	}
+	thr := e.Threshold
+	if thr == 0 {
+		thr = policy.DefaultThreshold
+	}
+
+	wNuma := fresh()
+	numaRun, err := Run(wNuma, RunSpec{Config: cfg, Policy: policy.NewThreshold(thr), Workers: workers, Sched: e.Sched})
+	if err != nil {
+		return Eval{}, err
+	}
+	globalRun, err := Run(fresh(), RunSpec{Config: cfg, Policy: policy.AllGlobal{}, Workers: workers, Sched: e.Sched})
+	if err != nil {
+		return Eval{}, err
+	}
+	// T_local: "running the parallel applications with a single thread on
+	// a single processor system, causing all data to be placed in local
+	// memory" (§3.1).
+	localCfg := cfg
+	localCfg.NProc = 1
+	localRun, err := Run(fresh(), RunSpec{Config: localCfg, Policy: policy.AllLocal{}, Workers: 1, Sched: e.Sched})
+	if err != nil {
+		return Eval{}, err
+	}
+
+	gl := cfg.Cost.GOverL(0.45)
+	if wNuma.FetchHeavy() {
+		gl = cfg.Cost.GOverL(0)
+	}
+	ev := Eval{
+		Workload:  wNuma.Name(),
+		Tglobal:   globalRun.UserSec,
+		Tnuma:     numaRun.UserSec,
+		Tlocal:    localRun.UserSec,
+		GOverL:    gl,
+		Snuma:     numaRun.SysSec,
+		Sglobal:   globalRun.SysSec,
+		DeltaS:    numaRun.SysSec - globalRun.SysSec,
+		NumaRun:   numaRun,
+		GlobalRun: globalRun,
+		LocalRun:  localRun,
+	}
+	ev.MeasuredLocalFrac = numaRun.Refs.LocalFraction()
+	ev.Alpha, ev.Beta, ev.Gamma = Derive(ev.Tglobal, ev.Tnuma, ev.Tlocal, gl)
+	return ev, nil
+}
+
+// Derive computes α, β and γ from the three run times per equations (1),
+// (4) and (5). When T_global and T_local coincide (β = 0), α is undefined;
+// it is reported as NaN-free 0 with β 0, matching the paper's "na" entry
+// for ParMult.
+func Derive(tGlobal, tNuma, tLocal, gOverL float64) (alpha, beta, gamma float64) {
+	gamma = tNuma / tLocal
+	denom := tGlobal - tLocal
+	if denom <= 0 {
+		return 0, 0, gamma
+	}
+	alpha = (tGlobal - tNuma) / denom
+	beta = (denom / tLocal) * (1 / (gOverL - 1))
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return alpha, beta, gamma
+}
+
+// ModelPredictTnuma applies equation (2): the predicted T_numa for given
+// α, β and T_local.
+func ModelPredictTnuma(tLocal, alpha, beta, gOverL float64) float64 {
+	return tLocal * ((1 - beta) + beta*(alpha+(1-alpha)*gOverL))
+}

@@ -1,0 +1,159 @@
+package metrics_test
+
+import (
+	"math"
+	"testing"
+
+	"numasim/internal/ace"
+	"numasim/internal/metrics"
+	"numasim/internal/policy"
+	"numasim/internal/sched"
+	"numasim/internal/workloads"
+)
+
+func TestDeriveMatchesPaperRows(t *testing.T) {
+	// Feed the paper's own published times through equations (1), (4), (5)
+	// and check we recover the published α, β, γ.
+	cases := []struct {
+		name                   string
+		tGlobal, tNuma, tLocal float64
+		gOverL                 float64
+		alpha, beta, gamma     float64
+	}{
+		// Note: the paper prints β=0.26 for IMatMult, but its published
+		// times give (82.1−68.2)/68.2 · 1/1.3 ≈ 0.157 under the G/L=2.3
+		// convention its footnote 3 assigns to IMatMult (and ≈0.20 under
+		// G/L=2). We check the value equation (5) actually yields; see
+		// EXPERIMENTS.md.
+		{"IMatMult", 82.1, 69.0, 68.2, 2.3, 0.94, 0.157, 1.01},
+		{"Primes3", 39.1, 37.4, 28.8, 2.0, 0.17, 0.36, 1.30},
+		{"FFT", 687.4, 449.0, 438.4, 2.0, 0.96, 0.57, 1.02},
+		{"Gfetch", 60.2, 60.2, 26.5, 2.3, 0.0, 0.98, 2.27},
+	}
+	for _, c := range cases {
+		alpha, beta, gamma := metrics.Derive(c.tGlobal, c.tNuma, c.tLocal, c.gOverL)
+		if math.Abs(alpha-c.alpha) > 0.02 {
+			t.Errorf("%s: α = %.3f, want %.2f", c.name, alpha, c.alpha)
+		}
+		if math.Abs(beta-c.beta) > 0.02 {
+			t.Errorf("%s: β = %.3f, want %.2f", c.name, beta, c.beta)
+		}
+		if math.Abs(gamma-c.gamma) > 0.01 {
+			t.Errorf("%s: γ = %.3f, want %.2f", c.name, gamma, c.gamma)
+		}
+	}
+}
+
+func TestDeriveDegenerate(t *testing.T) {
+	// T_global == T_local: β is 0 and α undefined (reported 0).
+	alpha, beta, gamma := metrics.Derive(10, 10, 10, 2)
+	if alpha != 0 || beta != 0 || gamma != 1 {
+		t.Errorf("degenerate derive = %v %v %v", alpha, beta, gamma)
+	}
+}
+
+func TestDeriveClamps(t *testing.T) {
+	// Measurement noise can push Tnuma slightly outside [Tlocal, Tglobal];
+	// α must stay in [0, 1].
+	alpha, _, _ := metrics.Derive(10, 10.5, 9, 2)
+	if alpha != 0 {
+		t.Errorf("α = %v, want clamped to 0", alpha)
+	}
+	alpha, _, _ = metrics.Derive(10, 8.5, 9, 2)
+	if alpha != 1 {
+		t.Errorf("α = %v, want clamped to 1", alpha)
+	}
+}
+
+func TestModelPredictTnuma(t *testing.T) {
+	// Equation (2) must be the inverse of Derive: predicting T_numa from
+	// the derived parameters reproduces the measured T_numa.
+	tGlobal, tNuma, tLocal, gl := 82.1, 69.0, 68.2, 2.3
+	alpha, beta, _ := metrics.Derive(tGlobal, tNuma, tLocal, gl)
+	pred := metrics.ModelPredictTnuma(tLocal, alpha, beta, gl)
+	if math.Abs(pred-tNuma) > 1e-9 {
+		t.Errorf("model round trip: predicted %.6f, measured %.6f", pred, tNuma)
+	}
+	// And with α=0 it must reproduce T_global (equation 3).
+	predG := metrics.ModelPredictTnuma(tLocal, 0, beta, gl)
+	if math.Abs(predG-tGlobal) > 1e-9 {
+		t.Errorf("α=0 prediction %.6f, want T_global %.6f", predG, tGlobal)
+	}
+}
+
+func TestRunCollectsEverything(t *testing.T) {
+	cfg := ace.DefaultConfig()
+	cfg.NProc = 3
+	cfg.GlobalFrames = 512
+	cfg.LocalFrames = 256
+	res, err := metrics.Run(workloads.NewIMatMult(12), metrics.RunSpec{
+		Config: cfg, Policy: policy.NewDefault(), Workers: 3, Sched: sched.Affinity,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "IMatMult" || res.Policy != "threshold(4)" || res.NProc != 3 {
+		t.Errorf("identity fields: %+v", res)
+	}
+	if res.UserSec <= 0 || res.SysSec <= 0 {
+		t.Error("no time accounted")
+	}
+	if res.Refs.Total() == 0 || res.Faults == 0 || res.MMUEnters == 0 {
+		t.Error("no activity counted")
+	}
+}
+
+func TestRunPropagatesWorkloadErrors(t *testing.T) {
+	cfg := ace.DefaultConfig()
+	cfg.NProc = 1
+	cfg.GlobalFrames = 2 // far too small: forces pageout storms; still works
+	cfg.LocalFrames = 2
+	// A workload that fails verification is impossible to fake here, so
+	// instead check the error path with an impossible machine: zero
+	// processors panics inside NewMachine, which Run must not mask.
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic from invalid config")
+		}
+	}()
+	cfg.NProc = 0
+	_, _ = metrics.Run(workloads.NewParMult(2, 2), metrics.RunSpec{
+		Config: cfg, Policy: policy.NewDefault(), Workers: 1, Sched: sched.Affinity,
+	})
+}
+
+func TestEvaluatorEndToEnd(t *testing.T) {
+	ev := metrics.NewEvaluator()
+	cfg := ace.DefaultConfig()
+	cfg.NProc = 3
+	cfg.GlobalFrames = 512
+	cfg.LocalFrames = 256
+	ev.Config = cfg
+	e, err := ev.Evaluate(func() metrics.Runner { return workloads.NewGfetch(6, 4) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Workload != "Gfetch" {
+		t.Errorf("workload = %q", e.Workload)
+	}
+	// Gfetch's invariants hold even at tiny sizes.
+	if e.Beta < 0.9 {
+		t.Errorf("Gfetch β = %.2f, want ≈1", e.Beta)
+	}
+	if e.GOverL < 2.2 || e.GOverL > 2.4 {
+		t.Errorf("fetch-heavy G/L = %.2f, want ≈2.3", e.GOverL)
+	}
+	if e.Tlocal <= 0 || e.Tnuma < e.Tlocal {
+		t.Errorf("times inconsistent: %+v", e)
+	}
+	if e.LocalRun.NProc != 1 || e.LocalRun.Workers != 1 {
+		t.Error("T_local run must use one thread on a one-processor machine")
+	}
+	if e.GlobalRun.Policy != "all-global" || e.LocalRun.Policy != "all-local" {
+		t.Error("baseline policies wrong")
+	}
+	// The cross-check: the true local fraction should be low for Gfetch.
+	if e.MeasuredLocalFrac > 0.3 {
+		t.Errorf("measured local fraction = %.2f, want near 0", e.MeasuredLocalFrac)
+	}
+}

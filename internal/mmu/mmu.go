@@ -1,0 +1,218 @@
+// Package mmu models the per-processor memory management unit of the ACE
+// (the Rosetta-C), as seen through the narrow interface the paper's pmap
+// layer uses: enter a translation, tighten its protection, remove it, and
+// translate on access.
+//
+// The model preserves the hardware quirk the paper leans on: Rosetta allows
+// only a single virtual address per physical page per processor, so entering
+// an aliased mapping silently displaces the previous one, producing later
+// faults that the machine-independent VM system resolves (§2.1, §2.3.1).
+package mmu
+
+import (
+	"fmt"
+
+	"numasim/internal/mem"
+)
+
+// Prot is a page protection: a bitmask of read/write permission.
+type Prot uint8
+
+// Protection values.
+const (
+	ProtNone  Prot = 0
+	ProtRead  Prot = 1 << 0
+	ProtWrite Prot = 1 << 1
+
+	ProtReadWrite = ProtRead | ProtWrite
+)
+
+// CanRead reports whether the protection permits loads.
+func (p Prot) CanRead() bool { return p&ProtRead != 0 }
+
+// CanWrite reports whether the protection permits stores.
+func (p Prot) CanWrite() bool { return p&ProtWrite != 0 }
+
+func (p Prot) String() string {
+	switch p {
+	case ProtNone:
+		return "---"
+	case ProtRead:
+		return "r--"
+	case ProtWrite:
+		return "-w-"
+	case ProtReadWrite:
+		return "rw-"
+	default:
+		return fmt.Sprintf("prot(%d)", uint8(p))
+	}
+}
+
+// Key identifies one translation: the virtual page number qualified by the
+// address space it belongs to (the pmap layer packs a space id into the
+// high bits). The Rosetta-style MMU is an inverted table shared by all
+// address spaces running on its processor.
+type Key uint64
+
+// PTE is one virtual-to-physical translation held by an MMU.
+type PTE struct {
+	Key   Key
+	Frame *mem.Frame
+	Prot  Prot
+}
+
+// Stats counts MMU events of interest to the evaluation.
+type Stats struct {
+	Enters     uint64 // translations installed
+	Removes    uint64 // translations dropped
+	AliasDrops uint64 // translations displaced by the one-VA-per-frame rule
+	Protects   uint64 // protection changes
+}
+
+// MMU is the translation state of a single processor.
+type MMU struct {
+	proc  int
+	pt    map[Key]*PTE        // key -> pte
+	byFrm map[*mem.Frame]*PTE // frame -> its single pte on this processor
+	stats Stats
+
+	// one-entry software "TLB" to make the hot translate path cheap
+	lastKey Key
+	lastPTE *PTE
+}
+
+// New creates the MMU for processor proc.
+func New(proc int) *MMU {
+	return &MMU{
+		proc:  proc,
+		pt:    make(map[Key]*PTE),
+		byFrm: make(map[*mem.Frame]*PTE),
+	}
+}
+
+// Proc reports which processor this MMU belongs to.
+func (m *MMU) Proc() int { return m.proc }
+
+// Stats returns a copy of the MMU's event counters.
+func (m *MMU) Stats() Stats { return m.stats }
+
+func (m *MMU) invalidateTLB() { m.lastPTE = nil }
+
+// Enter installs a translation from vpn to frame with the given protection,
+// replacing any previous translation for vpn. If frame is already mapped at
+// a different virtual address on this processor, that mapping is dropped
+// first (the Rosetta single-VA restriction) and counted in Stats.AliasDrops.
+func (m *MMU) Enter(key Key, frame *mem.Frame, prot Prot) {
+	if frame == nil {
+		panic("mmu: Enter with nil frame")
+	}
+	if prot == ProtNone {
+		panic("mmu: Enter with no permissions")
+	}
+	if old, ok := m.byFrm[frame]; ok && old.Key != key {
+		delete(m.pt, old.Key)
+		delete(m.byFrm, frame)
+		m.stats.AliasDrops++
+	}
+	if old, ok := m.pt[key]; ok {
+		delete(m.byFrm, old.Frame)
+	}
+	pte := &PTE{Key: key, Frame: frame, Prot: prot}
+	m.pt[key] = pte
+	m.byFrm[frame] = pte
+	m.stats.Enters++
+	m.invalidateTLB()
+}
+
+// Remove drops the translation for vpn, if any.
+func (m *MMU) Remove(key Key) {
+	if pte, ok := m.pt[key]; ok {
+		delete(m.pt, key)
+		delete(m.byFrm, pte.Frame)
+		m.stats.Removes++
+		m.invalidateTLB()
+	}
+}
+
+// RemoveFrame drops the translation (there is at most one) mapping frame on
+// this processor. It reports whether a translation existed.
+func (m *MMU) RemoveFrame(frame *mem.Frame) bool {
+	pte, ok := m.byFrm[frame]
+	if !ok {
+		return false
+	}
+	delete(m.pt, pte.Key)
+	delete(m.byFrm, frame)
+	m.stats.Removes++
+	m.invalidateTLB()
+	return true
+}
+
+// Protect changes the protection of the translation for vpn, if present.
+// Raising as well as lowering is permitted; the pmap layer uses lowering to
+// provoke the faults that drive the NUMA protocol.
+func (m *MMU) Protect(key Key, prot Prot) {
+	if pte, ok := m.pt[key]; ok {
+		if prot == ProtNone {
+			m.Remove(key)
+			return
+		}
+		pte.Prot = prot
+		m.stats.Protects++
+		m.invalidateTLB()
+	}
+}
+
+// ProtectFrame changes the protection of the translation mapping frame, if
+// present.
+func (m *MMU) ProtectFrame(frame *mem.Frame, prot Prot) {
+	if pte, ok := m.byFrm[frame]; ok {
+		m.Protect(pte.Key, prot)
+	}
+}
+
+// Lookup returns the translation for vpn, or nil.
+func (m *MMU) Lookup(key Key) *PTE {
+	return m.pt[key]
+}
+
+// LookupFrame returns this processor's translation mapping frame, or nil.
+func (m *MMU) LookupFrame(frame *mem.Frame) *PTE {
+	return m.byFrm[frame]
+}
+
+// Translate resolves an access. It returns the frame to access if the
+// translation exists with sufficient permission, or nil to signal a fault.
+// This is the hot path: it goes through the one-entry TLB first.
+func (m *MMU) Translate(key Key, write bool) *mem.Frame {
+	pte := m.lastPTE
+	if pte == nil || m.lastKey != key {
+		var ok bool
+		pte, ok = m.pt[key]
+		if !ok {
+			return nil
+		}
+		m.lastKey = key
+		m.lastPTE = pte
+	}
+	if write {
+		if !pte.Prot.CanWrite() {
+			return nil
+		}
+	} else if !pte.Prot.CanRead() {
+		return nil
+	}
+	return pte.Frame
+}
+
+// Mappings reports the number of live translations.
+func (m *MMU) Mappings() int { return len(m.pt) }
+
+// RemoveAll drops every translation (used when destroying an address space).
+func (m *MMU) RemoveAll() {
+	n := uint64(len(m.pt))
+	m.pt = make(map[Key]*PTE)
+	m.byFrm = make(map[*mem.Frame]*PTE)
+	m.stats.Removes += n
+	m.invalidateTLB()
+}

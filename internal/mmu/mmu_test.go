@@ -1,0 +1,226 @@
+package mmu
+
+import (
+	"testing"
+
+	"numasim/internal/mem"
+)
+
+func frames(n int) []*mem.Frame {
+	p := mem.NewPool(mem.Global, -1, n, 4096)
+	out := make([]*mem.Frame, n)
+	for i := range out {
+		f, err := p.Alloc()
+		if err != nil {
+			panic(err)
+		}
+		out[i] = f
+	}
+	return out
+}
+
+func TestProtBits(t *testing.T) {
+	if ProtNone.CanRead() || ProtNone.CanWrite() {
+		t.Error("ProtNone grants access")
+	}
+	if !ProtRead.CanRead() || ProtRead.CanWrite() {
+		t.Error("ProtRead wrong")
+	}
+	if !ProtReadWrite.CanRead() || !ProtReadWrite.CanWrite() {
+		t.Error("ProtReadWrite wrong")
+	}
+	for p, want := range map[Prot]string{ProtNone: "---", ProtRead: "r--", ProtWrite: "-w-", ProtReadWrite: "rw-"} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+func TestEnterTranslate(t *testing.T) {
+	f := frames(2)
+	m := New(0)
+	if m.Translate(5, false) != nil {
+		t.Error("translate on empty MMU should fault")
+	}
+	m.Enter(5, f[0], ProtRead)
+	if got := m.Translate(5, false); got != f[0] {
+		t.Errorf("read translate = %v, want %v", got, f[0])
+	}
+	if m.Translate(5, true) != nil {
+		t.Error("write to read-only should fault")
+	}
+	m.Enter(5, f[1], ProtReadWrite) // replace mapping
+	if got := m.Translate(5, true); got != f[1] {
+		t.Errorf("after replace, translate = %v, want %v", got, f[1])
+	}
+	if m.LookupFrame(f[0]) != nil {
+		t.Error("replaced frame should no longer be mapped")
+	}
+}
+
+func TestRosettaAliasRestriction(t *testing.T) {
+	f := frames(1)
+	m := New(0)
+	m.Enter(10, f[0], ProtReadWrite)
+	m.Enter(20, f[0], ProtReadWrite) // same frame, new VA: old VA must drop
+	if m.Translate(10, false) != nil {
+		t.Error("old alias should have been dropped")
+	}
+	if m.Translate(20, true) != f[0] {
+		t.Error("new alias should work")
+	}
+	if s := m.Stats(); s.AliasDrops != 1 {
+		t.Errorf("AliasDrops = %d, want 1", s.AliasDrops)
+	}
+	if m.Mappings() != 1 {
+		t.Errorf("mappings = %d, want 1", m.Mappings())
+	}
+}
+
+func TestReEnterSameVPNSameFrame(t *testing.T) {
+	f := frames(1)
+	m := New(0)
+	m.Enter(10, f[0], ProtRead)
+	m.Enter(10, f[0], ProtReadWrite) // upgrade in place; not an alias drop
+	if s := m.Stats(); s.AliasDrops != 0 {
+		t.Errorf("AliasDrops = %d, want 0", s.AliasDrops)
+	}
+	if m.Translate(10, true) != f[0] {
+		t.Error("upgraded mapping should be writable")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	f := frames(1)
+	m := New(0)
+	m.Enter(7, f[0], ProtRead)
+	m.Remove(7)
+	if m.Translate(7, false) != nil {
+		t.Error("removed mapping still translates")
+	}
+	m.Remove(7) // idempotent
+	if s := m.Stats(); s.Removes != 1 {
+		t.Errorf("Removes = %d, want 1", s.Removes)
+	}
+}
+
+func TestRemoveFrame(t *testing.T) {
+	f := frames(2)
+	m := New(0)
+	m.Enter(1, f[0], ProtRead)
+	m.Enter(2, f[1], ProtRead)
+	if !m.RemoveFrame(f[0]) {
+		t.Error("RemoveFrame should report true for mapped frame")
+	}
+	if m.RemoveFrame(f[0]) {
+		t.Error("RemoveFrame should report false for unmapped frame")
+	}
+	if m.Translate(1, false) != nil {
+		t.Error("frame mapping not removed")
+	}
+	if m.Translate(2, false) != f[1] {
+		t.Error("unrelated mapping disturbed")
+	}
+}
+
+func TestProtect(t *testing.T) {
+	f := frames(1)
+	m := New(0)
+	m.Enter(3, f[0], ProtReadWrite)
+	m.Protect(3, ProtRead) // tighten
+	if m.Translate(3, true) != nil {
+		t.Error("write after tighten should fault")
+	}
+	if m.Translate(3, false) != f[0] {
+		t.Error("read after tighten should succeed")
+	}
+	m.Protect(3, ProtReadWrite) // loosen again
+	if m.Translate(3, true) != f[0] {
+		t.Error("write after loosen should succeed")
+	}
+	m.Protect(3, ProtNone) // equivalent to removal
+	if m.Translate(3, false) != nil {
+		t.Error("ProtNone should remove mapping")
+	}
+	m.Protect(99, ProtRead) // absent: no-op
+}
+
+func TestProtectFrame(t *testing.T) {
+	f := frames(1)
+	m := New(0)
+	m.Enter(3, f[0], ProtReadWrite)
+	m.ProtectFrame(f[0], ProtRead)
+	if m.Translate(3, true) != nil {
+		t.Error("ProtectFrame did not tighten")
+	}
+}
+
+func TestTLBInvalidation(t *testing.T) {
+	f := frames(2)
+	m := New(0)
+	m.Enter(4, f[0], ProtReadWrite)
+	if m.Translate(4, true) != f[0] { // warm the TLB
+		t.Fatal("initial translate failed")
+	}
+	m.Protect(4, ProtRead)
+	if m.Translate(4, true) != nil {
+		t.Error("stale TLB allowed write after Protect")
+	}
+	m.Enter(4, f[1], ProtReadWrite)
+	if m.Translate(4, false) != f[1] {
+		t.Error("stale TLB served old frame after Enter")
+	}
+	m.Remove(4)
+	if m.Translate(4, false) != nil {
+		t.Error("stale TLB served removed mapping")
+	}
+}
+
+func TestRemoveAll(t *testing.T) {
+	f := frames(3)
+	m := New(1)
+	for i, fr := range f {
+		m.Enter(Key(i), fr, ProtRead)
+	}
+	m.RemoveAll()
+	if m.Mappings() != 0 {
+		t.Errorf("mappings after RemoveAll = %d", m.Mappings())
+	}
+	if s := m.Stats(); s.Removes != 3 {
+		t.Errorf("Removes = %d, want 3", s.Removes)
+	}
+}
+
+func TestEnterNilFramePanics(t *testing.T) {
+	m := New(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	m.Enter(0, nil, ProtRead)
+}
+
+func TestEnterNoPermPanics(t *testing.T) {
+	m := New(0)
+	f := frames(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	m.Enter(0, f[0], ProtNone)
+}
+
+func TestLookup(t *testing.T) {
+	f := frames(1)
+	m := New(0)
+	m.Enter(11, f[0], ProtRead)
+	pte := m.Lookup(11)
+	if pte == nil || pte.Frame != f[0] || pte.Prot != ProtRead || pte.Key != 11 {
+		t.Errorf("Lookup = %+v", pte)
+	}
+	if m.Lookup(12) != nil {
+		t.Error("Lookup of absent vpn should be nil")
+	}
+}

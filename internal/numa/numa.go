@@ -1,0 +1,857 @@
+// Package numa implements the paper's primary contribution: the NUMA
+// manager, which maintains the consistency of pages cached in local
+// memories using a directory-based ownership protocol (§2.3.1), and the
+// policy interface through which a NUMA policy directs page placement
+// (§2.3.2).
+//
+// Every logical page is permanently backed by one frame of global memory
+// and may additionally be cached in at most one frame of local memory per
+// processor. A logical page is in one of three states:
+//
+//   - read-only: replicated in zero or more local memories, all mappings
+//     read-only; the global frame holds the authoritative contents.
+//   - local-writable: one local memory holds the (possibly dirty)
+//     authoritative copy; the global frame is stale.
+//   - global-writable: no local copies; everybody accesses global memory.
+//
+// Requests reach the manager from the pmap layer on page faults. For each
+// request the policy answers LOCAL or GLOBAL, and the manager performs the
+// actions of the paper's Table 1 (reads) or Table 2 (writes): some mix of
+// "sync" (copy a dirty local page back to global), "flush" (drop mappings
+// and free local copies), "unmap" (drop mappings to the global frame) and
+// "copy to local".
+package numa
+
+import (
+	"fmt"
+
+	"numasim/internal/ace"
+	"numasim/internal/mem"
+	"numasim/internal/mmu"
+	"numasim/internal/sim"
+)
+
+// State is the consistency state of a logical page.
+type State int
+
+// Logical page states. The first three are §2.3.1's; Remote realizes the
+// §4.4 extension: the page lives permanently in one processor's local
+// memory ("home") and every other processor references it remotely.
+const (
+	ReadOnly State = iota
+	LocalWritable
+	GlobalWritable
+	Remote
+)
+
+func (s State) String() string {
+	switch s {
+	case ReadOnly:
+		return "read-only"
+	case LocalWritable:
+		return "local-writable"
+	case GlobalWritable:
+		return "global-writable"
+	case Remote:
+		return "remote"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Location is a policy's placement answer (§2.3.1: "a single function,
+// cache_policy, that takes a logical page and protection and returns a
+// location: LOCAL or GLOBAL").
+type Location int
+
+// Policy answers. PlaceRemote is the §4.4 extension: place the page in
+// its home processor's local memory and let other processors reference it
+// remotely. It requires a home pragma on the page (the paper: "we see no
+// reasonable way of determining this location without pragmas").
+const (
+	Local Location = iota
+	Global
+	PlaceRemote
+)
+
+func (l Location) String() string {
+	switch l {
+	case Local:
+		return "LOCAL"
+	case Global:
+		return "GLOBAL"
+	case PlaceRemote:
+		return "REMOTE"
+	default:
+		return fmt.Sprintf("location(%d)", int(l))
+	}
+}
+
+// ReconsideringPolicy is a Policy that wants pinned (global-writable)
+// pages re-presented periodically. Because the manager maps pinned pages
+// with full permissions (there is nothing further to learn for the
+// paper's policy), a policy that can unpin needs its mappings dropped now
+// and then so accesses fault and re-consult it. The manager runs an
+// amortized sweep — the moral equivalent of PLATINUM's defrost daemon —
+// dropping mappings of pages that have been pinned and unexamined for the
+// given interval.
+type ReconsideringPolicy interface {
+	Policy
+	ReconsiderInterval() sim.Time
+}
+
+// Policy decides whether a page should be placed in local or global memory.
+// Implementations live in the policy package; the manager works with any.
+type Policy interface {
+	// CachePolicy is consulted on every request the manager handles.
+	// write reports whether the faulting access was a store; maxProt is the
+	// loosest protection the machine-independent VM system permits for the
+	// mapping (the paper's first pmap_enter protection argument).
+	CachePolicy(pg *Page, proc int, write bool, maxProt mmu.Prot) Location
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// Page is the NUMA manager's record for one logical page.
+type Page struct {
+	global *mem.Frame
+	state  State
+	owner  int          // processor holding the local-writable copy, else -1
+	copies []*mem.Frame // per-processor local replica, nil when absent
+
+	moves     int  // ownership transfers in response to writes (§2.3.2)
+	pinned    bool // placed permanently in global memory by the policy
+	lastOwner int  // last processor to hold the page local-writable
+	needZero  bool // lazy zero-fill still pending (§2.3.1)
+
+	// Virtual-time stamps for time-based policies (e.g. the
+	// PLATINUM-style freeze/defrost comparator).
+	lastMove    sim.Time
+	lastRequest sim.Time
+
+	// everWritten supports the paper's observation that read-only logical
+	// pages often hold data that could have been written but never was.
+	everWritten bool
+
+	// hint is an application placement pragma (§4.3). Policies may honour
+	// or ignore it.
+	hint Hint
+	// home is the processor named by a HintRemote pragma (§4.4); -1 when
+	// unset.
+	home int
+}
+
+// Hint is an application-supplied placement pragma (§4.3: "pragmas that
+// would cause a region of virtual memory to be marked cacheable and placed
+// in local memory or marked noncacheable and placed in global memory").
+type Hint int
+
+// Placement hints.
+const (
+	HintNone Hint = iota
+	HintCacheable
+	HintNoncacheable
+	// HintRemote asks for §4.4 remote placement at the page's home
+	// processor (set with SetHome).
+	HintRemote
+)
+
+func (h Hint) String() string {
+	switch h {
+	case HintNone:
+		return "none"
+	case HintCacheable:
+		return "cacheable"
+	case HintNoncacheable:
+		return "noncacheable"
+	case HintRemote:
+		return "remote"
+	default:
+		return fmt.Sprintf("hint(%d)", int(h))
+	}
+}
+
+// Hint returns the page's placement pragma.
+func (p *Page) Hint() Hint { return p.hint }
+
+// SetHint sets the page's placement pragma.
+func (p *Page) SetHint(h Hint) { p.hint = h }
+
+// Home returns the processor named by a remote-placement pragma, or -1.
+func (p *Page) Home() int { return p.home }
+
+// SetHome names the page's home processor for remote placement (§4.4).
+func (p *Page) SetHome(proc int) { p.home = proc }
+
+// GlobalFrame returns the page's permanent global-memory frame.
+func (p *Page) GlobalFrame() *mem.Frame { return p.global }
+
+// State returns the page's consistency state.
+func (p *Page) State() State { return p.state }
+
+// Owner returns the processor holding the local-writable copy, or -1.
+func (p *Page) Owner() int { return p.owner }
+
+// Copy returns processor proc's local replica, or nil.
+func (p *Page) Copy(proc int) *mem.Frame { return p.copies[proc] }
+
+// NCopies reports how many local replicas exist.
+func (p *Page) NCopies() int {
+	n := 0
+	for _, c := range p.copies {
+		if c != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Moves reports how many times the consistency protocol has moved the page
+// between processors in response to writes.
+func (p *Page) Moves() int { return p.moves }
+
+// LastMoveAt reports the virtual time of the page's most recent ownership
+// transfer (zero if it has never moved).
+func (p *Page) LastMoveAt() sim.Time { return p.lastMove }
+
+// LastRequestAt reports the virtual time of the request currently being
+// (or most recently) handled for this page. Policies may compare it with
+// LastMoveAt to reason about recency.
+func (p *Page) LastRequestAt() sim.Time { return p.lastRequest }
+
+// Pinned reports whether the page has been placed permanently in global
+// memory.
+func (p *Page) Pinned() bool { return p.pinned }
+
+// EverWritten reports whether any processor has ever written the page.
+func (p *Page) EverWritten() bool { return p.everWritten }
+
+// Authoritative returns the frame currently holding the true contents of
+// the page: the owner's local copy for local-writable pages, otherwise the
+// global frame.
+func (p *Page) Authoritative() *mem.Frame {
+	switch p.state {
+	case LocalWritable:
+		return p.copies[p.owner]
+	case Remote:
+		return p.copies[p.owner]
+	default:
+		return p.global
+	}
+}
+
+// Stats counts NUMA-manager events.
+type Stats struct {
+	ReadRequests  uint64
+	WriteRequests uint64
+	Syncs         uint64 // dirty local copies written back to global
+	Flushes       uint64 // local copies freed
+	Unmaps        uint64 // global-frame mappings dropped
+	Copies        uint64 // pages copied into a local memory
+	ZeroFills     uint64 // lazy zero-fills performed
+	Moves         uint64 // ownership transfers in response to writes
+	Pins          uint64 // pages pinned into global memory
+	LocalFallback uint64 // LOCAL decisions demoted because local memory was full
+	RemotePlaced  uint64 // pages placed at a home processor (§4.4)
+	RemoteDemoted uint64 // remote placements revoked by a policy change
+	PagesCreated  uint64
+	PagesFreed    uint64
+}
+
+// Manager is the NUMA manager: it owns the consistency protocol for all
+// logical pages of one machine.
+type Manager struct {
+	machine *ace.Machine
+	policy  Policy
+	stats   Stats
+
+	// noReplication disables read replication: a read-only page keeps at
+	// most one local copy, which migrates to its readers (the pure
+	// migration protocol of Li-style systems). Used by the replication
+	// ablation; the paper's system always replicates.
+	noReplication bool
+
+	// Defrost-daemon state for ReconsideringPolicy (see that type).
+	gwPages   []*Page
+	lastSweep sim.Time
+
+	// onAction, when set, receives the paper's action vocabulary as each
+	// protocol action is performed ("sync&flush other", "copy to local",
+	// ...). Used to derive Tables 1 and 2 from the implementation itself.
+	onAction func(string)
+}
+
+// NewManager creates a NUMA manager for machine using the given policy.
+func NewManager(machine *ace.Machine, pol Policy) *Manager {
+	if pol == nil {
+		panic("numa: nil policy")
+	}
+	return &Manager{machine: machine, policy: pol}
+}
+
+// Policy returns the manager's placement policy.
+func (n *Manager) Policy() Policy { return n.policy }
+
+// Stats returns a copy of the manager's counters.
+func (n *Manager) Stats() Stats { return n.stats }
+
+// Machine returns the machine this manager runs on.
+func (n *Manager) Machine() *ace.Machine { return n.machine }
+
+// SetActionHook registers fn to observe protocol actions (for deriving the
+// paper's Tables 1 and 2 and for protocol tests). Pass nil to disable.
+func (n *Manager) SetActionHook(fn func(string)) { n.onAction = fn }
+
+// SetReplication enables or disables read replication (enabled by
+// default). With replication off, read-only pages migrate their single
+// local copy between readers instead of replicating.
+func (n *Manager) SetReplication(enabled bool) { n.noReplication = !enabled }
+
+func (n *Manager) act(s string) {
+	if n.onAction != nil {
+		n.onAction(s)
+	}
+}
+
+// NewPage allocates a fresh logical page backed by a newly allocated global
+// frame. The page starts in the read-only state with no copies and a lazy
+// zero-fill pending. It returns mem.ErrNoFrames when global memory is
+// exhausted (the VM layer then reclaims via pageout).
+func (n *Manager) NewPage() (*Page, error) {
+	f, err := n.machine.Memory().Global().Alloc()
+	if err != nil {
+		return nil, err
+	}
+	// Model invariant, not a charged operation: a reused frame must not leak
+	// the previous page's bytes into the zero-fill semantics. The charged
+	// zero-fill happens lazily at first touch (§2.3.1).
+	f.Zero()
+	pg := &Page{
+		global:    f,
+		state:     ReadOnly,
+		owner:     -1,
+		lastOwner: -1,
+		home:      -1,
+		copies:    make([]*mem.Frame, n.machine.NProc()),
+		needZero:  true,
+	}
+	n.stats.PagesCreated++
+	return pg, nil
+}
+
+// AdoptPage builds a page around existing contents (page-in from backing
+// store). The global frame must already hold the page's data; no zero-fill
+// is pending. NUMA placement state starts fresh, which is how the paper's
+// system reconsiders pinning decisions only across a pageout/pagein cycle
+// (§4.3 footnote 4).
+func (n *Manager) AdoptPage(global *mem.Frame) *Page {
+	pg := &Page{
+		global:    global,
+		state:     ReadOnly,
+		owner:     -1,
+		lastOwner: -1,
+		home:      -1,
+		copies:    make([]*mem.Frame, n.machine.NProc()),
+	}
+	n.stats.PagesCreated++
+	return pg
+}
+
+// MarkZeroFill records that the page must read as zeros on its next
+// materialization (the Mach pmap_zero_page, lazily evaluated per §2.3.1).
+// It may only be applied to a quiescent page.
+func (n *Manager) MarkZeroFill(pg *Page) {
+	if pg.NCopies() != 0 || pg.state != ReadOnly {
+		panic("numa: MarkZeroFill on an active page")
+	}
+	pg.global.Zero()
+	pg.needZero = true
+}
+
+// MarkFilled records that the page's global frame already holds valid data
+// (e.g. after pmap_copy_page or pagein), cancelling any pending lazy
+// zero-fill.
+func (n *Manager) MarkFilled(pg *Page) {
+	pg.needZero = false
+}
+
+// Access handles one request from the pmap layer: processor proc faulted on
+// the page with a load (write=false) or store (write=true). It consults the
+// policy, performs the actions of Table 1 or Table 2, and returns the frame
+// the processor should map together with the strictest protection that
+// resolves the fault (the paper's min-protection, §2.3.3).
+//
+// All protocol costs are charged to th as system time.
+func (n *Manager) Access(th *sim.Thread, pg *Page, proc int, write bool, maxProt mmu.Prot) (*mem.Frame, mmu.Prot) {
+	if write && !maxProt.CanWrite() {
+		panic("numa: write request on non-writable page escaped the VM layer")
+	}
+	cost := n.machine.Cost()
+	th.AdvanceSys(cost.NUMAOp)
+	if write {
+		n.stats.WriteRequests++
+		pg.everWritten = true
+	} else {
+		n.stats.ReadRequests++
+	}
+	pg.lastRequest = th.Clock()
+	n.MaybeSweep(th)
+
+	loc := n.policy.CachePolicy(pg, proc, write, maxProt)
+	if loc == Local && pg.copies[proc] == nil && n.machine.Memory().Local(proc).Free() == 0 {
+		// Local memory exhausted: fall back to a global placement for this
+		// request only (the decision is re-made on the next fault).
+		loc = Global
+		n.stats.LocalFallback++
+	}
+	if loc == PlaceRemote && (pg.home < 0 ||
+		(pg.copies[pg.home] == nil && n.machine.Memory().Local(pg.home).Free() == 0)) {
+		// No home pragma, or the home's local memory is exhausted.
+		loc = Global
+	}
+	// A remote-placed page whose policy answer has changed is demoted
+	// first: its home copy is synced back to global memory and flushed.
+	if pg.state == Remote && loc != PlaceRemote {
+		n.demoteRemote(th, pg, proc)
+	}
+
+	switch {
+	case loc == PlaceRemote:
+		return n.toRemote(th, pg, proc, maxProt)
+	case loc == Global:
+		return n.toGlobal(th, pg, proc, maxProt)
+	case write:
+		return n.writeLocal(th, pg, proc, maxProt)
+	default:
+		return n.readLocal(th, pg, proc)
+	}
+}
+
+// toRemote implements the §4.4 extension: the page is placed in its home
+// processor's local memory; every processor maps that single frame, so the
+// home references it locally and everyone else remotely. The transition
+// rules are the "straightforward extension of the algorithm presented in
+// Section 2" the paper describes.
+func (n *Manager) toRemote(th *sim.Thread, pg *Page, proc int, maxProt mmu.Prot) (*mem.Frame, mmu.Prot) {
+	home := pg.home
+	switch pg.state {
+	case Remote:
+		if pg.owner == home {
+			n.act("no action")
+			return pg.copies[home], maxProt
+		}
+		// The home pragma changed while the page was placed: sync the old
+		// placement away and fall through to re-place at the new home.
+		n.demoteRemote(th, pg, proc)
+	case ReadOnly:
+		n.flushExcept(th, pg, home, "flush other")
+	case LocalWritable:
+		if pg.owner != home {
+			n.syncFlush(th, pg, pg.owner, proc, "sync&flush other")
+		}
+		pg.owner = -1
+	case GlobalWritable:
+		n.unmapAll(th, pg)
+	}
+	f := n.ensureCopy(th, pg, home)
+	pg.state = Remote
+	pg.owner = home
+	n.stats.RemotePlaced++
+	n.act("place at home")
+	return f, maxProt
+}
+
+// demoteRemote revokes a remote placement: the home copy is synced back to
+// the global frame, every processor's mapping of it is dropped, and the
+// frame is freed. The page reverts to the read-only state with no copies.
+func (n *Manager) demoteRemote(th *sim.Thread, pg *Page, requester int) {
+	at := pg.owner
+	src := pg.copies[at]
+	if src == nil {
+		panic("numa: remote page without a placed copy")
+	}
+	cost := n.machine.Cost()
+	pg.global.CopyFrom(src)
+	th.AdvanceSys(cost.CopyCost(src, pg.global, requester, n.machine.PageSize()))
+	n.stats.Syncs++
+	// Every processor may map the home frame; drop them all.
+	for p := 0; p < n.machine.NProc(); p++ {
+		if n.machine.MMU(p).RemoveFrame(src) {
+			th.AdvanceSys(cost.MMUOp)
+		}
+	}
+	n.machine.Memory().Local(at).Release(src)
+	pg.copies[at] = nil
+	n.stats.Flushes++
+	n.stats.RemoteDemoted++
+	pg.state = ReadOnly
+	pg.owner = -1
+	n.act("sync&flush home")
+}
+
+// readLocal implements the LOCAL row of Table 1.
+func (n *Manager) readLocal(th *sim.Thread, pg *Page, proc int) (*mem.Frame, mmu.Prot) {
+	switch pg.state {
+	case ReadOnly:
+		// Desired appearance: one more replica; state unchanged. Under the
+		// no-replication ablation the single copy migrates instead.
+		if n.noReplication && pg.copies[proc] == nil && pg.NCopies() > 0 {
+			n.flushExcept(th, pg, proc, "flush other")
+		}
+		f := n.ensureCopy(th, pg, proc)
+		return f, mmu.ProtRead
+	case GlobalWritable:
+		n.unmapAll(th, pg)
+		f := n.ensureCopy(th, pg, proc)
+		pg.state = ReadOnly
+		return f, mmu.ProtRead
+	case LocalWritable:
+		if pg.owner == proc {
+			n.act("no action")
+			return pg.copies[proc], mmu.ProtRead
+		}
+		n.syncFlush(th, pg, pg.owner, proc, "sync&flush other")
+		f := n.ensureCopy(th, pg, proc)
+		pg.state = ReadOnly
+		pg.owner = -1
+		return f, mmu.ProtRead
+	}
+	panic("numa: bad page state")
+}
+
+// writeLocal implements the LOCAL row of Table 2.
+func (n *Manager) writeLocal(th *sim.Thread, pg *Page, proc int, maxProt mmu.Prot) (*mem.Frame, mmu.Prot) {
+	switch pg.state {
+	case ReadOnly:
+		n.flushExcept(th, pg, proc, "flush other")
+		f := n.ensureCopy(th, pg, proc)
+		n.becomeOwner(pg, proc)
+		return f, maxProt
+	case GlobalWritable:
+		n.unmapAll(th, pg)
+		f := n.ensureCopy(th, pg, proc)
+		// Coming home from global memory is not a transfer between
+		// processors, so it does not count against the move budget.
+		pg.state = LocalWritable
+		pg.owner = proc
+		pg.lastOwner = proc
+		return f, maxProt
+	case LocalWritable:
+		if pg.owner == proc {
+			n.act("no action")
+			return pg.copies[proc], maxProt
+		}
+		n.syncFlush(th, pg, pg.owner, proc, "sync&flush other")
+		f := n.ensureCopy(th, pg, proc)
+		n.becomeOwner(pg, proc)
+		return f, maxProt
+	}
+	panic("numa: bad page state")
+}
+
+// toGlobal implements the GLOBAL rows of Tables 1 and 2.
+func (n *Manager) toGlobal(th *sim.Thread, pg *Page, proc int, maxProt mmu.Prot) (*mem.Frame, mmu.Prot) {
+	switch pg.state {
+	case ReadOnly:
+		n.flushExcept(th, pg, -1, "flush all")
+	case GlobalWritable:
+		n.act("no action")
+	case LocalWritable:
+		if pg.owner == proc {
+			n.syncFlush(th, pg, proc, proc, "sync&flush own")
+		} else {
+			n.syncFlush(th, pg, pg.owner, proc, "sync&flush other")
+		}
+		pg.owner = -1
+	}
+	if pg.state != GlobalWritable {
+		pg.state = GlobalWritable
+		if !pg.pinned {
+			pg.pinned = true
+			n.stats.Pins++
+		}
+		if _, ok := n.policy.(ReconsideringPolicy); ok {
+			n.gwPages = append(n.gwPages, pg)
+		}
+	}
+	if pg.needZero {
+		cost := n.machine.Cost()
+		th.AdvanceSys(cost.ZeroCost(pg.global, proc, n.machine.PageSize()))
+		pg.needZero = false
+		n.stats.ZeroFills++
+	}
+	return pg.global, maxProt
+}
+
+// MaybeSweep implements the defrost daemon: under a ReconsideringPolicy,
+// once per interval it drops every pinned page's mappings, so the next
+// access faults and the policy is consulted again. It is invoked from the
+// fault path and from the scheduler's clock tick (pinned pages do not
+// fault on their own); the sweep's cost is charged to the thread that
+// triggered it, as daemon work billed to system time.
+func (n *Manager) MaybeSweep(th *sim.Thread) {
+	rp, ok := n.policy.(ReconsideringPolicy)
+	if !ok || len(n.gwPages) == 0 {
+		return
+	}
+	interval := rp.ReconsiderInterval()
+	if th.Clock()-n.lastSweep < interval {
+		return
+	}
+	n.lastSweep = th.Clock()
+	live := n.gwPages[:0]
+	for _, pg := range n.gwPages {
+		if pg.state != GlobalWritable {
+			continue // left the pinned state some other way
+		}
+		n.unmapAll(th, pg)
+		th.AdvanceSys(n.machine.Cost().NUMAOp)
+		live = append(live, pg)
+	}
+	n.gwPages = live
+}
+
+// becomeOwner records proc as the page's local-writable owner and counts an
+// ownership transfer when the page last belonged to a different processor
+// ("transfers of page ownership", §2.3.2).
+func (n *Manager) becomeOwner(pg *Page, proc int) {
+	pg.state = LocalWritable
+	pg.owner = proc
+	if pg.lastOwner >= 0 && pg.lastOwner != proc {
+		pg.moves++
+		n.stats.Moves++
+		pg.lastMove = pg.lastRequest
+	}
+	pg.lastOwner = proc
+}
+
+// ensureCopy guarantees that proc holds a local replica of the page,
+// copying from global memory (or performing the pending lazy zero-fill) as
+// needed, and reports the replica's frame. The caller has verified that a
+// local frame is available.
+func (n *Manager) ensureCopy(th *sim.Thread, pg *Page, proc int) *mem.Frame {
+	if f := pg.copies[proc]; f != nil {
+		return f
+	}
+	f, err := n.machine.Memory().Local(proc).Alloc()
+	if err != nil {
+		// Access checked Free() before deciding LOCAL.
+		panic(fmt.Sprintf("numa: local pool %d unexpectedly empty: %v", proc, err))
+	}
+	cost := n.machine.Cost()
+	if pg.needZero {
+		// Lazy zero-fill directly into local memory, avoiding "writing
+		// zeros into global memory and immediately copying them" (§2.3.1).
+		f.Zero()
+		th.AdvanceSys(cost.ZeroCost(f, proc, n.machine.PageSize()))
+		pg.needZero = false
+		n.stats.ZeroFills++
+	} else {
+		f.CopyFrom(pg.global)
+		th.AdvanceSys(cost.CopyCost(pg.global, f, proc, n.machine.PageSize()))
+		n.stats.Copies++
+	}
+	pg.copies[proc] = f
+	n.act("copy to local")
+	return f
+}
+
+// syncFlush copies the dirty local-writable copy held by owner back to the
+// global frame, then flushes that copy. The copy is performed by the
+// faulting processor, so syncing another node's page pays remote-fetch plus
+// global-store per word. The action label distinguishes the paper's
+// "sync&flush own" and "sync&flush other".
+func (n *Manager) syncFlush(th *sim.Thread, pg *Page, owner, requester int, label string) {
+	src := pg.copies[owner]
+	if src == nil {
+		panic("numa: syncFlush without a local copy")
+	}
+	cost := n.machine.Cost()
+	pg.global.CopyFrom(src)
+	th.AdvanceSys(cost.CopyCost(src, pg.global, requester, n.machine.PageSize()))
+	n.stats.Syncs++
+	n.dropCopy(th, pg, owner)
+	n.act(label)
+}
+
+// dropCopy removes owner's replica: drops any mapping to it and releases
+// the local frame.
+func (n *Manager) dropCopy(th *sim.Thread, pg *Page, proc int) {
+	f := pg.copies[proc]
+	if f == nil {
+		return
+	}
+	cost := n.machine.Cost()
+	if n.machine.MMU(proc).RemoveFrame(f) {
+		th.AdvanceSys(cost.MMUOp)
+	}
+	n.machine.Memory().Local(proc).Release(f)
+	pg.copies[proc] = nil
+	n.stats.Flushes++
+}
+
+// flushExcept drops every local replica except keep's (keep == -1 flushes
+// all), and also drops any read-only mappings of the global frame on the
+// flushed processors.
+func (n *Manager) flushExcept(th *sim.Thread, pg *Page, keep int, label string) {
+	cost := n.machine.Cost()
+	acted := false
+	for p := range pg.copies {
+		if p == keep {
+			continue
+		}
+		if pg.copies[p] != nil {
+			n.dropCopy(th, pg, p)
+			acted = true
+		}
+		// A processor may map the global frame read-only (local fallback).
+		if n.machine.MMU(p).RemoveFrame(pg.global) {
+			th.AdvanceSys(cost.MMUOp)
+			acted = true
+		}
+	}
+	if acted {
+		n.act(label)
+	}
+}
+
+// unmapAll drops every processor's mapping of the global frame (used when a
+// global-writable page, which has no local copies, leaves that state). The
+// action is reported unconditionally: it is the protocol step, whether or
+// not translations happen to exist at the moment.
+func (n *Manager) unmapAll(th *sim.Thread, pg *Page) {
+	cost := n.machine.Cost()
+	for p := 0; p < n.machine.NProc(); p++ {
+		if n.machine.MMU(p).RemoveFrame(pg.global) {
+			th.AdvanceSys(cost.MMUOp)
+			n.stats.Unmaps++
+		}
+	}
+	n.act("unmap all")
+}
+
+// MigrateOwner moves a local-writable page's copy from its current owner
+// to a new processor — the §4.7 load-balancing primitive ("we will need to
+// migrate processes to new homes and move their local pages with them").
+// The copy is charged to th at memory speed; pages in other states are
+// left where they are. The transfer does not count against the page's move
+// budget: it is scheduler-initiated, not "in response to writes".
+func (n *Manager) MigrateOwner(th *sim.Thread, pg *Page, newProc int) {
+	if pg.state != LocalWritable || pg.owner == newProc {
+		return
+	}
+	if n.machine.Memory().Local(newProc).Free() == 0 {
+		return // destination full: leave the page; faults will sort it out
+	}
+	src := pg.copies[pg.owner]
+	dst, err := n.machine.Memory().Local(newProc).Alloc()
+	if err != nil {
+		panic(err) // checked above
+	}
+	cfg := n.machine
+	dst.CopyFrom(src)
+	th.AdvanceSys(cfg.Cost().CopyCost(src, dst, newProc, cfg.PageSize()))
+	n.stats.Copies++
+	n.dropCopy(th, pg, pg.owner)
+	pg.copies[newProc] = dst
+	pg.owner = newProc
+	pg.lastOwner = newProc
+}
+
+// PrepareEvict quiesces a page for pageout: syncs a dirty owner copy back
+// to global memory, flushes every replica and drops every mapping. After it
+// returns, the global frame is authoritative and unmapped everywhere.
+func (n *Manager) PrepareEvict(th *sim.Thread, pg *Page) {
+	if pg.state == Remote {
+		n.demoteRemote(th, pg, pg.owner)
+	}
+	if pg.state == LocalWritable {
+		n.syncFlush(th, pg, pg.owner, pg.owner, "sync&flush own")
+		pg.owner = -1
+	}
+	n.flushExcept(th, pg, -1, "flush all")
+	n.unmapAll(th, pg)
+	pg.state = ReadOnly
+}
+
+// CheckInvariants validates the structural invariants of a page's
+// consistency state; tests and the chaos harness call it after protocol
+// operations.
+func (n *Manager) CheckInvariants(pg *Page) error {
+	switch pg.state {
+	case ReadOnly:
+		if pg.owner != -1 {
+			return fmt.Errorf("numa: read-only page has owner %d", pg.owner)
+		}
+	case LocalWritable:
+		if pg.owner < 0 || pg.owner >= n.machine.NProc() {
+			return fmt.Errorf("numa: local-writable page has bad owner %d", pg.owner)
+		}
+		if pg.NCopies() != 1 || pg.copies[pg.owner] == nil {
+			return fmt.Errorf("numa: local-writable page has %d copies (owner %d copy %v)",
+				pg.NCopies(), pg.owner, pg.copies[pg.owner])
+		}
+	case GlobalWritable:
+		if pg.NCopies() != 0 {
+			return fmt.Errorf("numa: global-writable page has %d copies", pg.NCopies())
+		}
+		if pg.owner != -1 {
+			return fmt.Errorf("numa: global-writable page has owner %d", pg.owner)
+		}
+	case Remote:
+		if pg.owner < 0 || pg.copies[pg.owner] == nil || pg.NCopies() != 1 {
+			return fmt.Errorf("numa: remote page placement inconsistent (owner %d, copies %d)",
+				pg.owner, pg.NCopies())
+		}
+	default:
+		return fmt.Errorf("numa: unknown state %v", pg.state)
+	}
+	for p, c := range pg.copies {
+		if c != nil && (c.Kind() != mem.Local || c.Proc() != p) {
+			return fmt.Errorf("numa: copy slot %d holds frame %v", p, c)
+		}
+	}
+	if pg.global == nil || pg.global.Kind() != mem.Global {
+		return fmt.Errorf("numa: bad global frame %v", pg.global)
+	}
+	return nil
+}
+
+// FreeTag is the token returned by FreePage, redeemed by FreePageSync
+// (the paper's lazy pmap_free_page / pmap_free_page_sync pair, §2.3.3).
+type FreeTag struct {
+	pg   *Page
+	done bool
+}
+
+// FreePage starts cleanup of a logical page whose machine-independent frame
+// has been freed: all cache resources are released and cache state reset.
+// The costs are charged when the cleanup is performed; the returned tag
+// lets a reallocation wait for completion.
+func (n *Manager) FreePage(th *sim.Thread, pg *Page) *FreeTag {
+	if pg.state == Remote {
+		n.demoteRemote(th, pg, pg.owner)
+	}
+	for p := range pg.copies {
+		n.dropCopy(th, pg, p)
+		if n.machine.MMU(p).RemoveFrame(pg.global) {
+			th.AdvanceSys(n.machine.Cost().MMUOp)
+		}
+	}
+	n.machine.Memory().Global().Release(pg.global)
+	pg.state = ReadOnly
+	pg.owner = -1
+	pg.pinned = false
+	pg.moves = 0
+	n.stats.PagesFreed++
+	return &FreeTag{pg: pg, done: true}
+}
+
+// FreePageSync waits for the lazy cleanup started by FreePage to complete.
+// In this implementation cleanup is performed eagerly, so the call only
+// validates the tag; the interface shape is the paper's.
+func (n *Manager) FreePageSync(tag *FreeTag) {
+	if tag == nil || !tag.done {
+		panic("numa: FreePageSync on incomplete tag")
+	}
+}

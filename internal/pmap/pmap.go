@@ -1,0 +1,222 @@
+// Package pmap implements the pmap manager of the paper's ACE pmap layer
+// (Figure 2): the module that exports the Mach pmap interface to the
+// machine-independent VM system, translating pmap operations into MMU
+// operations and coordinating the NUMA manager and NUMA policy.
+//
+// The interface carries the paper's three NUMA extensions (§2.3.3):
+//
+//  1. pmap_free_page / pmap_free_page_sync, so cache resources can be
+//     released and cache state reset when page frames are freed;
+//  2. a min/max protection pair on pmap_enter, so the layer may map pages
+//     with the strictest permissions that resolve the fault (provisionally
+//     marking writable pages read-only to keep seeing faults);
+//  3. an explicit target-processor argument on pmap_enter, so mappings are
+//     created only on processors that need them.
+package pmap
+
+import (
+	"fmt"
+
+	"numasim/internal/ace"
+	"numasim/internal/mmu"
+	"numasim/internal/numa"
+	"numasim/internal/sim"
+)
+
+// Pmap holds the virtual-to-physical mappings of one address space (one
+// Mach task). It is a cache: mappings may be dropped or their permissions
+// reduced at almost any time, and will be re-entered on the resulting
+// faults.
+type Pmap struct {
+	mgr     *Manager
+	space   uint32 // address-space id, packed into MMU keys
+	shift   uint   // page shift
+	res     map[uint32]*numa.Page
+	destroy bool
+}
+
+// Manager is the pmap manager: one per machine, coordinating all pmaps.
+type Manager struct {
+	machine   *ace.Machine
+	numa      *numa.Manager
+	nextSpace uint32
+	pmaps     map[uint32]*Pmap
+}
+
+// NewManager creates the pmap manager for machine, placing pages through
+// the NUMA manager nm.
+func NewManager(machine *ace.Machine, nm *numa.Manager) *Manager {
+	return &Manager{
+		machine: machine,
+		numa:    nm,
+		pmaps:   make(map[uint32]*Pmap),
+	}
+}
+
+// NUMA returns the NUMA manager this pmap manager drives.
+func (m *Manager) NUMA() *numa.Manager { return m.numa }
+
+// Machine returns the underlying machine.
+func (m *Manager) Machine() *ace.Machine { return m.machine }
+
+// Create makes a new pmap (a new address space).
+func (m *Manager) Create() *Pmap {
+	p := &Pmap{
+		mgr:   m,
+		space: m.nextSpace,
+		shift: m.machine.PageShift(),
+		res:   make(map[uint32]*numa.Page),
+	}
+	m.nextSpace++
+	m.pmaps[p.space] = p
+	return p
+}
+
+// Destroy removes every mapping of the pmap and retires it.
+func (m *Manager) Destroy(th *sim.Thread, p *Pmap) {
+	for vpn := range p.res {
+		p.removeVPN(th, vpn)
+	}
+	p.destroy = true
+	delete(m.pmaps, p.space)
+}
+
+// Space returns the pmap's address-space id.
+func (p *Pmap) Space() uint32 { return p.space }
+
+// Key composes the MMU key for virtual address va in this address space.
+func (p *Pmap) Key(va uint32) mmu.Key {
+	return mmu.Key(p.space)<<32 | mmu.Key(va>>p.shift)
+}
+
+func (p *Pmap) keyOfVPN(vpn uint32) mmu.Key {
+	return mmu.Key(p.space)<<32 | mmu.Key(vpn)
+}
+
+// Resident returns the logical page resident at va, or nil. The pmap is a
+// cache; absence means only that no mapping was entered through this pmap.
+func (p *Pmap) Resident(va uint32) *numa.Page {
+	return p.res[va>>p.shift]
+}
+
+// Enter resolves a fault: it establishes a translation for va on processor
+// proc, placing the page through the NUMA policy. maxProt is the loosest
+// protection machine-independent code permits; minProt the strictest that
+// resolves the faulting access. Costs are charged to th as system time.
+func (p *Pmap) Enter(th *sim.Thread, proc int, va uint32, pg *numa.Page, maxProt, minProt mmu.Prot) {
+	if p.destroy {
+		panic("pmap: Enter on destroyed pmap")
+	}
+	if minProt&^maxProt != 0 {
+		panic(fmt.Sprintf("pmap: min protection %v exceeds max %v", minProt, maxProt))
+	}
+	write := minProt.CanWrite()
+	frame, prot := p.mgr.numa.Access(th, pg, proc, write, maxProt)
+
+	hw := p.mgr.machine.MMU(proc)
+	key := p.Key(va)
+	// Never downgrade an existing stronger mapping to the same frame: the
+	// NUMA manager answers with the strictest permission for the request,
+	// but a surviving looser mapping means no state change was needed.
+	if existing := hw.Lookup(key); existing != nil && existing.Frame == frame {
+		prot |= existing.Prot
+	}
+	hw.Enter(key, frame, prot)
+	th.AdvanceSys(p.mgr.machine.Cost().MMUOp)
+	p.res[va>>p.shift] = pg
+}
+
+// Protect tightens (or loosens) the protection of all resident pages in
+// [va, va+len) to prot on every processor. With ProtNone it removes the
+// mappings, per the Mach pmap_protect semantics.
+func (p *Pmap) Protect(th *sim.Thread, va, length uint32, prot mmu.Prot) {
+	cost := p.mgr.machine.Cost()
+	first := va >> p.shift
+	last := (va + length - 1) >> p.shift
+	for vpn := first; vpn <= last; vpn++ {
+		if _, ok := p.res[vpn]; !ok {
+			continue
+		}
+		key := p.keyOfVPN(vpn)
+		for i := 0; i < p.mgr.machine.NProc(); i++ {
+			p.mgr.machine.MMU(i).Protect(key, prot)
+			th.AdvanceSys(cost.MMUOp)
+		}
+		if prot == mmu.ProtNone {
+			delete(p.res, vpn)
+		}
+	}
+}
+
+// Remove drops all mappings in [va, va+len) on every processor.
+func (p *Pmap) Remove(th *sim.Thread, va, length uint32) {
+	first := va >> p.shift
+	last := (va + length - 1) >> p.shift
+	for vpn := first; vpn <= last; vpn++ {
+		if _, ok := p.res[vpn]; ok {
+			p.removeVPN(th, vpn)
+		}
+	}
+}
+
+func (p *Pmap) removeVPN(th *sim.Thread, vpn uint32) {
+	key := p.keyOfVPN(vpn)
+	cost := p.mgr.machine.Cost()
+	for i := 0; i < p.mgr.machine.NProc(); i++ {
+		p.mgr.machine.MMU(i).Remove(key)
+		th.AdvanceSys(cost.MMUOp)
+	}
+	delete(p.res, vpn)
+}
+
+// RemoveAll removes a single logical page from every pmap on every
+// processor (the Mach pmap_remove_all, used by pageout). It quiesces the
+// page through the NUMA manager, which also syncs dirty copies back to
+// global memory.
+func (m *Manager) RemoveAll(th *sim.Thread, pg *numa.Page) {
+	m.numa.PrepareEvict(th, pg)
+	for _, p := range m.pmaps {
+		for vpn, rpg := range p.res {
+			if rpg == pg {
+				delete(p.res, vpn)
+			}
+		}
+	}
+}
+
+// ZeroPage records that a page must read as zeros. Zero-filling is lazily
+// evaluated: the zeros are written at pmap_enter time, once the target
+// processor is known, "to avoid writing zeros into global memory and
+// immediately copying them" (§2.3.1).
+func (m *Manager) ZeroPage(pg *numa.Page) {
+	m.numa.MarkZeroFill(pg)
+}
+
+// CopyPage copies the current contents of src into dst's global frame on
+// behalf of processor proc (the Mach pmap_copy_page).
+func (m *Manager) CopyPage(th *sim.Thread, src, dst *numa.Page, proc int) {
+	from := src.Authoritative()
+	to := dst.GlobalFrame()
+	to.CopyFrom(from)
+	m.numa.MarkFilled(dst)
+	th.AdvanceSys(m.machine.Cost().CopyCost(from, to, proc, m.machine.PageSize()))
+}
+
+// FreePage starts lazy cleanup of a freed logical page and returns a tag
+// (the paper's pmap_free_page).
+func (m *Manager) FreePage(th *sim.Thread, pg *numa.Page) *numa.FreeTag {
+	for _, p := range m.pmaps {
+		for vpn, rpg := range p.res {
+			if rpg == pg {
+				delete(p.res, vpn)
+			}
+		}
+	}
+	return m.numa.FreePage(th, pg)
+}
+
+// FreePageSync waits for cleanup started by FreePage to complete (the
+// paper's pmap_free_page_sync).
+func (m *Manager) FreePageSync(tag *numa.FreeTag) {
+	m.numa.FreePageSync(tag)
+}

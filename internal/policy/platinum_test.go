@@ -1,0 +1,103 @@
+package policy_test
+
+import (
+	"strings"
+	"testing"
+
+	"numasim/internal/ace"
+	"numasim/internal/mmu"
+	"numasim/internal/numa"
+	"numasim/internal/policy"
+	"numasim/internal/sim"
+)
+
+// TestFreezeDefrostLifecycle drives a page through the freeze/defrost
+// cycle: ping-pong writes freeze it in global memory; after the page sits
+// quiet past the defrost time, it becomes cacheable again.
+func TestFreezeDefrostLifecycle(t *testing.T) {
+	cfg := ace.DefaultConfig()
+	cfg.NProc = 2
+	cfg.GlobalFrames = 16
+	cfg.LocalFrames = 16
+	m := ace.NewMachine(cfg)
+	pol := policy.NewFreezeDefrost(20*sim.Millisecond, 100*sim.Millisecond)
+	n := numa.NewManager(m, pol)
+	if !strings.Contains(pol.Name(), "freeze-defrost") {
+		t.Errorf("name = %q", pol.Name())
+	}
+	m.Engine().Spawn("t", 0, func(th *sim.Thread) {
+		pg, _ := n.NewPage()
+		// Rapid ping-pong: each write lands within the freeze window of
+		// the previous move.
+		n.Access(th, pg, 0, true, mmu.ProtReadWrite)
+		n.Access(th, pg, 1, true, mmu.ProtReadWrite) // move 1
+		n.Access(th, pg, 0, true, mmu.ProtReadWrite) // move 2: recent -> could freeze next
+		n.Access(th, pg, 1, true, mmu.ProtReadWrite)
+		if pg.State() != numa.GlobalWritable {
+			t.Fatalf("hot page state = %v, want frozen in global memory", pg.State())
+		}
+		// While frozen and still being touched... stay frozen only while
+		// within the defrost time of the last move.
+		th.Advance(30 * sim.Millisecond)
+		n.Access(th, pg, 0, true, mmu.ProtReadWrite)
+		if pg.State() != numa.GlobalWritable {
+			t.Fatalf("page defrosted too early: %v", pg.State())
+		}
+		// Quiet period beyond the defrost time: cacheable again.
+		th.Advance(150 * sim.Millisecond)
+		n.Access(th, pg, 0, true, mmu.ProtReadWrite)
+		if pg.State() != numa.LocalWritable {
+			t.Fatalf("page did not defrost: %v", pg.State())
+		}
+	})
+	if err := m.Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreezeDefrostDefaults(t *testing.T) {
+	p := policy.NewFreezeDefrost(0, 0)
+	if p.FreezeWindow != 20*sim.Millisecond || p.DefrostAfter != 200*sim.Millisecond {
+		t.Errorf("defaults = %v %v", p.FreezeWindow, p.DefrostAfter)
+	}
+}
+
+// TestFreezeDefrostAdaptsToPhases shows the behavioural difference from
+// Threshold: after a sharing phase ends, FreezeDefrost lets the page come
+// home, while the paper's policy keeps it pinned forever.
+func TestFreezeDefrostAdaptsToPhases(t *testing.T) {
+	measure := func(pol numa.Policy) numa.State {
+		cfg := ace.DefaultConfig()
+		cfg.NProc = 2
+		cfg.GlobalFrames = 16
+		cfg.LocalFrames = 16
+		m := ace.NewMachine(cfg)
+		n := numa.NewManager(m, pol)
+		var state numa.State
+		m.Engine().Spawn("t", 0, func(th *sim.Thread) {
+			pg, _ := n.NewPage()
+			// Phase 1: heavy sharing.
+			for i := 0; i < 8; i++ {
+				n.Access(th, pg, i%2, true, mmu.ProtReadWrite)
+				th.Advance(100 * sim.Microsecond)
+			}
+			// Phase 2: long quiet, then single-processor use.
+			th.Advance(300 * sim.Millisecond)
+			for i := 0; i < 5; i++ {
+				n.Access(th, pg, 0, true, mmu.ProtReadWrite)
+				th.Advance(100 * sim.Microsecond)
+			}
+			state = pg.State()
+		})
+		if err := m.Engine().Run(); err != nil {
+			t.Fatal(err)
+		}
+		return state
+	}
+	if got := measure(policy.NewDefault()); got != numa.GlobalWritable {
+		t.Errorf("threshold policy after phase change: %v, want still pinned", got)
+	}
+	if got := measure(policy.NewFreezeDefrost(20*sim.Millisecond, 200*sim.Millisecond)); got != numa.LocalWritable {
+		t.Errorf("freeze-defrost after phase change: %v, want back in local memory", got)
+	}
+}

@@ -1,0 +1,205 @@
+// Package policy provides NUMA placement policies: implementations of the
+// numa.Policy interface that the pmap layer's NUMA manager consults on
+// every request.
+//
+// The paper's production policy is Threshold (§2.3.2): place every page in
+// local memory until the consistency protocol has moved it between
+// processors, in response to writes, more than a fixed number of times,
+// then pin it in global memory forever. AllGlobal and AllLocal are the
+// instrumentation policies used to measure the T_global and T_local
+// baselines (§3.1); Pragma and Reconsider realize two extensions the paper
+// discusses (§4.3, §5).
+package policy
+
+import (
+	"fmt"
+	"math"
+
+	"numasim/internal/mmu"
+	"numasim/internal/numa"
+	"numasim/internal/sim"
+)
+
+// DefaultThreshold is the paper's default move limit ("a system-wide
+// boot-time parameter which defaults to four").
+const DefaultThreshold = 4
+
+// Threshold is the paper's placement policy: LOCAL for any page that has
+// not used up its threshold number of page moves, GLOBAL for any page that
+// has.
+type Threshold struct {
+	Limit int
+}
+
+// NewThreshold returns the paper's policy with the given move limit.
+func NewThreshold(limit int) *Threshold {
+	if limit < 0 {
+		panic(fmt.Sprintf("policy: negative threshold %d", limit))
+	}
+	return &Threshold{Limit: limit}
+}
+
+// NewDefault returns the paper's policy with its default limit of four.
+func NewDefault() *Threshold { return NewThreshold(DefaultThreshold) }
+
+// CachePolicy implements numa.Policy.
+func (t *Threshold) CachePolicy(pg *numa.Page, proc int, write bool, maxProt mmu.Prot) numa.Location {
+	if pg.Moves() >= t.Limit {
+		return numa.Global
+	}
+	return numa.Local
+}
+
+// Name implements numa.Policy.
+func (t *Threshold) Name() string {
+	if t.Limit == math.MaxInt {
+		return "never-pin"
+	}
+	return fmt.Sprintf("threshold(%d)", t.Limit)
+}
+
+// NeverPin returns a policy that caches pages locally no matter how often
+// they move — the degenerate Threshold with an unreachable limit. Writably
+// shared pages ping-pong between local memories forever.
+func NeverPin() *Threshold { return &Threshold{Limit: math.MaxInt} }
+
+// AllGlobal is the baseline policy used for the paper's T_global runs:
+// every writable page lives in global memory. Read-only pages are still
+// replicated, since "most reasonable NUMA systems will replicate read-only
+// data and code" (§3.1).
+type AllGlobal struct{}
+
+// CachePolicy implements numa.Policy.
+func (AllGlobal) CachePolicy(pg *numa.Page, proc int, write bool, maxProt mmu.Prot) numa.Location {
+	if maxProt.CanWrite() {
+		return numa.Global
+	}
+	return numa.Local
+}
+
+// Name implements numa.Policy.
+func (AllGlobal) Name() string { return "all-global" }
+
+// AllLocal is the baseline policy used for the paper's T_local runs on a
+// single-processor machine: every page is placed in local memory.
+type AllLocal struct{}
+
+// CachePolicy implements numa.Policy.
+func (AllLocal) CachePolicy(pg *numa.Page, proc int, write bool, maxProt mmu.Prot) numa.Location {
+	return numa.Local
+}
+
+// Name implements numa.Policy.
+func (AllLocal) Name() string { return "all-local" }
+
+// Pragma honours application placement pragmas (§4.3, §4.4): pages hinted
+// cacheable are always placed locally, pages hinted noncacheable always
+// globally, pages hinted remote at their home processor, and unhinted
+// pages fall through to an underlying policy.
+type Pragma struct {
+	Fallback numa.Policy
+}
+
+// NewPragma returns a pragma-honouring policy over fallback (the paper's
+// Threshold default if fallback is nil).
+func NewPragma(fallback numa.Policy) *Pragma {
+	if fallback == nil {
+		fallback = NewDefault()
+	}
+	return &Pragma{Fallback: fallback}
+}
+
+// CachePolicy implements numa.Policy.
+func (p *Pragma) CachePolicy(pg *numa.Page, proc int, write bool, maxProt mmu.Prot) numa.Location {
+	switch pg.Hint() {
+	case numa.HintCacheable:
+		return numa.Local
+	case numa.HintNoncacheable:
+		return numa.Global
+	case numa.HintRemote:
+		return numa.PlaceRemote
+	default:
+		return p.Fallback.CachePolicy(pg, proc, write, maxProt)
+	}
+}
+
+// Name implements numa.Policy.
+func (p *Pragma) Name() string { return "pragma+" + p.Fallback.Name() }
+
+// Reconsider is the §5 extension: like Threshold, but every Period requests
+// that find a page pinned it forgives the page's accumulated moves, giving
+// the page another chance to live in local memory. This models
+// "periodically reconsidering the decision to pin a page in global memory".
+type Reconsider struct {
+	Limit  int
+	Period int
+	// Interval is how often the NUMA manager's daemon drops pinned pages'
+	// mappings so this policy sees them again (without it, a pinned page
+	// never faults and is never reconsidered).
+	Interval sim.Time
+
+	globalHits map[*numa.Page]int
+	forgiven   map[*numa.Page]int
+}
+
+// NewReconsider returns a reconsidering policy.
+func NewReconsider(limit, period int) *Reconsider {
+	if limit < 0 || period < 1 {
+		panic(fmt.Sprintf("policy: bad reconsider parameters limit=%d period=%d", limit, period))
+	}
+	return &Reconsider{
+		Limit:      limit,
+		Period:     period,
+		Interval:   50 * sim.Millisecond,
+		globalHits: make(map[*numa.Page]int),
+		forgiven:   make(map[*numa.Page]int),
+	}
+}
+
+// CachePolicy implements numa.Policy.
+func (r *Reconsider) CachePolicy(pg *numa.Page, proc int, write bool, maxProt mmu.Prot) numa.Location {
+	effective := pg.Moves() - r.forgiven[pg]
+	if effective < r.Limit {
+		return numa.Local
+	}
+	r.globalHits[pg]++
+	if r.globalHits[pg] >= r.Period {
+		r.globalHits[pg] = 0
+		r.forgiven[pg] = pg.Moves()
+		return numa.Local
+	}
+	return numa.Global
+}
+
+// Name implements numa.Policy.
+func (r *Reconsider) Name() string {
+	return fmt.Sprintf("reconsider(%d,%d)", r.Limit, r.Period)
+}
+
+// ReconsiderInterval implements numa.ReconsideringPolicy.
+func (r *Reconsider) ReconsiderInterval() sim.Time { return r.Interval }
+
+// Forced answers a fixed location for every request. It exists for protocol
+// tests and for deriving the paper's Tables 1 and 2, where each row is "the
+// policy said LOCAL" or "the policy said GLOBAL".
+type Forced struct {
+	Answer numa.Location
+}
+
+// CachePolicy implements numa.Policy.
+func (f *Forced) CachePolicy(pg *numa.Page, proc int, write bool, maxProt mmu.Prot) numa.Location {
+	return f.Answer
+}
+
+// Name implements numa.Policy.
+func (f *Forced) Name() string { return "forced-" + f.Answer.String() }
+
+// Compile-time interface checks.
+var (
+	_ numa.Policy = (*Threshold)(nil)
+	_ numa.Policy = AllGlobal{}
+	_ numa.Policy = AllLocal{}
+	_ numa.Policy = (*Pragma)(nil)
+	_ numa.Policy = (*Reconsider)(nil)
+	_ numa.Policy = (*Forced)(nil)
+)

@@ -1,0 +1,99 @@
+// Package sched models the processor scheduler the paper modified for
+// NUMA (§4.7): each newly created thread is bound to a processor —
+// assigned sequentially by processor number, skipping processors that are
+// busy unless all are busy — and executes everything there (processor
+// affinity).
+//
+// The original Mach scheduler kept a single queue of runnable processes
+// from which available processors picked, so "processes moved between
+// processors far too often"; NoAffinity mode reproduces that behaviour for
+// the affinity ablation (E11) by migrating a thread to the next processor
+// at every scheduling quantum.
+package sched
+
+import (
+	"numasim/internal/sim"
+	"numasim/internal/vm"
+)
+
+// Mode selects the scheduling discipline.
+type Mode int
+
+// Scheduling modes.
+const (
+	// Affinity is the paper's modified scheduler: bind at creation, stay.
+	Affinity Mode = iota
+	// NoAffinity approximates the original Mach single-queue scheduler:
+	// threads hop processors at quantum boundaries.
+	NoAffinity
+)
+
+func (m Mode) String() string {
+	if m == Affinity {
+		return "affinity"
+	}
+	return "no-affinity"
+}
+
+// Scheduler assigns simulated threads to processors.
+type Scheduler struct {
+	kernel *vm.Kernel
+	mode   Mode
+	live   []int // live thread count per processor
+	next   int   // next processor for sequential assignment
+}
+
+// New creates a scheduler for the kernel's machine.
+func New(k *vm.Kernel, mode Mode) *Scheduler {
+	return &Scheduler{
+		kernel: k,
+		mode:   mode,
+		live:   make([]int, k.Machine().NProc()),
+	}
+}
+
+// Mode returns the scheduling discipline.
+func (s *Scheduler) Mode() Mode { return s.mode }
+
+// pick assigns a processor for a new thread: sequentially by number,
+// skipping busy processors unless all are busy (§4.7).
+func (s *Scheduler) pick() int {
+	n := len(s.live)
+	for i := 0; i < n; i++ {
+		p := (s.next + i) % n
+		if s.live[p] == 0 {
+			s.next = (p + 1) % n
+			return p
+		}
+	}
+	p := s.next % n
+	s.next = (p + 1) % n
+	return p
+}
+
+// Spawn creates a simulated thread running fn in task, bound to a
+// processor chosen by the affinity rule. start is the thread's initial
+// virtual time (pass the spawner's clock when forking from a running
+// thread, 0 at program start).
+func (s *Scheduler) Spawn(name string, task *vm.Task, start sim.Time, fn func(*vm.Context)) *sim.Thread {
+	proc := s.pick()
+	s.live[proc]++
+	return s.kernel.Machine().Engine().Spawn(name, start, func(th *sim.Thread) {
+		defer func() { s.live[proc]-- }()
+		c := vm.NewContext(s.kernel, task, th, proc)
+		if s.mode == NoAffinity {
+			c.OnQuantum = s.hop
+		}
+		fn(c)
+	})
+}
+
+// hop migrates a thread to the next processor in round-robin order, the
+// locality-destroying behaviour of a single global run queue.
+func (s *Scheduler) hop(c *vm.Context) {
+	c.MigrateTo((c.Proc() + 1) % s.kernel.Machine().NProc())
+	c.Thread().Yield()
+}
+
+// Live reports the number of live threads bound to processor p.
+func (s *Scheduler) Live(p int) int { return s.live[p] }

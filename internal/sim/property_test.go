@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestUserTimeConservation: total user time equals the sum of all Advance
+// calls, no matter how threads interleave, block or share processors.
+func TestUserTimeConservation(t *testing.T) {
+	prop := func(seed int64, nThreads uint8, nOps uint8) bool {
+		n := int(nThreads)%5 + 1
+		ops := int(nOps)%40 + 1
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		cpu := &Resource{Name: "cpu"}
+		var want Time
+		plans := make([][]Time, n)
+		for i := range plans {
+			for j := 0; j < ops; j++ {
+				d := Time(rng.Intn(1000)) * Microsecond
+				plans[i] = append(plans[i], d)
+				want += d
+			}
+		}
+		for i := 0; i < n; i++ {
+			i := i
+			e.Spawn("t", Time(rng.Intn(100))*Microsecond, func(th *Thread) {
+				if i%2 == 0 {
+					th.Bind(cpu) // half the threads share one processor
+				}
+				for _, d := range plans[i] {
+					th.Advance(d)
+					if d%3 == 0 {
+						th.Yield()
+					}
+					if d%7 == 0 {
+						th.Idle(d / 2)
+					}
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return e.TotalUserTime() == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClockMonotonic: a thread's clock never decreases across any sequence
+// of engine operations.
+func TestClockMonotonic(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		cpus := []*Resource{{Name: "a"}, {Name: "b"}}
+		ok := true
+		for i := 0; i < 3; i++ {
+			e.Spawn("t", 0, func(th *Thread) {
+				last := th.Clock()
+				check := func() {
+					if th.Clock() < last {
+						ok = false
+					}
+					last = th.Clock()
+				}
+				for j := 0; j < 30; j++ {
+					switch rng.Intn(4) {
+					case 0:
+						th.Advance(Time(rng.Intn(500)) * Microsecond)
+					case 1:
+						th.Yield()
+					case 2:
+						th.Bind(cpus[rng.Intn(2)])
+					case 3:
+						th.AdvanceSys(Time(rng.Intn(200)) * Microsecond)
+					}
+					check()
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestResourceSerialization: two threads bound to one resource never
+// overlap — the sum of their busy times never exceeds the final clock.
+func TestResourceSerialization(t *testing.T) {
+	e := NewEngine()
+	cpu := &Resource{Name: "cpu"}
+	var busy Time
+	var maxClock Time
+	for i := 0; i < 4; i++ {
+		e.Spawn("t", 0, func(th *Thread) {
+			th.Bind(cpu)
+			for j := 0; j < 10; j++ {
+				th.Advance(100 * Microsecond)
+				busy += 100 * Microsecond
+				th.Yield()
+			}
+			if th.Clock() > maxClock {
+				maxClock = th.Clock()
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if busy > maxClock {
+		t.Errorf("busy time %v exceeds elapsed %v: threads overlapped on one CPU", busy, maxClock)
+	}
+	if maxClock != 4*10*100*Microsecond {
+		t.Errorf("elapsed %v, want exactly the serialized work", maxClock)
+	}
+}

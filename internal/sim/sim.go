@@ -1,0 +1,437 @@
+// Package sim provides a deterministic discrete-event execution engine for
+// virtual-time threads.
+//
+// Each simulated thread runs in its own goroutine, but the engine resumes
+// exactly one thread at a time: always the ready thread with the smallest
+// effective virtual clock (ties broken by yield order). The simulation is
+// therefore single-threaded in effect — shared simulation state needs no
+// locking — and completely deterministic for a given program.
+//
+// Threads advance their own clocks explicitly (Advance, AdvanceSys) and give
+// up control explicitly (Yield, Block). A thread may be bound to an exclusive
+// Resource (a simulated processor): while one thread runs on a resource, any
+// other thread bound to it cannot start before the first yields, which models
+// time-slicing without preemption.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is a point in (or span of) virtual time, in nanoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time in the most readable unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// State is a thread's scheduling state.
+type State int
+
+// Thread states.
+const (
+	Ready State = iota
+	Running
+	Blocked
+	Done
+)
+
+func (s State) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Running:
+		return "running"
+	case Blocked:
+		return "blocked"
+	case Done:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// ErrAborted is the error reported by threads torn down because another
+// thread failed or the engine was stopped.
+var ErrAborted = errors.New("sim: thread aborted")
+
+// abortSignal unwinds a simulated thread's stack during engine teardown.
+type abortSignal struct{}
+
+// Resource is an exclusive unit of execution (a simulated processor). A
+// thread bound to a Resource cannot begin running before the resource's
+// previous occupant has yielded.
+type Resource struct {
+	Name   string
+	freeAt Time
+}
+
+// FreeAt reports the virtual time at which the resource next becomes free.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+type resumeMsg struct {
+	abort bool
+}
+
+// Thread is a simulated thread of control.
+type Thread struct {
+	engine *Engine
+	id     int
+	name   string
+	state  State
+
+	clock Time // thread-local virtual "now"
+	user  Time // accumulated user time
+	sys   Time // accumulated system time
+
+	res *Resource // bound processor, may be nil
+
+	seq    uint64 // yield order, for FIFO tie-breaking
+	resume chan resumeMsg
+	err    error
+
+	joiners []*Thread
+	blocked string // reason, for deadlock diagnostics
+}
+
+// ID returns the thread's engine-unique id.
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the thread's diagnostic name.
+func (t *Thread) Name() string { return t.name }
+
+// State returns the thread's scheduling state.
+func (t *Thread) State() State { return t.state }
+
+// Clock returns the thread's current virtual time.
+func (t *Thread) Clock() Time { return t.clock }
+
+// UserTime returns the accumulated user-mode virtual time.
+func (t *Thread) UserTime() Time { return t.user }
+
+// SysTime returns the accumulated system-mode virtual time.
+func (t *Thread) SysTime() Time { return t.sys }
+
+// Err returns the thread's terminal error, if any.
+func (t *Thread) Err() error { return t.err }
+
+// Resource returns the resource the thread is bound to, or nil.
+func (t *Thread) Resource() *Resource { return t.res }
+
+// Bind binds the thread to an exclusive resource, acquiring it immediately:
+// if the resource is busy until some later virtual time, the thread idles
+// until then. Rebinding models thread migration between processors.
+func (t *Thread) Bind(r *Resource) {
+	if t.res != nil && t.res.freeAt < t.clock {
+		t.res.freeAt = t.clock
+	}
+	t.res = r
+	if r != nil && r.freeAt > t.clock {
+		t.clock = r.freeAt
+	}
+}
+
+// Advance moves the thread's clock forward by d and accounts it as user time.
+func (t *Thread) Advance(d Time) {
+	if d < 0 {
+		panic("sim: negative Advance")
+	}
+	t.clock += d
+	t.user += d
+}
+
+// AdvanceSys moves the thread's clock forward by d and accounts it as system
+// time (kernel overhead such as fault handling and page copying).
+func (t *Thread) AdvanceSys(d Time) {
+	if d < 0 {
+		panic("sim: negative AdvanceSys")
+	}
+	t.clock += d
+	t.sys += d
+}
+
+// Idle moves the thread's clock forward without accounting user or system
+// time (e.g. waiting for a processor or an I/O device).
+func (t *Thread) Idle(d Time) {
+	if d < 0 {
+		panic("sim: negative Idle")
+	}
+	t.clock += d
+}
+
+// Yield returns control to the engine, letting other threads whose effective
+// clocks are not later than this thread's run first.
+func (t *Thread) Yield() {
+	t.mustBeRunning("Yield")
+	t.state = Ready
+	t.seq = t.engine.nextSeq()
+	t.park()
+}
+
+// Block suspends the thread until another thread calls Wake. The reason
+// string appears in deadlock reports.
+func (t *Thread) Block(reason string) {
+	t.mustBeRunning("Block")
+	t.state = Blocked
+	t.blocked = reason
+	t.park()
+}
+
+// Wake makes a blocked thread ready again, no earlier than virtual time at.
+// Waking a thread that is not blocked is a no-op.
+func (t *Thread) Wake(at Time) {
+	if t.state != Blocked {
+		return
+	}
+	t.state = Ready
+	t.blocked = ""
+	if t.clock < at {
+		t.clock = at
+	}
+	t.seq = t.engine.nextSeq()
+}
+
+// Join blocks the calling thread until t has finished, then advances the
+// caller's clock to at least t's final clock.
+func (t *Thread) Join(caller *Thread) {
+	if t == caller {
+		panic("sim: thread joining itself")
+	}
+	if t.state == Done {
+		if caller.clock < t.clock {
+			caller.clock = t.clock
+		}
+		return
+	}
+	t.joiners = append(t.joiners, caller)
+	caller.Block("join " + t.name)
+	if caller.clock < t.clock {
+		caller.clock = t.clock
+	}
+}
+
+func (t *Thread) mustBeRunning(op string) {
+	if t.engine.running != t {
+		panic(fmt.Sprintf("sim: %s called from thread %q which is not running", op, t.name))
+	}
+}
+
+// park hands control back to the engine and waits to be resumed.
+func (t *Thread) park() {
+	e := t.engine
+	e.park <- t
+	msg := <-t.resume
+	if msg.abort {
+		panic(abortSignal{})
+	}
+}
+
+// Engine schedules simulated threads in deterministic virtual-time order.
+type Engine struct {
+	threads []*Thread
+	running *Thread
+	park    chan *Thread
+	nextID  int
+	seq     uint64
+	started bool
+	// Trace, if non-nil, is called on every context switch with the thread
+	// about to run.
+	Trace func(t *Thread)
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{park: make(chan *Thread)}
+}
+
+func (e *Engine) nextSeq() uint64 {
+	e.seq++
+	return e.seq
+}
+
+// Spawn creates a new simulated thread that will execute fn when scheduled.
+// The thread's initial clock is start. Spawn may be called before Run or from
+// within a running thread.
+func (e *Engine) Spawn(name string, start Time, fn func(*Thread)) *Thread {
+	t := &Thread{
+		engine: e,
+		id:     e.nextID,
+		name:   name,
+		state:  Ready,
+		clock:  start,
+		seq:    e.nextSeq(),
+		resume: make(chan resumeMsg),
+	}
+	e.nextID++
+	e.threads = append(e.threads, t)
+	go t.top(fn)
+	return t
+}
+
+// top is the goroutine body wrapping a thread's function.
+func (t *Thread) top(fn func(*Thread)) {
+	msg := <-t.resume
+	if msg.abort {
+		t.finish(ErrAborted)
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); ok {
+				t.finish(ErrAborted)
+				return
+			}
+			t.finish(fmt.Errorf("sim: thread %q panicked: %v", t.name, r))
+			return
+		}
+		t.finish(nil)
+	}()
+	fn(t)
+}
+
+func (t *Thread) finish(err error) {
+	t.state = Done
+	t.err = err
+	if t.res != nil && t.res.freeAt < t.clock {
+		t.res.freeAt = t.clock
+	}
+	for _, j := range t.joiners {
+		j.Wake(t.clock)
+	}
+	t.joiners = nil
+	t.engine.park <- t
+}
+
+// effTime is the earliest virtual time at which t could actually run.
+func (t *Thread) effTime() Time {
+	if t.res != nil && t.res.freeAt > t.clock {
+		return t.res.freeAt
+	}
+	return t.clock
+}
+
+// pick selects the ready thread with the smallest (effective time, seq).
+func (e *Engine) pick() *Thread {
+	var best *Thread
+	var bestTime Time
+	for _, t := range e.threads {
+		if t.state != Ready {
+			continue
+		}
+		et := t.effTime()
+		if best == nil || et < bestTime || (et == bestTime && t.seq < best.seq) {
+			best, bestTime = t, et
+		}
+	}
+	return best
+}
+
+// Run executes the simulation until every thread has finished. It returns
+// the first thread error encountered (aborting all other threads), or a
+// deadlock error if blocked threads remain with nothing ready.
+func (e *Engine) Run() error {
+	if e.started {
+		return errors.New("sim: engine already run")
+	}
+	e.started = true
+	for {
+		t := e.pick()
+		if t == nil {
+			if stuck := e.blockedThreads(); len(stuck) > 0 {
+				err := fmt.Errorf("sim: deadlock, blocked threads: %s", stuck)
+				e.abort()
+				return err
+			}
+			return nil
+		}
+		// Waiting for the processor is idle time, not user time.
+		if et := t.effTime(); t.clock < et {
+			t.clock = et
+		}
+		t.state = Running
+		e.running = t
+		if e.Trace != nil {
+			e.Trace(t)
+		}
+		t.resume <- resumeMsg{}
+		parked := <-e.park
+		e.running = nil
+		if parked.res != nil && parked.res.freeAt < parked.clock {
+			parked.res.freeAt = parked.clock
+		}
+		if parked.state == Done && parked.err != nil && parked.err != ErrAborted {
+			err := parked.err
+			e.abort()
+			return err
+		}
+	}
+}
+
+// blockedThreads describes all blocked threads for deadlock reports.
+func (e *Engine) blockedThreads() string {
+	var names []string
+	for _, t := range e.threads {
+		if t.state == Blocked {
+			names = append(names, fmt.Sprintf("%s(%s)", t.name, t.blocked))
+		}
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// abort tears down every live thread so their goroutines exit.
+func (e *Engine) abort() {
+	for _, t := range e.threads {
+		if t.state == Ready || t.state == Blocked {
+			t.state = Running
+			t.resume <- resumeMsg{abort: true}
+			<-e.park
+		}
+	}
+}
+
+// Threads returns all threads ever spawned, in creation order.
+func (e *Engine) Threads() []*Thread { return e.threads }
+
+// TotalUserTime sums user time across all threads — the paper's "total user
+// time across all processors" (T in §3.1).
+func (e *Engine) TotalUserTime() Time {
+	var sum Time
+	for _, t := range e.threads {
+		sum += t.user
+	}
+	return sum
+}
+
+// TotalSysTime sums system time across all threads (S in §3.3).
+func (e *Engine) TotalSysTime() Time {
+	var sum Time
+	for _, t := range e.threads {
+		sum += t.sys
+	}
+	return sum
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := New(12, true)
+	c.Record(0, 0x000, true)
+	c.Record(1, 0x004, true)
+	c.Record(0, 0x1000, true)
+	c.Record(1, 0x1000, true)
+	c.Record(2, 0x2000, false)
+	for i := 0; i < 10; i++ {
+		c.Record(0, 0x2000, false)
+	}
+
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.PageShift() != 12 {
+		t.Errorf("shift = %d", loaded.PageShift())
+	}
+	if !reflect.DeepEqual(c.Pages(), loaded.Pages()) {
+		t.Errorf("pages differ:\n%v\n%v", c.Pages(), loaded.Pages())
+	}
+	a, b := c.Summarize(), loaded.Summarize()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("summaries differ:\n%+v\n%+v", a, b)
+	}
+	if b.FalselyShared != 1 {
+		t.Errorf("false sharing lost in round trip: %d", b.FalselyShared)
+	}
+}
+
+func TestSaveLoadWithoutWords(t *testing.T) {
+	c := New(10, false)
+	c.Record(0, 0x400, true)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.words) != 0 {
+		t.Error("word records appeared from nowhere")
+	}
+	if len(loaded.pages) != 1 {
+		t.Errorf("pages = %d", len(loaded.pages))
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   []byte("XXXX\x01\x00\x0c\x00\x00\x00\x00\x00\x00\x00\x00\x00"),
+		"short":       []byte("NSTR\x01\x00"),
+		"bad version": []byte("NSTR\xff\x00\x0c\x00\x00\x00\x00\x00\x00\x00\x00\x00"),
+		"truncated":   []byte("NSTR\x01\x00\x0c\x00\x05\x00\x00\x00\x00\x00\x00\x00"),
+	}
+	for name, data := range cases {
+		if _, err := Load(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: Load accepted garbage", name)
+		}
+	}
+}
+
+func TestLoadErrorsMentionCause(t *testing.T) {
+	_, err := Load(bytes.NewReader([]byte("ABCD")))
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("err = %v", err)
+	}
+}

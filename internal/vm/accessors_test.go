@@ -1,0 +1,165 @@
+package vm_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"numasim/internal/mmu"
+	"numasim/internal/vm"
+)
+
+func TestAccessErrorMessage(t *testing.T) {
+	e := &vm.AccessError{VA: 0x1234, Write: true, Err: vm.ErrProtection}
+	if !strings.Contains(e.Error(), "write fault at 0x1234") {
+		t.Errorf("message = %q", e.Error())
+	}
+	if !errors.Is(e, vm.ErrProtection) {
+		t.Error("unwrap broken")
+	}
+	r := &vm.AccessError{VA: 8, Err: vm.ErrNoMapping}
+	if !strings.Contains(r.Error(), "read fault") {
+		t.Errorf("message = %q", r.Error())
+	}
+}
+
+func TestObjectAndTaskAccessors(t *testing.T) {
+	run1(t, smallCfg(2), nil, func(c *vm.Context) {
+		task := c.Task()
+		k := c.Kernel()
+		if task.Name() != "t" || task.Kernel() != k || task.Pmap() == nil {
+			t.Error("task accessors wrong")
+		}
+		if k.NUMA() == nil || k.Pmap() == nil {
+			t.Error("kernel accessors wrong")
+		}
+		va := task.Allocate("obj", 2*4096, mmu.ProtReadWrite)
+		e := task.EntryAt(va)
+		if e.Prot() != mmu.ProtReadWrite {
+			t.Error("entry prot wrong")
+		}
+		obj := e.Object()
+		if obj.Name() != "obj" || obj.Pages() != 2 {
+			t.Errorf("object accessors: %q %d", obj.Name(), obj.Pages())
+		}
+		if len(task.Entries()) != 1 {
+			t.Errorf("entries = %d", len(task.Entries()))
+		}
+		c.Store64(va, 0x1122334455667788)
+		if obj.Peek64(0, 0) != 0x1122334455667788 {
+			t.Error("Peek64 wrong")
+		}
+	})
+}
+
+func TestContextInstructionCharges(t *testing.T) {
+	run1(t, smallCfg(2), nil, func(c *vm.Context) {
+		cost := c.Kernel().Machine().Cost()
+		cases := []struct {
+			fn   func(int)
+			unit int64
+		}{
+			{c.Compute, int64(cost.Instr)},
+			{c.Mul, int64(cost.Mul)},
+			{c.Div, int64(cost.Div)},
+			{c.FAdd, int64(cost.FAdd)},
+			{c.FMul, int64(cost.FMul)},
+			{c.FDiv, int64(cost.FDiv)},
+		}
+		for i, cse := range cases {
+			before := c.Thread().UserTime()
+			cse.fn(3)
+			got := int64(c.Thread().UserTime() - before)
+			if got != 3*cse.unit {
+				t.Errorf("case %d: charged %d, want %d", i, got, 3*cse.unit)
+			}
+		}
+	})
+}
+
+func TestTestAndSetAndFetchOr(t *testing.T) {
+	run1(t, smallCfg(2), nil, func(c *vm.Context) {
+		va := c.Task().Allocate("w", 4096, mmu.ProtReadWrite)
+		if c.TestAndSet(va) != 0 {
+			t.Error("first TAS should see 0")
+		}
+		if c.TestAndSet(va) != 1 {
+			t.Error("second TAS should see 1")
+		}
+		c.Store32(va, 0b0101)
+		if old := c.FetchOr32(va, 0b0010); old != 0b0101 {
+			t.Errorf("FetchOr old = %b", old)
+		}
+		if c.Load32(va) != 0b0111 {
+			t.Errorf("FetchOr result = %b", c.Load32(va))
+		}
+	})
+}
+
+func TestCrossPageAccessPanics(t *testing.T) {
+	run1(t, smallCfg(2), nil, func(c *vm.Context) {
+		va := c.Task().Allocate("w", 2*4096, mmu.ProtReadWrite)
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("64-bit access across a page boundary should fault")
+			}
+		}()
+		c.Load64(va + 4096 - 4)
+	})
+}
+
+func TestProtectUnmappedPanics(t *testing.T) {
+	run1(t, smallCfg(2), nil, func(c *vm.Context) {
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic")
+			}
+		}()
+		c.Task().Protect(c.Thread(), 0xdead0000, mmu.ProtRead)
+	})
+}
+
+func TestSetHintUnmappedPanics(t *testing.T) {
+	run1(t, smallCfg(2), nil, func(c *vm.Context) {
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic")
+			}
+		}()
+		c.Task().SetHint(0xdead0000, 0)
+	})
+}
+
+func TestSetHomeBadProcPanics(t *testing.T) {
+	run1(t, smallCfg(2), nil, func(c *vm.Context) {
+		va := c.Task().Allocate("w", 4096, mmu.ProtReadWrite)
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic")
+			}
+		}()
+		c.Task().SetHome(va, 99)
+	})
+}
+
+func TestDeallocateUnmappedPanics(t *testing.T) {
+	run1(t, smallCfg(2), nil, func(c *vm.Context) {
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic")
+			}
+		}()
+		c.Task().Deallocate(c.Thread(), 0xdead0000)
+	})
+}
+
+func TestCopyRegionUnmappedPanics(t *testing.T) {
+	run1(t, smallCfg(2), nil, func(c *vm.Context) {
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic")
+			}
+		}()
+		c.Task().CopyRegion(c.Thread(), "x", 0xdead0000)
+	})
+}

@@ -1,0 +1,188 @@
+package vm_test
+
+import (
+	"testing"
+
+	"numasim/internal/ace"
+	"numasim/internal/policy"
+	"numasim/internal/sim"
+	"numasim/internal/vm"
+)
+
+// cowRig runs body in one simulated thread with a small machine.
+func cowRig(t *testing.T, body func(c *vm.Context, task *vm.Task, k *vm.Kernel)) {
+	t.Helper()
+	cfg := ace.DefaultConfig()
+	cfg.NProc = 2
+	cfg.GlobalFrames = 64
+	cfg.LocalFrames = 32
+	machine := ace.NewMachine(cfg)
+	k := vm.NewKernel(machine, policy.NewDefault())
+	task := k.NewTask("t")
+	machine.Engine().Spawn("main", 0, func(th *sim.Thread) {
+		body(vm.NewContext(k, task, th, 0), task, k)
+	})
+	if err := machine.Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyRegionSnapshotSemantics(t *testing.T) {
+	cowRig(t, func(c *vm.Context, task *vm.Task, k *vm.Kernel) {
+		src := task.Allocate("src", 2*4096, 3)
+		c.Store32(src, 111)
+		c.Store32(src+4096, 222)
+
+		dst := task.CopyRegion(c.Thread(), "copy", src)
+		if !task.EntryAt(dst).CopyOnWrite() || !task.EntryAt(src).CopyOnWrite() {
+			t.Fatal("both sides should be COW after vm_copy")
+		}
+
+		// The copy sees the snapshot.
+		if c.Load32(dst) != 111 || c.Load32(dst+4096) != 222 {
+			t.Error("copy does not see source data")
+		}
+		// Writes to the source do not leak into the copy...
+		c.Store32(src, 333)
+		if got := c.Load32(dst); got != 111 {
+			t.Errorf("copy sees source's post-copy write: %d", got)
+		}
+		// ...and writes to the copy do not leak into the source.
+		c.Store32(dst+4096, 444)
+		if got := c.Load32(src + 4096); got != 222 {
+			t.Errorf("source sees copy's write: %d", got)
+		}
+		if c.Load32(src) != 333 || c.Load32(dst+4096) != 444 {
+			t.Error("own writes lost")
+		}
+		if k.Stats().COWCopies == 0 {
+			t.Error("no COW copies counted")
+		}
+	})
+}
+
+func TestCopyRegionSharesUntilWrite(t *testing.T) {
+	cowRig(t, func(c *vm.Context, task *vm.Task, k *vm.Kernel) {
+		src := task.Allocate("src", 4*4096, 3)
+		for i := uint32(0); i < 4; i++ {
+			c.Store32(src+i*4096, i+1)
+		}
+		framesBefore := c.Kernel().Machine().Memory().Global().InUse()
+		dst := task.CopyRegion(c.Thread(), "copy", src)
+		// Pure copying would need 4 new frames immediately; COW needs none.
+		if used := c.Kernel().Machine().Memory().Global().InUse(); used != framesBefore {
+			t.Errorf("vm_copy allocated %d frames eagerly", used-framesBefore)
+		}
+		// Reading the whole copy still allocates nothing.
+		for i := uint32(0); i < 4; i++ {
+			if c.Load32(dst+i*4096) != i+1 {
+				t.Fatal("copy read wrong")
+			}
+		}
+		if used := c.Kernel().Machine().Memory().Global().InUse(); used != framesBefore {
+			t.Error("reading the copy allocated frames")
+		}
+		if k.Stats().COWReads == 0 {
+			t.Error("no COW read-throughs counted")
+		}
+		// One write allocates exactly one page.
+		c.Store32(dst, 99)
+		if used := c.Kernel().Machine().Memory().Global().InUse(); used != framesBefore+1 {
+			t.Errorf("first write allocated %d frames, want 1", used-framesBefore)
+		}
+	})
+}
+
+func TestCopyOfCopy(t *testing.T) {
+	cowRig(t, func(c *vm.Context, task *vm.Task, k *vm.Kernel) {
+		src := task.Allocate("src", 4096, 3)
+		c.Store32(src, 1)
+		c1 := task.CopyRegion(c.Thread(), "c1", src)
+		c.Store32(c1, 2) // privatize in the first copy
+		c2 := task.CopyRegion(c.Thread(), "c2", c1)
+		if got := c.Load32(c2); got != 2 {
+			t.Errorf("second copy = %d, want first copy's view 2", got)
+		}
+		c.Store32(c1, 3)
+		if got := c.Load32(c2); got != 2 {
+			t.Errorf("second copy sees later write: %d", got)
+		}
+		if c.Load32(src) != 1 {
+			t.Error("source disturbed")
+		}
+	})
+}
+
+func TestCopyRegionZeroPages(t *testing.T) {
+	// Copying a region whose pages were never touched must not copy
+	// anything: first writes on either side just zero-fill.
+	cowRig(t, func(c *vm.Context, task *vm.Task, k *vm.Kernel) {
+		src := task.Allocate("src", 4096, 3)
+		dst := task.CopyRegion(c.Thread(), "copy", src)
+		c.Store32(dst, 5)
+		c.Store32(src, 6)
+		if c.Load32(dst) != 5 || c.Load32(src) != 6 {
+			t.Error("independent writes wrong")
+		}
+		if k.Stats().COWCopies != 0 {
+			t.Errorf("COWCopies = %d for untouched origin", k.Stats().COWCopies)
+		}
+	})
+}
+
+func TestCopyRegionDeallocate(t *testing.T) {
+	cowRig(t, func(c *vm.Context, task *vm.Task, k *vm.Kernel) {
+		src := task.Allocate("src", 4096, 3)
+		c.Store32(src, 7)
+		dst := task.CopyRegion(c.Thread(), "copy", src)
+		if c.Load32(dst) != 7 {
+			t.Fatal("copy wrong")
+		}
+		before := c.Kernel().Machine().Memory().Global().InUse()
+		task.Deallocate(c.Thread(), dst)
+		// Copy gone, origin still referenced by the source: only shadow
+		// pages (none here) are freed.
+		if c.Load32(src) != 7 {
+			t.Error("source lost data after copy deallocated")
+		}
+		task.Deallocate(c.Thread(), src)
+		after := c.Kernel().Machine().Memory().Global().InUse()
+		if after >= before {
+			t.Errorf("frames not reclaimed: %d -> %d", before, after)
+		}
+	})
+}
+
+func TestCopyRegionUnderPageout(t *testing.T) {
+	cfg := ace.DefaultConfig()
+	cfg.NProc = 2
+	cfg.GlobalFrames = 6
+	cfg.LocalFrames = 8
+	machine := ace.NewMachine(cfg)
+	k := vm.NewKernel(machine, policy.NewDefault())
+	task := k.NewTask("t")
+	machine.Engine().Spawn("main", 0, func(th *sim.Thread) {
+		c := vm.NewContext(k, task, th, 0)
+		src := task.Allocate("src", 3*4096, 3)
+		for i := uint32(0); i < 3; i++ {
+			c.Store32(src+i*4096, 100+i)
+		}
+		dst := task.CopyRegion(th, "copy", src)
+		// Blow through memory so origin pages get paged out.
+		filler := task.Allocate("filler", 8*4096, 3)
+		for i := uint32(0); i < 8; i++ {
+			c.Store32(filler+i*4096, i)
+		}
+		if k.Stats().Pageouts == 0 {
+			t.Error("no pageout pressure")
+		}
+		for i := uint32(0); i < 3; i++ {
+			if got := c.Load32(dst + i*4096); got != 100+i {
+				t.Errorf("copy page %d = %d after pageout, want %d", i, got, 100+i)
+			}
+		}
+	})
+	if err := machine.Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,445 @@
+package workloads
+
+import (
+	"fmt"
+
+	"numasim/internal/cthreads"
+	"numasim/internal/vm"
+)
+
+// hostSieve computes the primes up to limit on the host, for verification.
+// Arithmetic is done in uint64 so n*n cannot wrap for large limits.
+func hostSieve(limit uint32) []uint32 {
+	if limit < 2 {
+		return nil
+	}
+	lim := uint64(limit)
+	composite := make([]bool, lim+1)
+	var primes []uint32
+	for n := uint64(2); n <= lim; n++ {
+		if composite[n] {
+			continue
+		}
+		primes = append(primes, uint32(n))
+		for m := n * n; m <= lim; m += n {
+			composite[m] = true
+		}
+	}
+	return primes
+}
+
+func countPrimes(limit uint32) int { return len(hostSieve(limit)) }
+
+// Primes1 "determines if an odd number is prime by dividing it by all odd
+// numbers less than its square root and checking for remainders. It
+// computes heavily (division is expensive on the ACE) and most of its
+// memory references are to the stack during subroutine linkage" (§3.2).
+type Primes1 struct {
+	Limit uint32
+
+	counts []uint32
+}
+
+// NewPrimes1 creates a Primes1 instance; zero selects the default limit
+// (the paper searched to 10,000,000 — hours of 1989 CPU time).
+func NewPrimes1(limit uint32) *Primes1 {
+	if limit == 0 {
+		limit = 50000
+	}
+	return &Primes1{Limit: limit}
+}
+
+// Name implements Workload.
+func (w *Primes1) Name() string { return "Primes1" }
+
+// FetchHeavy implements Workload.
+func (w *Primes1) FetchHeavy() bool { return false }
+
+// Run implements Workload.
+func (w *Primes1) Run(rt *cthreads.Runtime, nworkers int) error {
+	return runStarter(w, rt, nworkers)
+}
+
+// Start implements Starter.
+func (w *Primes1) Start(rt *cthreads.Runtime, nworkers int) func() error {
+	if nworkers <= 0 {
+		nworkers = rt.Kernel().Machine().NProc()
+	}
+	// Candidates are the odd numbers 3,5,... <= Limit; unit i is 3+2i.
+	nCand := (w.Limit - 1) / 2
+	pile := rt.NewWorkPile(nCand)
+	w.counts = make([]uint32, nworkers)
+	stacks := make([]uint32, nworkers)
+	for i := range stacks {
+		stacks[i] = rt.Alloc(fmt.Sprintf("stack%d", i), 4096)
+	}
+	const batch = 32
+	rt.Start(nworkers, func(id int, c *vm.Context) {
+		stack := stacks[id]
+		var count uint32
+		for {
+			lo, hi, ok := pile.NextBatch(c, batch)
+			if !ok {
+				break
+			}
+			for u := lo; u < hi; u++ {
+				n := 3 + 2*u
+				prime := true
+				for d := uint32(3); d*d <= n; d += 2 {
+					// The divide is a subroutine: linkage stores the
+					// argument into and reloads the result from the stack
+					// frame around the expensive software divide.
+					c.Store32(stack+4, d)
+					c.Div(1)
+					c.Load32(stack + 8)
+					c.Compute(3) // d*d bound check and loop control
+					if n%d == 0 {
+						prime = false
+						break
+					}
+				}
+				if prime {
+					count++
+				}
+			}
+		}
+		w.counts[id] = count
+	})
+	return func() error {
+		var got int
+		for _, n := range w.counts {
+			got += int(n)
+		}
+		want := countPrimes(w.Limit) - 1 // candidates exclude 2
+		if got != want {
+			return fmt.Errorf("Primes1: found %d odd primes <= %d, want %d", got, w.Limit, want)
+		}
+		return nil
+	}
+}
+
+// Primes2 "divides each prime candidate by all previously found primes
+// less than its square root. Each thread keeps a private list of primes to
+// be used as divisors, so virtually all data references are local" (§3.2).
+//
+// Tuned=false reproduces the initial version of §4.2, in which threads
+// fetched divisors directly from the writably-shared output vector of
+// found primes, holding α to about 0.66; the tuned version copies the
+// divisors into a private vector first, raising α to about 1.0.
+type Primes2 struct {
+	Limit uint32
+	Tuned bool
+
+	task    *vm.Task
+	outVec  uint32
+	outCnt  uint32
+	outLock *cthreads.SpinLock
+}
+
+// NewPrimes2 creates a Primes2 instance; zero selects the default limit.
+func NewPrimes2(limit uint32, tuned bool) *Primes2 {
+	if limit == 0 {
+		limit = 100000
+	}
+	return &Primes2{Limit: limit, Tuned: tuned}
+}
+
+// Name implements Workload.
+func (w *Primes2) Name() string {
+	if w.Tuned {
+		return "Primes2"
+	}
+	return "Primes2-untuned"
+}
+
+// FetchHeavy implements Workload.
+func (w *Primes2) FetchHeavy() bool { return false }
+
+// isqrt returns the integer square root.
+func isqrt(n uint32) uint32 {
+	r := uint32(0)
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+// Run implements Workload.
+func (w *Primes2) Run(rt *cthreads.Runtime, nworkers int) error {
+	return runStarter(w, rt, nworkers)
+}
+
+// Start implements Starter.
+func (w *Primes2) Start(rt *cthreads.Runtime, nworkers int) func() error {
+	if nworkers <= 0 {
+		nworkers = rt.Kernel().Machine().NProc()
+	}
+	w.task = rt.Task()
+	capacity := uint32(countPrimes(w.Limit) + 8)
+	w.outVec = rt.Alloc("found-primes", capacity*4)
+	cntBase := rt.Alloc("found-count", 8)
+	w.outCnt = cntBase
+	w.outLock = cthreads.NewSpinLockAt(cntBase + 4)
+
+	root := isqrt(w.Limit)
+	privVecs := make([]uint32, nworkers)
+	stacks := make([]uint32, nworkers)
+	for i := range privVecs {
+		privVecs[i] = rt.Alloc(fmt.Sprintf("divisors%d", i), (uint32(countPrimes(root))+4)*4)
+		stacks[i] = rt.Alloc(fmt.Sprintf("stack%d", i), 4096)
+	}
+
+	// Candidates above the seed range, odd only.
+	firstCand := root + 1 | 1
+	nCand := (w.Limit - firstCand) / 2
+	pile := rt.NewWorkPile(nCand + 1)
+
+	rt.StartMain(func(mc *vm.Context) {
+		// The main thread seeds the shared output vector with the primes
+		// up to sqrt(Limit) by trial division.
+		var nSeed uint32
+		for n := uint32(2); n <= root; n++ {
+			prime := true
+			for d := uint32(2); d*d <= n; d++ {
+				mc.Div(1)
+				mc.Compute(2)
+				if n%d == 0 {
+					prime = false
+					break
+				}
+			}
+			if prime {
+				mc.Store32(w.outVec+nSeed*4, n)
+				nSeed++
+			}
+		}
+		mc.Store32(w.outCnt, nSeed)
+
+		workers := rt.ForkWorkers(mc, nworkers, func(id int, c *vm.Context) {
+			stack := stacks[id]
+			divBase := w.outVec // untuned: read shared vector directly
+			if w.Tuned {
+				// Copy the needed divisors into a private vector.
+				divBase = privVecs[id]
+				for i := uint32(0); i < nSeed; i++ {
+					c.Store32(divBase+i*4, c.Load32(w.outVec+i*4))
+				}
+			}
+			const batch = 16
+			for {
+				lo, hi, ok := pile.NextBatch(c, batch)
+				if !ok {
+					return
+				}
+				for u := lo; u < hi; u++ {
+					n := firstCand + 2*u
+					if n > w.Limit {
+						break
+					}
+					prime := true
+					for i := uint32(0); i < nSeed; i++ {
+						d := c.Load32(divBase + i*4)
+						if d*d > n {
+							c.Compute(2)
+							break
+						}
+						// The compiler keeps the candidate and the
+						// remainder in the stack frame.
+						c.Load32(stack)
+						c.Div(1)
+						c.Store32(stack+4, n%d)
+						c.Compute(3)
+						if n%d == 0 {
+							prime = false
+							break
+						}
+					}
+					if prime {
+						// Append to the shared output vector.
+						w.outLock.Lock(c)
+						idx := c.Load32(w.outCnt)
+						c.Store32(w.outVec+idx*4, n)
+						c.Store32(w.outCnt, idx+1)
+						w.outLock.Unlock(c)
+					}
+				}
+			}
+		})
+		for _, wk := range workers {
+			wk.Join(mc)
+		}
+	})
+	return w.verify
+}
+
+func (w *Primes2) verify() error {
+	want := hostSieve(w.Limit)
+	got := int(readWord(w.task, w.outCnt))
+	if got != len(want) {
+		return fmt.Errorf("%s: found %d primes, want %d", w.Name(), got, len(want))
+	}
+	// The vector holds exactly the primes (seeds in order, the rest in
+	// completion order): check as a set.
+	wantSet := make(map[uint32]bool, len(want))
+	for _, p := range want {
+		wantSet[p] = true
+	}
+	for i := 0; i < got; i++ {
+		v := readWord(w.task, w.outVec+uint32(i)*4)
+		if !wantSet[v] {
+			return fmt.Errorf("%s: output[%d] = %d is not prime or duplicated", w.Name(), i, v)
+		}
+		delete(wantSet, v)
+	}
+	return nil
+}
+
+// Primes3 is "a variant of the Sieve of Eratosthenes, with the sieve
+// represented as a bit vector of odd numbers in shared memory. It produces
+// an integer vector of results by masking off composites in the bit vector
+// and scanning for the remaining primes. It references the shared bit
+// vector heavily, fetching and storing as it masks off bits" (§3.2).
+type Primes3 struct {
+	Limit uint32
+
+	task   *vm.Task
+	sieve  uint32
+	outVec uint32
+	outCnt uint32
+}
+
+// NewPrimes3 creates a Primes3 instance; zero selects the paper's limit
+// (primes up to 10,000,000).
+func NewPrimes3(limit uint32) *Primes3 {
+	if limit == 0 {
+		limit = 10000000
+	}
+	return &Primes3{Limit: limit}
+}
+
+// Name implements Workload.
+func (w *Primes3) Name() string { return "Primes3" }
+
+// FetchHeavy implements Workload.
+func (w *Primes3) FetchHeavy() bool { return false }
+
+// Run implements Workload.
+func (w *Primes3) Run(rt *cthreads.Runtime, nworkers int) error {
+	return runStarter(w, rt, nworkers)
+}
+
+// Start implements Starter.
+func (w *Primes3) Start(rt *cthreads.Runtime, nworkers int) func() error {
+	if nworkers <= 0 {
+		nworkers = rt.Kernel().Machine().NProc()
+	}
+	w.task = rt.Task()
+	// Bit i represents the odd number 3+2i.
+	nBits := (w.Limit - 1) / 2
+	nWords := (nBits + 31) / 32
+	w.sieve = rt.Alloc("sieve", nWords*4)
+	capacity := uint32(countPrimes(w.Limit) + 8)
+	w.outVec = rt.Alloc("primes", capacity*4)
+	cnt := rt.Alloc("count", 8)
+	w.outCnt = cnt
+	outLock := cthreads.NewSpinLockAt(cnt + 4)
+
+	seeds := hostSieve(isqrt(w.Limit))
+	// Drop 2: the sieve holds odd numbers only.
+	if len(seeds) > 0 && seeds[0] == 2 {
+		seeds = seeds[1:]
+	}
+	strikePile := rt.NewWorkPile(uint32(len(seeds)))
+	scanPile := rt.NewWorkPile(nWords)
+	barrier := cthreads.NewBarrier(nworkers)
+	// Per-worker private staging for scanned primes, merged into the
+	// shared result vector at the end of the scan.
+	staging := make([]uint32, nworkers)
+	for i := range staging {
+		staging[i] = rt.Alloc(fmt.Sprintf("staging%d", i), capacity*4)
+	}
+
+	rt.Start(nworkers, func(id int, c *vm.Context) {
+		// Strike phase: mask off composites, read-modify-writing the
+		// shared bit vector.
+		for {
+			si, ok := strikePile.Next(c)
+			if !ok {
+				break
+			}
+			p := seeds[si]
+			c.Mul(1) // p*p
+			for m := p * p; m <= w.Limit; m += 2 * p {
+				idx := (m - 3) / 2
+				va := w.sieve + (idx/32)*4
+				bit := uint32(1) << (idx % 32)
+				c.Compute(5) // bit-index arithmetic and loop control
+				c.FetchOr32(va, bit)
+			}
+		}
+		barrier.Wait(c)
+		// Scan phase: collect the remaining primes into a private staging
+		// vector ("it also computes heavily while scanning the bit vector
+		// for primes"), then merge into the shared result vector.
+		const batch = 8
+		mine := staging[id]
+		var nMine uint32
+		for {
+			lo, hi, ok := scanPile.NextBatch(c, batch)
+			if !ok {
+				break
+			}
+			for wd := lo; wd < hi; wd++ {
+				v := c.Load32(w.sieve + wd*4)
+				c.Compute(8) // shift-and-test scanning of the word
+				if v == 0xffffffff {
+					continue
+				}
+				for b := uint32(0); b < 32; b++ {
+					if v&(1<<b) != 0 {
+						continue
+					}
+					idx := wd*32 + b
+					if idx >= nBits {
+						break
+					}
+					c.Store32(mine+nMine*4, 3+2*idx)
+					nMine++
+				}
+			}
+		}
+		if nMine > 0 {
+			outLock.Lock(c)
+			at := c.Load32(w.outCnt)
+			for k := uint32(0); k < nMine; k++ {
+				c.Store32(w.outVec+(at+k)*4, c.Load32(mine+k*4))
+			}
+			c.Store32(w.outCnt, at+nMine)
+			outLock.Unlock(c)
+		}
+	})
+	return w.verify
+}
+
+func (w *Primes3) verify() error {
+	want := hostSieve(w.Limit)
+	if len(want) > 0 && want[0] == 2 {
+		want = want[1:] // sieve of odds: 2 is implicit
+	}
+	got := int(readWord(w.task, w.outCnt))
+	if got != len(want) {
+		return fmt.Errorf("Primes3: found %d odd primes, want %d", got, len(want))
+	}
+	wantSet := make(map[uint32]bool, len(want))
+	for _, p := range want {
+		wantSet[p] = true
+	}
+	for i := 0; i < got; i++ {
+		v := readWord(w.task, w.outVec+uint32(i)*4)
+		if !wantSet[v] {
+			return fmt.Errorf("Primes3: output[%d] = %d is not an odd prime or duplicated", i, v)
+		}
+		delete(wantSet, v)
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+// Package workloads implements the paper's application mix (§3.2): a fast
+// Fourier transform (FFT), a graphics rendering program (PlyTrace), three
+// prime finders (Primes1-3) and an integer matrix multiplier (IMatMult),
+// as well as a program designed to spend all of its time referencing
+// shared memory (Gfetch) and one designed not to reference shared memory
+// at all (ParMult).
+//
+// Every application performs its real computation — the primes are real
+// primes, the transform is a real FFT, the renderer fills a real z-buffer
+// — through simulated virtual memory, and verifies its own results, so a
+// placement bug that corrupts data fails the run rather than skewing a
+// number.
+//
+// Default problem sizes are scaled down from the paper's (which total
+// hours of 1989 CPU time); every workload takes its sizes as parameters so
+// the harness and benchmarks can sweep them.
+package workloads
+
+import (
+	"fmt"
+
+	"numasim/internal/cthreads"
+	"numasim/internal/vm"
+)
+
+// Starter is a workload that can be started on a runtime without owning
+// the simulation run, so several applications can execute concurrently on
+// one machine (the multiprogrammed "application mix"). Start spawns the
+// application's threads and returns a finish function that verifies the
+// results after the engine has run.
+type Starter interface {
+	Workload
+	Start(rt *cthreads.Runtime, nworkers int) (finish func() error)
+}
+
+// Workload is one measured application.
+type Workload interface {
+	// Name returns the application's name as the paper's tables spell it.
+	Name() string
+	// FetchHeavy reports whether the paper used the fetch-only G/L ratio
+	// (2.3) for this application rather than the mixed ratio (~2): true
+	// for Gfetch and IMatMult, which "do almost all fetches and no
+	// stores" (§3.2 footnote 3).
+	FetchHeavy() bool
+	// Run executes the workload to completion on the runtime with the
+	// given number of worker threads, verifying its own results.
+	Run(rt *cthreads.Runtime, nworkers int) error
+}
+
+// All returns one instance of every workload in the paper's Table 3 order,
+// at default (scaled) problem sizes.
+func All() []Workload {
+	return []Workload{
+		NewParMult(0, 0),
+		NewGfetch(0, 0),
+		NewIMatMult(0),
+		NewPrimes1(0),
+		NewPrimes2(0, true),
+		NewPrimes3(0),
+		NewFFT(0),
+		NewPlyTrace(0, 0, 0),
+	}
+}
+
+// ByName returns the named workload at default size, or an error. The
+// special name "Primes2-untuned" selects the pre-tuning Primes2 variant of
+// §4.2.
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name() == name {
+			return w, nil
+		}
+	}
+	if name == "Primes2-untuned" {
+		return NewPrimes2(0, false), nil
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q (known: %v and Primes2-untuned)", name, Names())
+}
+
+// NewSized returns the named workload at an explicit problem size. The
+// size parameter is the workload's primary knob: work units for ParMult,
+// pages for Gfetch, matrix side for IMatMult and FFT, the search limit for
+// the prime finders, and the triangle count for PlyTrace.
+func NewSized(name string, size int) (Workload, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("workloads: negative size %d", size)
+	}
+	switch name {
+	case "ParMult":
+		return NewParMult(size, 0), nil
+	case "Gfetch":
+		return NewGfetch(size, 0), nil
+	case "IMatMult":
+		return NewIMatMult(size), nil
+	case "Primes1":
+		return NewPrimes1(uint32(size)), nil
+	case "Primes2":
+		return NewPrimes2(uint32(size), true), nil
+	case "Primes2-untuned":
+		return NewPrimes2(uint32(size), false), nil
+	case "Primes3":
+		return NewPrimes3(uint32(size)), nil
+	case "FFT":
+		return NewFFT(size), nil
+	case "PlyTrace":
+		return NewPlyTrace(size, 0, 0), nil
+	case "Syscaller":
+		return NewSyscaller(size, 0), nil
+	default:
+		return nil, fmt.Errorf("workloads: unknown workload %q", name)
+	}
+}
+
+// Names lists the standard workload names in table order.
+func Names() []string {
+	var out []string
+	for _, w := range All() {
+		out = append(out, w.Name())
+	}
+	return out
+}
+
+// runStarter starts a workload and runs the simulation to completion.
+func runStarter(w Starter, rt *cthreads.Runtime, nworkers int) error {
+	finish := w.Start(rt, nworkers)
+	if err := rt.Kernel().Machine().Engine().Run(); err != nil {
+		return err
+	}
+	return finish()
+}
+
+// readWord reads a word from the task's memory after the simulation has
+// finished, without charging simulated time (for verification).
+func readWord(task *vm.Task, va uint32) uint32 {
+	obj, idx, off := locate(task, va)
+	return obj.Peek32(idx, off)
+}
+
+func readWord64(task *vm.Task, va uint32) uint64 {
+	obj, idx, off := locate(task, va)
+	return obj.Peek64(idx, off)
+}
+
+func locate(task *vm.Task, va uint32) (obj *vm.Object, pageIdx, off int) {
+	e := task.EntryAt(va)
+	if e == nil {
+		panic(fmt.Sprintf("workloads: unmapped address %#x", va))
+	}
+	ps := task.Kernel().Machine().PageSize()
+	return e.Object(), int((va - e.Start()) / uint32(ps)), int(va) & (ps - 1)
+}

@@ -1,0 +1,128 @@
+package numasim_test
+
+import (
+	"strings"
+	"testing"
+
+	"numasim"
+)
+
+// TestPublicAPIEndToEnd drives the whole system through the facade only,
+// the way a downstream user would.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	cfg := numasim.DefaultConfig()
+	cfg.NProc = 3
+	sys := numasim.NewSystem(cfg, numasim.DefaultPolicy(), numasim.Affinity)
+
+	collector := numasim.NewTraceCollector(sys.Machine.PageShift(), true)
+	sys.Kernel.RefTrace = collector.Hook()
+
+	shared := sys.Runtime.Alloc("shared", 4096)
+	lock := sys.Runtime.NewSpinLock()
+	barrier := numasim.NewBarrier(3)
+
+	err := sys.Runtime.Run(3, func(id int, c *numasim.Context) {
+		barrier.Wait(c)
+		for i := 0; i < 200; i++ {
+			lock.Lock(c)
+			v := c.Load32(shared)
+			c.Store32(shared, v+1)
+			lock.Unlock(c)
+			c.Compute(50)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pg := sys.Runtime.Task().EntryAt(shared).Object().Page(0)
+	if got := pg.GlobalFrame(); got == nil {
+		t.Fatal("page has no global frame")
+	}
+	if v := pg.Authoritative().Load32(0); v != 600 {
+		t.Errorf("counter = %d, want 600", v)
+	}
+	if pg.State() != numasim.GlobalWritable || !pg.Pinned() {
+		t.Errorf("hot shared page state = %v pinned=%v, want pinned global", pg.State(), pg.Pinned())
+	}
+	if sys.Machine.Engine().TotalUserTime() <= 0 {
+		t.Error("no user time")
+	}
+	sum := collector.Summarize()
+	if sum.WritablyShared == 0 {
+		t.Error("trace saw no writably-shared pages")
+	}
+}
+
+func TestPublicPolicies(t *testing.T) {
+	names := map[string]numasim.Policy{
+		"threshold(4)":        numasim.DefaultPolicy(),
+		"threshold(9)":        numasim.ThresholdPolicy(9),
+		"never-pin":           numasim.NeverPinPolicy(),
+		"all-global":          numasim.AllGlobalPolicy(),
+		"all-local":           numasim.AllLocalPolicy(),
+		"pragma+threshold(4)": numasim.PragmaPolicy(nil),
+		"reconsider(2,8)":     numasim.ReconsiderPolicy(2, 8),
+	}
+	for want, pol := range names {
+		if pol.Name() != want {
+			t.Errorf("policy name %q, want %q", pol.Name(), want)
+		}
+	}
+}
+
+func TestPublicWorkloadsAndEvaluation(t *testing.T) {
+	ws := numasim.AllWorkloads()
+	if len(ws) != 8 {
+		t.Fatalf("workloads = %d, want 8", len(ws))
+	}
+	if _, err := numasim.WorkloadByName("Primes2-untuned"); err != nil {
+		t.Error(err)
+	}
+	ev := numasim.NewEvaluator()
+	cfg := numasim.DefaultConfig()
+	cfg.NProc = 3
+	cfg.GlobalFrames = 512
+	cfg.LocalFrames = 256
+	ev.Config = cfg
+	e, err := numasim.Evaluate(ev, func() numasim.Workload {
+		w, _ := numasim.WorkloadByName("ParMult")
+		return w
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Gamma > 1.1 || e.Beta > 0.1 {
+		t.Errorf("ParMult γ=%.2f β=%.2f through public API", e.Gamma, e.Beta)
+	}
+}
+
+func TestPublicProtocolTables(t *testing.T) {
+	for _, write := range []bool{false, true} {
+		s, err := numasim.ProtocolTable(write)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(s, "copy to local") {
+			t.Errorf("table missing protocol action:\n%s", s)
+		}
+	}
+	if !strings.Contains(numasim.Figure1(numasim.HarnessOptions{NProc: 2}), "IPC bus") {
+		t.Error("figure 1 wrong")
+	}
+	if !strings.Contains(numasim.Figure2(), "NUMA manager") {
+		t.Error("figure 2 wrong")
+	}
+}
+
+func TestPublicConstants(t *testing.T) {
+	if numasim.DefaultThreshold != 4 {
+		t.Error("paper default threshold is 4")
+	}
+	if !numasim.ProtReadWrite.CanWrite() || !numasim.ProtRead.CanRead() {
+		t.Error("protections wrong")
+	}
+	if numasim.Second != 1000*numasim.Millisecond {
+		t.Error("time units wrong")
+	}
+}

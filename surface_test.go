@@ -1,0 +1,107 @@
+package numasim_test
+
+import (
+	"strings"
+	"testing"
+
+	"numasim"
+)
+
+// TestFacadeSurface exercises the remaining public facade entry points the
+// way a downstream program would.
+func TestFacadeSurface(t *testing.T) {
+	cm := numasim.DefaultCostModel()
+	if cm.LocalFetch != 650*numasim.Nanosecond {
+		t.Errorf("LocalFetch = %v", cm.LocalFetch)
+	}
+	cfg := numasim.DefaultConfig()
+	cfg.NProc = 2
+	cfg.GlobalFrames = 64
+	cfg.LocalFrames = 32
+	m := numasim.NewMachine(cfg)
+	k := numasim.NewKernel(m, numasim.DefaultPolicy())
+	rt := numasim.NewRuntime(k, numasim.Affinity)
+	task := rt.Task()
+	va := rt.Alloc("x", 4096)
+	m.Engine().Spawn("t", 0, func(th *numasim.SimThread) {
+		c := numasim.NewContext(k, task, th, 0)
+		c.Store32(va, 5)
+		if c.Load32(va) != 5 {
+			t.Error("round trip failed")
+		}
+	})
+	if err := m.Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	opts := numasim.HarnessOptions{NProc: 3, Small: true}
+
+	rows3, err := numasim.Table3(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := numasim.RenderTable3(rows3); !strings.Contains(out, "Gfetch") {
+		t.Error("table 3 incomplete")
+	}
+	rows4, err := numasim.Table4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := numasim.RenderTable4(rows4); !strings.Contains(out, "Primes3") {
+		t.Error("table 4 incomplete")
+	}
+	fs, err := numasim.FalseSharingExperiment(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Tuned.Alpha <= fs.Untuned.Alpha {
+		t.Error("false-sharing experiment inverted")
+	}
+	sweep, err := numasim.ThresholdSweep(opts, "Gfetch", []int{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 2 {
+		t.Errorf("sweep rows = %d", len(sweep))
+	}
+	mix, err := numasim.MixRun(opts, []string{"ParMult", "Primes1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.UserSec <= 0 {
+		t.Error("mix did no work")
+	}
+}
+
+func TestFacadeCopyOnWriteAndRemote(t *testing.T) {
+	cfg := numasim.DefaultConfig()
+	cfg.NProc = 2
+	sys := numasim.NewSystem(cfg, numasim.PragmaPolicy(nil), numasim.Affinity)
+	src := sys.Runtime.Alloc("src", 4096)
+	rem := sys.Runtime.Alloc("rem", 4096)
+	sys.Runtime.Task().SetHome(rem, 1)
+	err := sys.Runtime.Run(1, func(id int, c *numasim.Context) {
+		c.Store32(src, 10)
+		dst := c.Task().CopyRegion(c.Thread(), "copy", src)
+		c.Store32(dst, 20)
+		if c.Load32(src) != 10 || c.Load32(dst) != 20 {
+			t.Error("COW through facade failed")
+		}
+		c.Store32(rem, 30)
+		pg := c.Task().EntryAt(rem).Object().Page(0)
+		if pg.State() != numasim.RemotePlaced || pg.Home() != 1 {
+			t.Errorf("remote placement through facade: state=%v home=%d", pg.State(), pg.Home())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateByNameRejectsUnknown(t *testing.T) {
+	if _, err := numasim.EvaluateByName(numasim.NewEvaluator(), "nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
