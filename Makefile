@@ -1,0 +1,29 @@
+# Build, verify and benchmark the numasim reproduction.
+#
+#   make check   - build everything, vet, and run the full test suite
+#                  under the race detector (the parallel harness runs
+#                  many simulations concurrently; -race guards it)
+#   make bench   - run the benchmark suite (tables, ablations, and the
+#                  simulator hot-path microbenchmarks)
+#   make tables  - regenerate the paper's tables and figures
+
+GO ?= go
+
+.PHONY: check build vet test bench tables
+
+check: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+tables:
+	$(GO) run ./cmd/tables

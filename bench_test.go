@@ -7,18 +7,22 @@
 package numasim_test
 
 import (
+	"strconv"
 	"testing"
 
 	"numasim"
 	"numasim/internal/harness"
+	"numasim/internal/sim"
 )
 
 // benchOpts uses the reduced problem sizes so a full -bench run stays
-// under a minute. Note that Table 4's overhead *ratios* are size-dependent
-// (fixed page-movement transients over shrunken compute); the values the
-// paper should be compared against come from `go run ./cmd/tables` at
-// default sizes (see EXPERIMENTS.md).
-var benchOpts = numasim.HarnessOptions{NProc: 7, Small: true}
+// under a minute, and pins Parallelism to 1 so per-iteration costs stay
+// comparable across machines (BenchmarkTable3Parallel measures the
+// parallel harness separately). Note that Table 4's overhead *ratios* are
+// size-dependent (fixed page-movement transients over shrunken compute);
+// the values the paper should be compared against come from
+// `go run ./cmd/tables` at default sizes (see EXPERIMENTS.md).
+var benchOpts = numasim.HarnessOptions{NProc: 7, Small: true, Parallelism: 1}
 
 // benchEval evaluates one application per iteration and reports α, β, γ.
 func benchEval(b *testing.B, app string) {
@@ -124,7 +128,7 @@ func BenchmarkAblateThreshold(b *testing.B) {
 		lim := lim
 		name := "never-pin"
 		if lim >= 0 {
-			name = string(rune('0' + lim))
+			name = strconv.Itoa(lim)
 		}
 		b.Run("limit-"+name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -170,6 +174,46 @@ func BenchmarkLocalAccess(b *testing.B) {
 	})
 	if err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkPickManyThreads measures the engine's scheduling decision — the
+// pick of the next thread to resume — as the ready queue grows. The
+// indexed min-heap keeps the cost logarithmic where the original linear
+// scan grew with the thread count.
+func BenchmarkPickManyThreads(b *testing.B) {
+	for _, n := range []int{1, 64, 1024} {
+		n := n
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			e := sim.NewEngine()
+			iters := b.N/n + 1
+			for i := 0; i < n; i++ {
+				e.Spawn("t", 0, func(th *sim.Thread) {
+					for j := 0; j < iters; j++ {
+						th.Advance(sim.Microsecond)
+						th.Yield() // re-enqueue; every resume is one pick
+					}
+				})
+			}
+			b.ResetTimer()
+			if err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkTable3Parallel regenerates the full small Table 3 through the
+// worker pool at the default parallelism (one simulation per host CPU).
+// Compare against BenchmarkTable3's per-row cost to see the wall-clock
+// effect of the pool on this machine.
+func BenchmarkTable3Parallel(b *testing.B) {
+	opts := benchOpts
+	opts.Parallelism = 0 // default: runtime.NumCPU()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Table3(opts); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	ablate [-nproc N] [-small] [-app NAME] [-sweep threshold|pagesize|gl|quantum]
+//	ablate [-nproc N] [-small] [-parallel N] [-app NAME]
+//	       [-sweep threshold|pagesize|gl|quantum]
 //	ablate -exp affinity|unixmaster|remote|replication|mix|policies
 package main
 
@@ -34,9 +35,10 @@ func main() {
 	sweep := flag.String("sweep", "", "sweep to run: threshold, pagesize, gl, quantum")
 	exp := flag.String("exp", "", "experiment to run: affinity, unixmaster, remote, replication, mix, policies")
 	csv := flag.Bool("csv", false, "emit sweeps as CSV for plotting")
+	parallel := flag.Int("parallel", 0, "simulations to run concurrently (0: one per host CPU; results are identical at every setting)")
 	flag.Parse()
 
-	opts := harness.Options{NProc: *nproc, Small: *smallFlag, AppSize: *size}
+	opts := harness.Options{NProc: *nproc, Small: *smallFlag, AppSize: *size, Parallelism: *parallel}
 	if opts.AppSize == 0 && *app == "Primes3" {
 		// Sweeps run the application many times; use a mid-scale sieve.
 		opts.AppSize = 1000000

@@ -1,12 +1,15 @@
-// Command acesim runs one of the paper's applications on the simulated
-// ACE under a chosen NUMA policy and reports timing, placement and
-// reference statistics — optionally with a reference trace and
+// Command acesim runs one or more of the paper's applications on the
+// simulated ACE under a chosen NUMA policy and reports timing, placement
+// and reference statistics — optionally with a reference trace and
 // false-sharing analysis (§4.2, §5).
 //
 // Usage:
 //
 //	acesim -app IMatMult [-policy threshold] [-threshold 4] [-nproc 7]
-//	       [-workers N] [-sched affinity] [-trace] [-unixmaster]
+//	       [-workers N] [-sched affinity] [-trace] [-unixmaster] [-parallel N]
+//
+// -app accepts a comma-separated list; the simulations run concurrently
+// (bounded by -parallel) and the reports print in the order given.
 //
 // Policies: threshold (default), allglobal, alllocal, neverpin, pragma,
 // reconsider, freezedefrost. Apps: ParMult, Gfetch, IMatMult, Primes1, Primes2,
@@ -21,6 +24,7 @@ import (
 
 	"numasim/internal/ace"
 	"numasim/internal/cthreads"
+	"numasim/internal/harness"
 	"numasim/internal/numa"
 	"numasim/internal/policy"
 	"numasim/internal/sched"
@@ -29,8 +33,132 @@ import (
 	"numasim/internal/workloads"
 )
 
+// runOpts carries the per-run configuration shared by every -app entry.
+type runOpts struct {
+	polName     string
+	threshold   int
+	nproc       int
+	workers     int
+	mode        sched.Mode
+	doTrace     bool
+	traceOut    string
+	unixMaster  bool
+	pageSize    int
+	size        int
+	perProc     bool
+	replication bool
+}
+
+// newPolicy builds a fresh policy instance (policies hold per-run state,
+// so concurrent runs must not share one).
+func newPolicy(o runOpts) (numa.Policy, error) {
+	switch strings.ToLower(o.polName) {
+	case "threshold":
+		return policy.NewThreshold(o.threshold), nil
+	case "allglobal":
+		return policy.AllGlobal{}, nil
+	case "alllocal":
+		return policy.AllLocal{}, nil
+	case "neverpin":
+		return policy.NeverPin(), nil
+	case "pragma":
+		return policy.NewPragma(nil), nil
+	case "reconsider":
+		return policy.NewReconsider(o.threshold, 64), nil
+	case "freezedefrost":
+		return policy.NewFreezeDefrost(0, 0), nil
+	}
+	return nil, fmt.Errorf("unknown policy %q", o.polName)
+}
+
+// runOne simulates one application and returns its rendered report.
+func runOne(app string, o runOpts) (string, error) {
+	var w workloads.Workload
+	var err error
+	if o.size > 0 {
+		w, err = workloads.NewSized(app, o.size)
+	} else {
+		w, err = workloads.ByName(app)
+	}
+	if err != nil {
+		return "", err
+	}
+	pol, err := newPolicy(o)
+	if err != nil {
+		return "", err
+	}
+
+	cfg := ace.DefaultConfig()
+	cfg.NProc = o.nproc
+	cfg.PageSize = o.pageSize
+	machine := ace.NewMachine(cfg)
+	kernel := vm.NewKernel(machine, pol)
+	kernel.UnixMaster = o.unixMaster
+	if !o.replication {
+		kernel.NUMA().SetReplication(false)
+	}
+	var collector *trace.Collector
+	if o.doTrace || o.traceOut != "" {
+		collector = trace.New(machine.PageShift(), true)
+		kernel.RefTrace = collector.Hook()
+	}
+	rt := cthreads.New(kernel, o.mode)
+
+	if err := w.Run(rt, o.workers); err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	eng := machine.Engine()
+	fmt.Fprintf(&b, "%s on %d CPUs under %s (%s scheduler)\n", w.Name(), o.nproc, pol.Name(), o.mode)
+	fmt.Fprintf(&b, "  user time:   %v\n", eng.TotalUserTime())
+	fmt.Fprintf(&b, "  system time: %v\n", eng.TotalSysTime())
+	refs := machine.TotalRefs()
+	fmt.Fprintf(&b, "  references:  %d (%.1f%% local)\n", refs.Total(), 100*refs.LocalFraction())
+	fmt.Fprintf(&b, "  faults:      %d\n", machine.TotalFaults())
+	ns := kernel.NUMA().Stats()
+	fmt.Fprintf(&b, "  protocol:    %d copies, %d syncs, %d flushes, %d moves, %d pins\n",
+		ns.Copies, ns.Syncs, ns.Flushes, ns.Moves, ns.Pins)
+	var aliasDrops uint64
+	for i := 0; i < machine.NProc(); i++ {
+		aliasDrops += machine.MMU(i).Stats().AliasDrops
+	}
+	fmt.Fprintf(&b, "  mmu:         %d alias drops (Rosetta one-VA-per-frame rule)\n", aliasDrops)
+	vs := kernel.Stats()
+	fmt.Fprintf(&b, "  paging:      %d zero-fills, %d pageouts, %d pageins, %d COW copies\n",
+		vs.ZeroFillFaults, vs.Pageouts, vs.Pageins, vs.COWCopies)
+	if o.perProc {
+		fmt.Fprintln(&b, "  per processor:")
+		for i := 0; i < machine.NProc(); i++ {
+			r := machine.Proc(i).Refs()
+			fmt.Fprintf(&b, "    cpu%-2d  local %9d  global %9d  remote %7d  faults %6d\n",
+				i, r.LocalFetch+r.LocalStore, r.GlobalFetch+r.GlobalStore,
+				r.RemoteFetch+r.RemoteStore, machine.Proc(i).Faults)
+		}
+	}
+	if collector != nil {
+		fmt.Fprintln(&b)
+		b.WriteString(collector.Summarize().Render())
+		if o.traceOut != "" {
+			f, err := os.Create(o.traceOut)
+			if err != nil {
+				return "", err
+			}
+			if err := collector.Save(f); err != nil {
+				f.Close()
+				return "", err
+			}
+			if err := f.Close(); err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "trace written to %s\n", o.traceOut)
+		}
+	}
+	return b.String(), nil
+}
+
 func main() {
-	app := flag.String("app", "IMatMult", "application to run")
+	app := flag.String("app", "IMatMult", "application to run, or a comma-separated list")
 	polName := flag.String("policy", "threshold", "placement policy")
 	threshold := flag.Int("threshold", policy.DefaultThreshold, "move limit for the threshold policy")
 	nproc := flag.Int("nproc", 7, "number of processors")
@@ -43,112 +171,55 @@ func main() {
 	size := flag.Int("size", 0, "problem size (0: workload default); units for ParMult, pages for Gfetch, matrix side for IMatMult/FFT, limit for Primes1-3, triangles for PlyTrace")
 	perProc := flag.Bool("perproc", false, "report per-processor reference counts")
 	replication := flag.Bool("replication", true, "replicate read-only pages (disable for the Li-style migration ablation)")
+	parallel := flag.Int("parallel", 0, "simulations to run concurrently when -app lists several (0: one per host CPU)")
 	flag.Parse()
-
-	var w workloads.Workload
-	var err error
-	if *size > 0 {
-		w, err = workloads.NewSized(*app, *size)
-	} else {
-		w, err = workloads.ByName(*app)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "acesim:", err)
-		os.Exit(1)
-	}
-
-	var pol numa.Policy
-	switch strings.ToLower(*polName) {
-	case "threshold":
-		pol = policy.NewThreshold(*threshold)
-	case "allglobal":
-		pol = policy.AllGlobal{}
-	case "alllocal":
-		pol = policy.AllLocal{}
-	case "neverpin":
-		pol = policy.NeverPin()
-	case "pragma":
-		pol = policy.NewPragma(nil)
-	case "reconsider":
-		pol = policy.NewReconsider(*threshold, 64)
-	case "freezedefrost":
-		pol = policy.NewFreezeDefrost(0, 0)
-	default:
-		fmt.Fprintf(os.Stderr, "acesim: unknown policy %q\n", *polName)
-		os.Exit(1)
-	}
 
 	mode := sched.Affinity
 	if strings.HasPrefix(strings.ToLower(*schedName), "no") {
 		mode = sched.NoAffinity
 	}
 
-	cfg := ace.DefaultConfig()
-	cfg.NProc = *nproc
-	cfg.PageSize = *pageSize
-	machine := ace.NewMachine(cfg)
-	kernel := vm.NewKernel(machine, pol)
-	kernel.UnixMaster = *unixMaster
-	if !*replication {
-		kernel.NUMA().SetReplication(false)
+	apps := strings.Split(*app, ",")
+	for i := range apps {
+		apps[i] = strings.TrimSpace(apps[i])
 	}
-	var collector *trace.Collector
-	if *doTrace || *traceOut != "" {
-		collector = trace.New(machine.PageShift(), true)
-		kernel.RefTrace = collector.Hook()
-	}
-	rt := cthreads.New(kernel, mode)
-
-	if err := w.Run(rt, *workers); err != nil {
-		fmt.Fprintln(os.Stderr, "acesim:", err)
+	if len(apps) > 1 && *traceOut != "" {
+		fmt.Fprintln(os.Stderr, "acesim: -traceout requires a single -app (the file would be overwritten)")
 		os.Exit(1)
 	}
 
-	eng := machine.Engine()
-	fmt.Printf("%s on %d CPUs under %s (%s scheduler)\n", w.Name(), *nproc, pol.Name(), mode)
-	fmt.Printf("  user time:   %v\n", eng.TotalUserTime())
-	fmt.Printf("  system time: %v\n", eng.TotalSysTime())
-	refs := machine.TotalRefs()
-	fmt.Printf("  references:  %d (%.1f%% local)\n", refs.Total(), 100*refs.LocalFraction())
-	fmt.Printf("  faults:      %d\n", machine.TotalFaults())
-	ns := kernel.NUMA().Stats()
-	fmt.Printf("  protocol:    %d copies, %d syncs, %d flushes, %d moves, %d pins\n",
-		ns.Copies, ns.Syncs, ns.Flushes, ns.Moves, ns.Pins)
-	var aliasDrops uint64
-	for i := 0; i < machine.NProc(); i++ {
-		aliasDrops += machine.MMU(i).Stats().AliasDrops
+	o := runOpts{
+		polName:   *polName,
+		threshold: *threshold,
+		nproc:     *nproc,
+		workers:   *workers,
+		mode:      mode,
+		doTrace:   *doTrace, traceOut: *traceOut,
+		unixMaster: *unixMaster,
+		pageSize:   *pageSize,
+		size:       *size,
+		perProc:    *perProc, replication: *replication,
 	}
-	fmt.Printf("  mmu:         %d alias drops (Rosetta one-VA-per-frame rule)\n", aliasDrops)
-	vs := kernel.Stats()
-	fmt.Printf("  paging:      %d zero-fills, %d pageouts, %d pageins, %d COW copies\n",
-		vs.ZeroFillFaults, vs.Pageouts, vs.Pageins, vs.COWCopies)
-	if *perProc {
-		fmt.Println("  per processor:")
-		for i := 0; i < machine.NProc(); i++ {
-			r := machine.Proc(i).Refs()
-			fmt.Printf("    cpu%-2d  local %9d  global %9d  remote %7d  faults %6d\n",
-				i, r.LocalFetch+r.LocalStore, r.GlobalFetch+r.GlobalStore,
-				r.RemoteFetch+r.RemoteStore, machine.Proc(i).Faults)
+
+	// Run every app concurrently (bounded), buffer the reports, and print
+	// them in the order given on the command line.
+	reports := make([]string, len(apps))
+	err := harness.NewPool(*parallel).Run(len(apps), func(i int) error {
+		rep, err := runOne(apps[i], o)
+		if err != nil {
+			return fmt.Errorf("%s: %w", apps[i], err)
 		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acesim:", err)
+		os.Exit(1)
 	}
-	if collector != nil {
-		fmt.Println()
-		fmt.Print(collector.Summarize().Render())
-		if *traceOut != "" {
-			f, err := os.Create(*traceOut)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "acesim:", err)
-				os.Exit(1)
-			}
-			if err := collector.Save(f); err != nil {
-				fmt.Fprintln(os.Stderr, "acesim:", err)
-				os.Exit(1)
-			}
-			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "acesim:", err)
-				os.Exit(1)
-			}
-			fmt.Printf("trace written to %s\n", *traceOut)
+	for i, rep := range reports {
+		if i > 0 {
+			fmt.Println()
 		}
+		fmt.Print(rep)
 	}
 }

@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	tables [-nproc N] [-workers N] [-small] [-table N | -figure N | -exp NAME]
+//	tables [-nproc N] [-workers N] [-small] [-parallel N]
+//	       [-table N | -figure N | -exp NAME]
 //
 // Experiments: falsesharing (§4.2).
 package main
@@ -28,9 +29,10 @@ func main() {
 	figure := flag.Int("figure", 0, "print only figure N (1-2)")
 	exp := flag.String("exp", "", "print only the named experiment (falsesharing)")
 	csv := flag.Bool("csv", false, "emit Tables 3 and 4 as CSV")
+	parallel := flag.Int("parallel", 0, "simulations to run concurrently (0: one per host CPU; results are identical at every setting)")
 	flag.Parse()
 
-	opts := harness.Options{NProc: *nproc, Workers: *workers, Small: *smallFlag}
+	opts := harness.Options{NProc: *nproc, Workers: *workers, Small: *smallFlag, Parallelism: *parallel}
 	all := *table == 0 && *figure == 0 && *exp == ""
 
 	fail := func(err error) {

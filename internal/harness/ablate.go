@@ -28,15 +28,20 @@ type FalseSharingResult struct {
 func FalseSharing(opts Options) (FalseSharingResult, error) {
 	opts = opts.withDefaults()
 	ev := opts.evaluator()
-	untuned, err := ev.Evaluate(func() metrics.Runner { return opts.instance("Primes2-untuned") })
+	variants := []string{"Primes2-untuned", "Primes2"}
+	evals := make([]metrics.Eval, len(variants))
+	err := opts.pool().Run(len(variants), func(i int) error {
+		e, err := ev.Evaluate(func() metrics.Runner { return opts.instance(variants[i]) })
+		if err != nil {
+			return err
+		}
+		evals[i] = e
+		return nil
+	})
 	if err != nil {
 		return FalseSharingResult{}, err
 	}
-	tuned, err := ev.Evaluate(func() metrics.Runner { return opts.instance("Primes2") })
-	if err != nil {
-		return FalseSharingResult{}, err
-	}
-	return FalseSharingResult{Untuned: untuned, Tuned: tuned}, nil
+	return FalseSharingResult{Untuned: evals[0], Tuned: evals[1]}, nil
 }
 
 // Render formats the experiment.
@@ -69,8 +74,9 @@ type SweepRow struct {
 func ThresholdSweep(opts Options, app string, limits []int) ([]SweepRow, error) {
 	opts = opts.withDefaults()
 	cfg := opts.config()
-	var rows []SweepRow
-	for _, lim := range limits {
+	rows := make([]SweepRow, len(limits))
+	err := opts.pool().Run(len(limits), func(i int) error {
+		lim := limits[i]
 		p := policy.NewThreshold(max(lim, 0))
 		if lim < 0 {
 			p = policy.NeverPin()
@@ -79,17 +85,21 @@ func ThresholdSweep(opts Options, app string, limits []int) ([]SweepRow, error) 
 			Config: cfg, Policy: p, Workers: opts.Workers, Sched: sched.Affinity,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		name := fmt.Sprintf("%d", lim)
 		if lim < 0 {
 			name = "never-pin"
 		}
-		rows = append(rows, SweepRow{
+		rows[i] = SweepRow{
 			Param: name,
 			Tnuma: res.UserSec, Snuma: res.SysSec,
 			Pins: res.NUMA.Pins, Moves: res.NUMA.Moves,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -132,18 +142,22 @@ type AffinityResult struct {
 func AffinityCompare(opts Options, app string) (AffinityResult, error) {
 	opts = opts.withDefaults()
 	cfg := opts.config()
-	aff, err := metrics.Run(opts.instance(app), metrics.RunSpec{
-		Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
+	modes := []sched.Mode{sched.Affinity, sched.NoAffinity}
+	runs := make([]metrics.RunResult, len(modes))
+	err := opts.pool().Run(len(modes), func(i int) error {
+		res, err := metrics.Run(opts.instance(app), metrics.RunSpec{
+			Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: modes[i],
+		})
+		if err != nil {
+			return err
+		}
+		runs[i] = res
+		return nil
 	})
 	if err != nil {
 		return AffinityResult{}, err
 	}
-	hop, err := metrics.Run(opts.instance(app), metrics.RunSpec{
-		Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.NoAffinity,
-	})
-	if err != nil {
-		return AffinityResult{}, err
-	}
+	aff, hop := runs[0], runs[1]
 	return AffinityResult{
 		App: app, Affinity: aff, Hopping: hop,
 		AffLocal: aff.Refs.LocalFraction(),
@@ -179,19 +193,22 @@ type UnixMasterResult struct {
 func UnixMasterCompare(opts Options, app string) (UnixMasterResult, error) {
 	opts = opts.withDefaults()
 	cfg := opts.config()
-	off, err := metrics.Run(opts.instance(app), metrics.RunSpec{
-		Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
+	runs := make([]metrics.RunResult, 2)
+	err := opts.pool().Run(2, func(i int) error {
+		res, err := metrics.Run(opts.instance(app), metrics.RunSpec{
+			Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
+			UnixMast: i == 1,
+		})
+		if err != nil {
+			return err
+		}
+		runs[i] = res
+		return nil
 	})
 	if err != nil {
 		return UnixMasterResult{}, err
 	}
-	on, err := metrics.Run(opts.instance(app), metrics.RunSpec{
-		Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
-		UnixMast: true,
-	})
-	if err != nil {
-		return UnixMasterResult{}, err
-	}
+	off, on := runs[0], runs[1]
 	return UnixMasterResult{
 		App: app, Off: off, On: on,
 		OffLoc: off.Refs.LocalFraction(), OnLoc: on.Refs.LocalFraction(),
@@ -215,20 +232,22 @@ type ReplicationResult struct {
 func ReplicationCompare(opts Options, app string) (ReplicationResult, error) {
 	opts = opts.withDefaults()
 	cfg := opts.config()
-	with, err := metrics.Run(opts.instance(app), metrics.RunSpec{
-		Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
+	runs := make([]metrics.RunResult, 2)
+	err := opts.pool().Run(2, func(i int) error {
+		res, err := metrics.Run(opts.instance(app), metrics.RunSpec{
+			Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
+			NoReplication: i == 1,
+		})
+		if err != nil {
+			return err
+		}
+		runs[i] = res
+		return nil
 	})
 	if err != nil {
 		return ReplicationResult{}, err
 	}
-	without, err := metrics.Run(opts.instance(app), metrics.RunSpec{
-		Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
-		NoReplication: true,
-	})
-	if err != nil {
-		return ReplicationResult{}, err
-	}
-	return ReplicationResult{App: app, With: with, Without: without}, nil
+	return ReplicationResult{App: app, With: runs[0], Without: runs[1]}, nil
 }
 
 // Render formats the comparison.
@@ -258,19 +277,21 @@ type RemoteResult struct {
 func RemoteCompare(opts Options) (RemoteResult, error) {
 	opts = opts.withDefaults()
 	cfg := opts.config()
-	auto, err := metrics.Run(workloads.NewHomeData(0, 0, false), metrics.RunSpec{
-		Config: cfg, Policy: policy.NewPragma(nil), Workers: opts.Workers, Sched: sched.Affinity,
+	runs := make([]metrics.RunResult, 2)
+	err := opts.pool().Run(2, func(i int) error {
+		res, err := metrics.Run(workloads.NewHomeData(0, 0, i == 1), metrics.RunSpec{
+			Config: cfg, Policy: policy.NewPragma(nil), Workers: opts.Workers, Sched: sched.Affinity,
+		})
+		if err != nil {
+			return err
+		}
+		runs[i] = res
+		return nil
 	})
 	if err != nil {
 		return RemoteResult{}, err
 	}
-	remote, err := metrics.Run(workloads.NewHomeData(0, 0, true), metrics.RunSpec{
-		Config: cfg, Policy: policy.NewPragma(nil), Workers: opts.Workers, Sched: sched.Affinity,
-	})
-	if err != nil {
-		return RemoteResult{}, err
-	}
-	return RemoteResult{Auto: auto, Remote: remote}, nil
+	return RemoteResult{Auto: runs[0], Remote: runs[1]}, nil
 }
 
 // Render formats the comparison.
@@ -309,21 +330,26 @@ func PolicyCompare(opts Options) ([]PolicyRow, error) {
 		policy.NewReconsider(policy.DefaultThreshold, 8),
 		policy.NewFreezeDefrost(0, 0),
 	}
-	var rows []PolicyRow
-	for _, pol := range pols {
+	rows := make([]PolicyRow, len(pols))
+	err := opts.pool().Run(len(pols), func(i int) error {
+		pol := pols[i]
 		res, err := metrics.Run(workloads.NewPhased(0, 0, 0), metrics.RunSpec{
 			Config: cfg, Policy: pol, Workers: opts.Workers, Sched: sched.Affinity,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, PolicyRow{
+		rows[i] = PolicyRow{
 			Policy:    pol.Name(),
 			UserSec:   res.UserSec,
 			SysSec:    res.SysSec,
 			LocalFrac: res.Refs.LocalFraction(),
 			Pins:      res.NUMA.Pins,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -347,21 +373,25 @@ func RenderPolicyCompare(rows []PolicyRow) string {
 // PageSizeSweep measures a workload at several page sizes.
 func PageSizeSweep(opts Options, app string, sizes []int) ([]SweepRow, error) {
 	opts = opts.withDefaults()
-	var rows []SweepRow
-	for _, ps := range sizes {
+	rows := make([]SweepRow, len(sizes))
+	err := opts.pool().Run(len(sizes), func(i int) error {
 		cfg := opts.config()
-		cfg.PageSize = ps
+		cfg.PageSize = sizes[i]
 		res, err := metrics.Run(opts.instance(app), metrics.RunSpec{
 			Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, SweepRow{
-			Param: fmt.Sprintf("%d", ps),
+		rows[i] = SweepRow{
+			Param: fmt.Sprintf("%d", sizes[i]),
 			Tnuma: res.UserSec, Snuma: res.SysSec,
 			Pins: res.NUMA.Pins, Moves: res.NUMA.Moves,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -370,8 +400,9 @@ func PageSizeSweep(opts Options, app string, sizes []int) ([]SweepRow, error) {
 // the given factors (exploring machines with different G/L ratios).
 func GLSweep(opts Options, app string, factors []float64) ([]SweepRow, error) {
 	opts = opts.withDefaults()
-	var rows []SweepRow
-	for _, f := range factors {
+	rows := make([]SweepRow, len(factors))
+	err := opts.pool().Run(len(factors), func(i int) error {
+		f := factors[i]
 		cfg := opts.config()
 		cfg.Cost.GlobalFetch = sim.Time(float64(cfg.Cost.GlobalFetch) * f)
 		cfg.Cost.GlobalStore = sim.Time(float64(cfg.Cost.GlobalStore) * f)
@@ -379,13 +410,17 @@ func GLSweep(opts Options, app string, factors []float64) ([]SweepRow, error) {
 			Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, SweepRow{
+		rows[i] = SweepRow{
 			Param: fmt.Sprintf("%.2f", f),
 			Tnuma: res.UserSec, Snuma: res.SysSec,
 			Pins: res.NUMA.Pins, Moves: res.NUMA.Moves,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -394,21 +429,26 @@ func GLSweep(opts Options, app string, factors []float64) ([]SweepRow, error) {
 // knob of the simulation: finer quanta interleave processors more).
 func QuantumSweep(opts Options, app string, quanta []sim.Time) ([]SweepRow, error) {
 	opts = opts.withDefaults()
-	var rows []SweepRow
-	for _, q := range quanta {
+	rows := make([]SweepRow, len(quanta))
+	err := opts.pool().Run(len(quanta), func(i int) error {
+		q := quanta[i]
 		cfg := opts.config()
 		cfg.Quantum = q
 		res, err := metrics.Run(opts.instance(app), metrics.RunSpec{
 			Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, SweepRow{
+		rows[i] = SweepRow{
 			Param: q.String(),
 			Tnuma: res.UserSec, Snuma: res.SysSec,
 			Pins: res.NUMA.Pins, Moves: res.NUMA.Moves,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

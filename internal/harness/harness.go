@@ -8,6 +8,7 @@ package harness
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 
 	"numasim/internal/ace"
@@ -31,6 +32,11 @@ type Options struct {
 	// parameter (see workloads.NewSized). Sweeps use it to keep repeated
 	// runs quick.
 	AppSize int
+	// Parallelism bounds how many independent simulations run at once
+	// (table rows, sweep points, the three runs inside an evaluation).
+	// <= 0 selects runtime.NumCPU(). Simulated results are identical at
+	// every setting; only wall-clock time changes.
+	Parallelism int
 }
 
 // withDefaults fills in defaults.
@@ -41,8 +47,14 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = o.NProc
 	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.NumCPU()
+	}
 	return o
 }
+
+// pool builds the worker pool for the options.
+func (o Options) pool() *Pool { return NewPool(o.Parallelism) }
 
 // config builds the machine configuration for the options.
 func (o Options) config() ace.Config {
@@ -104,6 +116,7 @@ func (o Options) evaluator() *metrics.Evaluator {
 	ev := metrics.NewEvaluator()
 	ev.Config = o.config()
 	ev.Workers = o.Workers
+	ev.Parallelism = o.Parallelism
 	if o.Threshold > 0 {
 		ev.Threshold = o.Threshold
 	}

@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestPoolOrderAndErrors: the pool runs every index exactly once and
+// surfaces the smallest-index error, sequentially and in parallel.
+func TestPoolOrderAndErrors(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		hits := make([]int, 16)
+		if err := NewPool(workers).Run(len(hits), func(i int) error {
+			hits[i]++
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		for i, n := range hits {
+			if n != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, n)
+			}
+		}
+		err := NewPool(workers).Run(8, func(i int) error {
+			if i >= 3 {
+				return errAt(i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != errAt(3).Error() {
+			t.Errorf("workers=%d: got error %v, want the smallest failing index (3)", workers, err)
+		}
+	}
+	if err := NewPool(2).Run(0, func(int) error { panic("unreachable") }); err != nil {
+		t.Errorf("empty run: %v", err)
+	}
+}
+
+type errAt int
+
+func (e errAt) Error() string { return "fail" + string(rune('0'+int(e))) }
+
+// TestTable3ParallelDeterminism: the rendered Table 3 and every underlying
+// per-run measurement must be byte-identical whether the harness runs its
+// simulations sequentially or four at a time. This is the PR's core
+// guarantee: parallelism changes wall-clock time, never simulated results.
+func TestTable3ParallelDeterminism(t *testing.T) {
+	seqOpts := Options{NProc: 3, Small: true, Parallelism: 1}
+	parOpts := Options{NProc: 3, Small: true, Parallelism: 4}
+
+	seq, err := Table3(seqOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Table3(parOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := RenderTable3(par), RenderTable3(seq); got != want {
+		t.Errorf("rendered Table 3 differs between parallel and sequential runs:\nsequential:\n%s\nparallel:\n%s", want, got)
+	}
+	if got, want := RenderTable3CSV(par), RenderTable3CSV(seq); got != want {
+		t.Errorf("Table 3 CSV differs between parallel and sequential runs:\nsequential:\n%s\nparallel:\n%s", want, got)
+	}
+	for i := range seq {
+		s, p := seq[i].Eval, par[i].Eval
+		if s.Alpha != p.Alpha || s.Beta != p.Beta || s.Gamma != p.Gamma {
+			t.Errorf("%s: model parameters differ: sequential (α=%v β=%v γ=%v), parallel (α=%v β=%v γ=%v)",
+				seq[i].App, s.Alpha, s.Beta, s.Gamma, p.Alpha, p.Beta, p.Gamma)
+		}
+		if s.Tglobal != p.Tglobal || s.Tnuma != p.Tnuma || s.Tlocal != p.Tlocal {
+			t.Errorf("%s: run times differ: sequential (%v, %v, %v), parallel (%v, %v, %v)",
+				seq[i].App, s.Tglobal, s.Tnuma, s.Tlocal, p.Tglobal, p.Tnuma, p.Tlocal)
+		}
+		if s.NumaRun.Refs != p.NumaRun.Refs {
+			t.Errorf("%s: T_numa reference counts differ: sequential %+v, parallel %+v",
+				seq[i].App, s.NumaRun.Refs, p.NumaRun.Refs)
+		}
+		if s.NumaRun.Faults != p.NumaRun.Faults || s.NumaRun.NUMA != p.NumaRun.NUMA {
+			t.Errorf("%s: T_numa protocol activity differs between parallel and sequential runs", seq[i].App)
+		}
+	}
+}
+
+// TestTable4ParallelDeterminism: same guarantee for the system-time table.
+func TestTable4ParallelDeterminism(t *testing.T) {
+	seq, err := Table4(Options{NProc: 3, Small: true, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Table4(Options{NProc: 3, Small: true, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := RenderTable4(par), RenderTable4(seq); got != want {
+		t.Errorf("rendered Table 4 differs between parallel and sequential runs:\nsequential:\n%s\nparallel:\n%s", want, got)
+	}
+}

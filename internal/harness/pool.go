@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool runs independent experiment units — whole simulations, never parts
+// of one — on a bounded number of goroutines. Every simulation is a
+// self-contained deterministic machine, so running several at once changes
+// wall-clock time only; callers collect results into index-addressed slots
+// so rendered tables are byte-identical to a sequential run.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool running at most parallelism tasks at once.
+// parallelism <= 0 selects runtime.NumCPU().
+func NewPool(parallelism int) *Pool {
+	if parallelism <= 0 {
+		parallelism = runtime.NumCPU()
+	}
+	return &Pool{workers: parallelism}
+}
+
+// Workers reports the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run invokes fn(0..n-1), at most Workers at a time, and waits for all of
+// them. Each index runs exactly once. If any invocations fail, Run returns
+// the error of the smallest failing index — the same error a sequential
+// loop would have surfaced first — so error behaviour is deterministic too.
+func (p *Pool) Run(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if p.workers == 1 || n == 1 {
+		// Sequential fast path: no goroutines, no channel traffic.
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	errs := make([]error, n)
+	sem := make(chan struct{}, p.workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{} // acquire before spawning to bound goroutine count
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -152,15 +152,22 @@ func Table3Single(opts Options, app string) (Table3Row, error) {
 	return Table3Row{App: app, Eval: e, Paper: PaperTable3[app]}, nil
 }
 
-// Table3 regenerates the paper's Table 3 (E5).
+// Table3 regenerates the paper's Table 3 (E5). The per-application rows
+// are independent simulations; they run on the options' worker pool and
+// land in the paper's row order regardless of completion order.
 func Table3(opts Options) ([]Table3Row, error) {
-	var rows []Table3Row
-	for _, app := range Table3Apps {
-		row, err := Table3Single(opts, app)
+	opts = opts.withDefaults()
+	rows := make([]Table3Row, len(Table3Apps))
+	err := opts.pool().Run(len(Table3Apps), func(i int) error {
+		row, err := Table3Single(opts, Table3Apps[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -256,15 +263,20 @@ func Table4Single(opts Options, app string) (Table4Row, error) {
 }
 
 // Table4 regenerates the paper's Table 4 (E6): total system time for runs
-// on NProc processors.
+// on NProc processors. Rows run on the options' worker pool.
 func Table4(opts Options) ([]Table4Row, error) {
-	var rows []Table4Row
-	for _, app := range Table4Apps {
-		row, err := Table4Single(opts, app)
+	opts = opts.withDefaults()
+	rows := make([]Table4Row, len(Table4Apps))
+	err := opts.pool().Run(len(Table4Apps), func(i int) error {
+		row, err := Table4Single(opts, Table4Apps[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

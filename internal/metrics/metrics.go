@@ -21,6 +21,7 @@ package metrics
 
 import (
 	"fmt"
+	"sync"
 
 	"numasim/internal/ace"
 	"numasim/internal/cthreads"
@@ -128,6 +129,11 @@ type Evaluator struct {
 	Threshold int
 	// Sched selects the scheduling discipline (default affinity).
 	Sched sched.Mode
+	// Parallelism bounds how many of the three instrumented runs execute
+	// concurrently on real OS threads (<=1: sequential). Each run is a
+	// self-contained deterministic simulation on its own machine, so the
+	// measured results are bit-identical regardless of this setting.
+	Parallelism int
 }
 
 // NewEvaluator returns an evaluator for the paper's measurement setup:
@@ -149,24 +155,50 @@ func (e *Evaluator) Evaluate(fresh func() Runner) (Eval, error) {
 		thr = policy.DefaultThreshold
 	}
 
-	wNuma := fresh()
-	numaRun, err := Run(wNuma, RunSpec{Config: cfg, Policy: policy.NewThreshold(thr), Workers: workers, Sched: e.Sched})
-	if err != nil {
-		return Eval{}, err
-	}
-	globalRun, err := Run(fresh(), RunSpec{Config: cfg, Policy: policy.AllGlobal{}, Workers: workers, Sched: e.Sched})
-	if err != nil {
-		return Eval{}, err
-	}
 	// T_local: "running the parallel applications with a single thread on
 	// a single processor system, causing all data to be placed in local
 	// memory" (§3.1).
 	localCfg := cfg
 	localCfg.NProc = 1
-	localRun, err := Run(fresh(), RunSpec{Config: localCfg, Policy: policy.AllLocal{}, Workers: 1, Sched: e.Sched})
-	if err != nil {
-		return Eval{}, err
+
+	// The three instrumented runs are independent simulations on separate
+	// machines; fan them out. The workload instances are created serially
+	// (factories need not be concurrency-safe), only the runs overlap.
+	wNuma := fresh()
+	runs := []struct {
+		w    Runner
+		spec RunSpec
+	}{
+		{wNuma, RunSpec{Config: cfg, Policy: policy.NewThreshold(thr), Workers: workers, Sched: e.Sched}},
+		{fresh(), RunSpec{Config: cfg, Policy: policy.AllGlobal{}, Workers: workers, Sched: e.Sched}},
+		{fresh(), RunSpec{Config: localCfg, Policy: policy.AllLocal{}, Workers: 1, Sched: e.Sched}},
 	}
+	var results [3]RunResult
+	var errs [3]error
+	if e.Parallelism > 1 {
+		sem := make(chan struct{}, e.Parallelism)
+		var wg sync.WaitGroup
+		for i := range runs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				results[i], errs[i] = Run(runs[i].w, runs[i].spec)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range runs {
+			results[i], errs[i] = Run(runs[i].w, runs[i].spec)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return Eval{}, err
+		}
+	}
+	numaRun, globalRun, localRun := results[0], results[1], results[2]
 
 	gl := cfg.Cost.GOverL(0.45)
 	if wNuma.FetchHeavy() {

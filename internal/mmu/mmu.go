@@ -69,6 +69,20 @@ type Stats struct {
 	Protects   uint64 // protection changes
 }
 
+// tlbSize is the number of direct-mapped software-TLB slots. Keys are
+// (space, vpn) pairs, so consecutive pages of one address space fill
+// consecutive slots; 64 slots cover the working set of the paper's
+// applications' inner loops.
+const tlbSize = 64
+
+// tlbSlot caches one translation. The slot holds the PTE pointer, not a
+// copy, so in-place protection changes are always visible; only mappings
+// that are removed or replaced need explicit slot invalidation.
+type tlbSlot struct {
+	key Key
+	pte *PTE
+}
+
 // MMU is the translation state of a single processor.
 type MMU struct {
 	proc  int
@@ -76,9 +90,8 @@ type MMU struct {
 	byFrm map[*mem.Frame]*PTE // frame -> its single pte on this processor
 	stats Stats
 
-	// one-entry software "TLB" to make the hot translate path cheap
-	lastKey Key
-	lastPTE *PTE
+	// direct-mapped software "TLB" to make the hot translate path cheap
+	tlb [tlbSize]tlbSlot
 }
 
 // New creates the MMU for processor proc.
@@ -96,7 +109,20 @@ func (m *MMU) Proc() int { return m.proc }
 // Stats returns a copy of the MMU's event counters.
 func (m *MMU) Stats() Stats { return m.stats }
 
-func (m *MMU) invalidateTLB() { m.lastPTE = nil }
+// tlbDrop invalidates the slot caching key, if it still does.
+func (m *MMU) tlbDrop(key Key) {
+	s := &m.tlb[int(key)&(tlbSize-1)]
+	if s.pte != nil && s.key == key {
+		s.pte = nil
+	}
+}
+
+// tlbFill caches a translation, displacing whatever shared its slot.
+func (m *MMU) tlbFill(key Key, pte *PTE) {
+	m.tlb[int(key)&(tlbSize-1)] = tlbSlot{key: key, pte: pte}
+}
+
+func (m *MMU) invalidateTLB() { m.tlb = [tlbSize]tlbSlot{} }
 
 // Enter installs a translation from vpn to frame with the given protection,
 // replacing any previous translation for vpn. If frame is already mapped at
@@ -113,6 +139,7 @@ func (m *MMU) Enter(key Key, frame *mem.Frame, prot Prot) {
 		delete(m.pt, old.Key)
 		delete(m.byFrm, frame)
 		m.stats.AliasDrops++
+		m.tlbDrop(old.Key)
 	}
 	if old, ok := m.pt[key]; ok {
 		delete(m.byFrm, old.Frame)
@@ -121,7 +148,8 @@ func (m *MMU) Enter(key Key, frame *mem.Frame, prot Prot) {
 	m.pt[key] = pte
 	m.byFrm[frame] = pte
 	m.stats.Enters++
-	m.invalidateTLB()
+	// Prefill: the faulting access retries immediately after Enter.
+	m.tlbFill(key, pte)
 }
 
 // Remove drops the translation for vpn, if any.
@@ -130,7 +158,7 @@ func (m *MMU) Remove(key Key) {
 		delete(m.pt, key)
 		delete(m.byFrm, pte.Frame)
 		m.stats.Removes++
-		m.invalidateTLB()
+		m.tlbDrop(key)
 	}
 }
 
@@ -144,7 +172,7 @@ func (m *MMU) RemoveFrame(frame *mem.Frame) bool {
 	delete(m.pt, pte.Key)
 	delete(m.byFrm, frame)
 	m.stats.Removes++
-	m.invalidateTLB()
+	m.tlbDrop(pte.Key)
 	return true
 }
 
@@ -157,9 +185,10 @@ func (m *MMU) Protect(key Key, prot Prot) {
 			m.Remove(key)
 			return
 		}
+		// The TLB caches the PTE pointer, so the change is visible to
+		// cached translations without invalidation.
 		pte.Prot = prot
 		m.stats.Protects++
-		m.invalidateTLB()
 	}
 }
 
@@ -183,17 +212,18 @@ func (m *MMU) LookupFrame(frame *mem.Frame) *PTE {
 
 // Translate resolves an access. It returns the frame to access if the
 // translation exists with sufficient permission, or nil to signal a fault.
-// This is the hot path: it goes through the one-entry TLB first.
+// This is the hot path: it goes through the direct-mapped TLB first.
 func (m *MMU) Translate(key Key, write bool) *mem.Frame {
-	pte := m.lastPTE
-	if pte == nil || m.lastKey != key {
+	s := &m.tlb[int(key)&(tlbSize-1)]
+	pte := s.pte
+	if pte == nil || s.key != key {
 		var ok bool
 		pte, ok = m.pt[key]
 		if !ok {
 			return nil
 		}
-		m.lastKey = key
-		m.lastPTE = pte
+		s.key = key
+		s.pte = pte
 	}
 	if write {
 		if !pte.Prot.CanWrite() {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -89,6 +90,103 @@ func TestClockMonotonic(t *testing.T) {
 		return ok
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// scheduleTrace runs a randomized program of Spawn/Advance/Yield/Block/
+// Wake/Bind/Join operations on an engine and records the exact schedule:
+// the (thread id, clock) pair at every context switch, plus each thread's
+// final clock and user time and the run's error. The program is fully
+// determined by the seed, so two engines given the same seed execute the
+// same program.
+func scheduleTrace(seed int64, linear bool) (schedule []int64, err error) {
+	rng := rand.New(rand.NewSource(seed))
+	e := NewEngine()
+	e.linearPick = linear
+	cpus := []*Resource{{Name: "a"}, {Name: "b"}, {Name: "c"}}
+	e.Trace = func(t *Thread) {
+		schedule = append(schedule, int64(t.id), int64(t.clock))
+	}
+	n := rng.Intn(6) + 2
+	threads := make([]*Thread, n)
+	body := func(i int) func(*Thread) {
+		return func(th *Thread) {
+			ops := rng.Intn(30) + 5
+			for j := 0; j < ops; j++ {
+				switch rng.Intn(10) {
+				case 0, 1, 2:
+					th.Advance(Time(rng.Intn(700)) * Microsecond)
+				case 3:
+					th.AdvanceSys(Time(rng.Intn(200)) * Microsecond)
+				case 4:
+					th.Idle(Time(rng.Intn(100)) * Microsecond)
+				case 5, 6:
+					th.Yield()
+				case 7:
+					th.Bind(cpus[rng.Intn(len(cpus))])
+				case 8:
+					// Wake a random peer (a no-op unless it is blocked).
+					if p := threads[rng.Intn(n)]; p != nil && p != th {
+						p.Wake(th.Clock())
+					}
+				case 9:
+					// Block; a peer's case-8 wake (or a deadlock, identical
+					// in both engines) resolves it.
+					th.Block("rnd")
+				}
+			}
+			// Wake everyone on the way out so most runs terminate cleanly.
+			for _, p := range threads {
+				if p != nil && p != th {
+					p.Wake(th.Clock())
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		threads[i] = e.Spawn(fmt.Sprintf("t%d", i), Time(rng.Intn(50))*Microsecond, body(i))
+	}
+	err = e.Run()
+	for _, t := range threads {
+		schedule = append(schedule, int64(t.Clock()), int64(t.UserTime()), int64(t.SysTime()))
+	}
+	return schedule, err
+}
+
+// TestPickHeapMatchesLinearScan: the heap-based ready queue must produce
+// exactly the schedule of the original O(n) scan — same threads resumed in
+// the same order at the same clocks — on randomized programs exercising
+// Spawn, Yield, Block, Wake and Bind. Deadlocking programs must deadlock
+// identically.
+func TestPickHeapMatchesLinearScan(t *testing.T) {
+	prop := func(seed int64) bool {
+		heapSched, heapErr := scheduleTrace(seed, false)
+		linSched, linErr := scheduleTrace(seed, true)
+		if len(heapSched) != len(linSched) {
+			t.Logf("seed %d: schedule lengths differ: heap %d, linear %d", seed, len(heapSched), len(linSched))
+			return false
+		}
+		for i := range heapSched {
+			if heapSched[i] != linSched[i] {
+				t.Logf("seed %d: schedules diverge at %d: heap %d, linear %d", seed, i, heapSched[i], linSched[i])
+				return false
+			}
+		}
+		heapMsg, linMsg := "", ""
+		if heapErr != nil {
+			heapMsg = heapErr.Error()
+		}
+		if linErr != nil {
+			linMsg = linErr.Error()
+		}
+		if heapMsg != linMsg {
+			t.Logf("seed %d: errors differ: heap %q, linear %q", seed, heapMsg, linMsg)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
 		t.Error(err)
 	}
 }

@@ -111,6 +111,7 @@ type Thread struct {
 	res *Resource // bound processor, may be nil
 
 	seq    uint64 // yield order, for FIFO tie-breaking
+	key    Time  // effective time when enqueued on the ready heap
 	resume chan resumeMsg
 	err    error
 
@@ -189,6 +190,7 @@ func (t *Thread) Yield() {
 	t.mustBeRunning("Yield")
 	t.state = Ready
 	t.seq = t.engine.nextSeq()
+	t.engine.readyPush(t)
 	t.park()
 }
 
@@ -213,6 +215,7 @@ func (t *Thread) Wake(at Time) {
 		t.clock = at
 	}
 	t.seq = t.engine.nextSeq()
+	t.engine.readyPush(t)
 }
 
 // Join blocks the calling thread until t has finished, then advances the
@@ -253,11 +256,16 @@ func (t *Thread) park() {
 // Engine schedules simulated threads in deterministic virtual-time order.
 type Engine struct {
 	threads []*Thread
+	ready   []*Thread // min-heap on (key, seq); key lower-bounds effTime
 	running *Thread
 	park    chan *Thread
 	nextID  int
 	seq     uint64
 	started bool
+	// linearPick forces the O(n) ready scan instead of the heap; the
+	// scheduler-equivalence property test uses it to drive both
+	// implementations on identical programs.
+	linearPick bool
 	// Trace, if non-nil, is called on every context switch with the thread
 	// about to run.
 	Trace func(t *Thread)
@@ -288,6 +296,7 @@ func (e *Engine) Spawn(name string, start Time, fn func(*Thread)) *Thread {
 	}
 	e.nextID++
 	e.threads = append(e.threads, t)
+	e.readyPush(t)
 	go t.top(fn)
 	return t
 }
@@ -335,7 +344,40 @@ func (t *Thread) effTime() Time {
 }
 
 // pick selects the ready thread with the smallest (effective time, seq).
+//
+// The ready threads live in a binary min-heap ordered by (key, seq), where
+// key is the thread's effective time captured when it was enqueued. A
+// ready thread's own clock never changes, but its resource's freeAt can
+// grow while it waits, so the stored key is a lower bound on the true
+// effective time. pick therefore revalidates the root: if its effective
+// time has grown past its key, the key is refreshed and the entry sifted
+// down, and the scan repeats. Because every key lower-bounds its thread's
+// true effective time, a root whose key is exact is the global minimum,
+// and the (effTime, seq) order is identical to the former O(n) scan.
 func (e *Engine) pick() *Thread {
+	if e.linearPick {
+		return e.pickLinear()
+	}
+	for len(e.ready) > 0 {
+		t := e.ready[0]
+		if t.state != Ready {
+			e.readyPop() // entry gone stale during teardown
+			continue
+		}
+		if et := t.effTime(); et > t.key {
+			t.key = et
+			e.readyFix(0)
+			continue
+		}
+		e.readyPop()
+		return t
+	}
+	return nil
+}
+
+// pickLinear is the original O(n) scan over all threads, kept as the
+// reference implementation for the scheduler-equivalence property test.
+func (e *Engine) pickLinear() *Thread {
 	var best *Thread
 	var bestTime Time
 	for _, t := range e.threads {
@@ -348,6 +390,64 @@ func (e *Engine) pick() *Thread {
 		}
 	}
 	return best
+}
+
+// readyPush enqueues a thread that just became Ready.
+func (e *Engine) readyPush(t *Thread) {
+	if e.linearPick {
+		return
+	}
+	t.key = t.effTime()
+	e.ready = append(e.ready, t)
+	e.readyUp(len(e.ready) - 1)
+}
+
+// readyPop removes the heap root.
+func (e *Engine) readyPop() {
+	last := len(e.ready) - 1
+	e.ready[0] = e.ready[last]
+	e.ready[last] = nil
+	e.ready = e.ready[:last]
+	if last > 0 {
+		e.readyFix(0)
+	}
+}
+
+// readyLess orders heap entries by (key, seq).
+func (e *Engine) readyLess(i, j int) bool {
+	a, b := e.ready[i], e.ready[j]
+	return a.key < b.key || (a.key == b.key && a.seq < b.seq)
+}
+
+// readyUp restores the heap invariant from leaf i toward the root.
+func (e *Engine) readyUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.readyLess(i, parent) {
+			break
+		}
+		e.ready[i], e.ready[parent] = e.ready[parent], e.ready[i]
+		i = parent
+	}
+}
+
+// readyFix restores the heap invariant from node i toward the leaves.
+func (e *Engine) readyFix(i int) {
+	n := len(e.ready)
+	for {
+		min := i
+		if l := 2*i + 1; l < n && e.readyLess(l, min) {
+			min = l
+		}
+		if r := 2*i + 2; r < n && e.readyLess(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		e.ready[i], e.ready[min] = e.ready[min], e.ready[i]
+		i = min
+	}
 }
 
 // Run executes the simulation until every thread has finished. It returns

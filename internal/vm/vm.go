@@ -619,6 +619,14 @@ type Context struct {
 	th     *sim.Thread
 	proc   int
 
+	// Hot-path caches: every Load/Store goes through these, so the
+	// indirections through kernel, machine and task are resolved once here
+	// (and again on migration) instead of per reference.
+	mach     *ace.Machine
+	hw       *mmu.MMU   // current processor's MMU
+	pm       *pmap.Pmap // the task's pmap (for key composition)
+	pageMask uint32     // PageSize-1, for offset extraction
+
 	sliceEnd sim.Time
 	// OnQuantum, if set, is invoked when the scheduling quantum expires,
 	// instead of a plain yield. Schedulers use it to time-slice and (in the
@@ -630,7 +638,16 @@ type Context struct {
 // proc. The thread is bound to the processor's execution resource.
 func NewContext(k *Kernel, task *Task, th *sim.Thread, proc int) *Context {
 	th.Bind(k.machine.Proc(proc).Resource())
-	return &Context{kernel: k, task: task, th: th, proc: proc}
+	return &Context{
+		kernel:   k,
+		task:     task,
+		th:       th,
+		proc:     proc,
+		mach:     k.machine,
+		hw:       k.machine.MMU(proc),
+		pm:       task.pm,
+		pageMask: uint32(k.machine.PageSize() - 1),
+	}
 }
 
 // Kernel returns the kernel this context runs on.
@@ -651,7 +668,8 @@ func (c *Context) MigrateTo(proc int) {
 		return
 	}
 	c.proc = proc
-	c.th.Bind(c.kernel.machine.Proc(proc).Resource())
+	c.hw = c.mach.MMU(proc)
+	c.th.Bind(c.mach.Proc(proc).Resource())
 }
 
 // MigrateWithPages moves the context to another processor and takes the
@@ -710,64 +728,84 @@ func (c *Context) tick() {
 	c.sliceEnd = c.th.Clock() + c.kernel.machine.Config().Quantum
 }
 
-// translate resolves va for an access, faulting as needed.
+// translate resolves va for an access, faulting as needed. The TLB probe
+// is the fast path; everything after a miss lives in translateSlow so the
+// probe inlines into the accessors.
 func (c *Context) translate(va uint32, write bool) *mem.Frame {
-	hw := c.kernel.machine.MMU(c.proc)
-	key := c.task.pm.Key(va)
+	if f := c.hw.Translate(c.pm.Key(va), write); f != nil {
+		return f
+	}
+	return c.translateSlow(va, write)
+}
+
+// translateSlow resolves a TLB/translation miss through the fault path.
+func (c *Context) translateSlow(va uint32, write bool) *mem.Frame {
 	for i := 0; i < maxFaultRetries; i++ {
-		if f := hw.Translate(key, write); f != nil {
-			return f
-		}
 		if err := c.kernel.Fault(c.th, c.task, c.proc, va, write); err != nil {
 			panic(&AccessError{VA: va, Write: write, Err: err})
+		}
+		if f := c.hw.Translate(c.pm.Key(va), write); f != nil {
+			return f
 		}
 	}
 	panic(&AccessError{VA: va, Write: write, Err: errors.New("fault loop did not converge")})
 }
 
-// Load32 loads the 32-bit word at va.
-func (c *Context) Load32(va uint32) uint32 {
-	f := c.translate(va, false)
+// refFetch is the folded translate+trace+charge path for one 32-bit read:
+// on a TLB hit to a local frame it runs without touching kernel or task
+// state beyond the trace predicate.
+func (c *Context) refFetch(va uint32) *mem.Frame {
+	f := c.hw.Translate(c.pm.Key(va), false)
+	if f == nil {
+		f = c.translateSlow(va, false)
+	}
 	if c.kernel.RefTrace != nil {
 		c.kernel.RefTrace(c.proc, va, false)
 	}
-	c.kernel.machine.ChargeFetch(c.th, c.proc, f)
-	v := f.Load32(c.kernel.machine.PageOff(va))
+	c.mach.ChargeFetch(c.th, c.proc, f)
+	return f
+}
+
+// refStore is the folded translate+trace+charge path for one 32-bit write.
+func (c *Context) refStore(va uint32) *mem.Frame {
+	f := c.hw.Translate(c.pm.Key(va), true)
+	if f == nil {
+		f = c.translateSlow(va, true)
+	}
+	if c.kernel.RefTrace != nil {
+		c.kernel.RefTrace(c.proc, va, true)
+	}
+	c.mach.ChargeStore(c.th, c.proc, f)
+	return f
+}
+
+// Load32 loads the 32-bit word at va.
+func (c *Context) Load32(va uint32) uint32 {
+	f := c.refFetch(va)
+	v := f.Load32(int(va & c.pageMask))
 	c.tick()
 	return v
 }
 
 // Store32 stores a 32-bit word at va.
 func (c *Context) Store32(va uint32, v uint32) {
-	f := c.translate(va, true)
-	if c.kernel.RefTrace != nil {
-		c.kernel.RefTrace(c.proc, va, true)
-	}
-	c.kernel.machine.ChargeStore(c.th, c.proc, f)
-	f.Store32(c.kernel.machine.PageOff(va), v)
+	f := c.refStore(va)
+	f.Store32(int(va&c.pageMask), v)
 	c.tick()
 }
 
 // Load8 loads the byte at va (charged as one reference, as on the ROMP).
 func (c *Context) Load8(va uint32) byte {
-	f := c.translate(va, false)
-	if c.kernel.RefTrace != nil {
-		c.kernel.RefTrace(c.proc, va, false)
-	}
-	c.kernel.machine.ChargeFetch(c.th, c.proc, f)
-	v := f.Load8(c.kernel.machine.PageOff(va))
+	f := c.refFetch(va)
+	v := f.Load8(int(va & c.pageMask))
 	c.tick()
 	return v
 }
 
 // Store8 stores the byte at va.
 func (c *Context) Store8(va uint32, v byte) {
-	f := c.translate(va, true)
-	if c.kernel.RefTrace != nil {
-		c.kernel.RefTrace(c.proc, va, true)
-	}
-	c.kernel.machine.ChargeStore(c.th, c.proc, f)
-	f.Store8(c.kernel.machine.PageOff(va), v)
+	f := c.refStore(va)
+	f.Store8(int(va&c.pageMask), v)
 	c.tick()
 }
 
@@ -775,14 +813,12 @@ func (c *Context) Store8(va uint32, v byte) {
 // The address must not cross a page boundary.
 func (c *Context) Load64(va uint32) uint64 {
 	c.checkSpan(va, 8)
-	f := c.translate(va, false)
+	f := c.refFetch(va)
 	if c.kernel.RefTrace != nil {
-		c.kernel.RefTrace(c.proc, va, false)
 		c.kernel.RefTrace(c.proc, va+4, false)
 	}
-	c.kernel.machine.ChargeFetch(c.th, c.proc, f)
-	c.kernel.machine.ChargeFetch(c.th, c.proc, f)
-	v := f.Load64(c.kernel.machine.PageOff(va))
+	c.mach.ChargeFetch(c.th, c.proc, f)
+	v := f.Load64(int(va & c.pageMask))
 	c.tick()
 	return v
 }
@@ -790,14 +826,12 @@ func (c *Context) Load64(va uint32) uint64 {
 // Store64 stores a 64-bit word at va, charged as two 32-bit references.
 func (c *Context) Store64(va uint32, v uint64) {
 	c.checkSpan(va, 8)
-	f := c.translate(va, true)
+	f := c.refStore(va)
 	if c.kernel.RefTrace != nil {
-		c.kernel.RefTrace(c.proc, va, true)
 		c.kernel.RefTrace(c.proc, va+4, true)
 	}
-	c.kernel.machine.ChargeStore(c.th, c.proc, f)
-	c.kernel.machine.ChargeStore(c.th, c.proc, f)
-	f.Store64(c.kernel.machine.PageOff(va), v)
+	c.mach.ChargeStore(c.th, c.proc, f)
+	f.Store64(int(va&c.pageMask), v)
 	c.tick()
 }
 
@@ -812,7 +846,7 @@ func (c *Context) StoreF64(va uint32, v float64) {
 }
 
 func (c *Context) checkSpan(va uint32, n int) {
-	if c.kernel.machine.PageOff(va)+n > c.kernel.machine.PageSize() {
+	if int(va&c.pageMask)+n > int(c.pageMask)+1 {
 		panic(&AccessError{VA: va, Err: errors.New("access crosses page boundary")})
 	}
 }
@@ -826,10 +860,10 @@ func (c *Context) TestAndSet(va uint32) uint32 {
 	if c.kernel.RefTrace != nil {
 		c.kernel.RefTrace(c.proc, va, true)
 	}
-	m := c.kernel.machine
+	m := c.mach
 	m.ChargeFetch(c.th, c.proc, f)
 	m.ChargeStore(c.th, c.proc, f)
-	off := m.PageOff(va)
+	off := int(va & c.pageMask)
 	old := f.Load32(off)
 	f.Store32(off, 1)
 	c.tick()
@@ -844,10 +878,10 @@ func (c *Context) FetchOr32(va uint32, bits uint32) uint32 {
 	if c.kernel.RefTrace != nil {
 		c.kernel.RefTrace(c.proc, va, true)
 	}
-	m := c.kernel.machine
+	m := c.mach
 	m.ChargeFetch(c.th, c.proc, f)
 	m.ChargeStore(c.th, c.proc, f)
-	off := m.PageOff(va)
+	off := int(va & c.pageMask)
 	old := f.Load32(off)
 	f.Store32(off, old|bits)
 	c.tick()
@@ -905,10 +939,10 @@ func (c *Context) Syscall(nInstr int, touches ...uint32) {
 	c.th.AdvanceSys(sim.Time(nInstr) * c.kernel.machine.Cost().Instr)
 	for _, va := range touches {
 		f := c.translate(va, true)
-		m := c.kernel.machine
+		m := c.mach
 		m.ChargeFetch(c.th, c.proc, f)
 		m.ChargeStore(c.th, c.proc, f)
-		off := m.PageOff(va)
+		off := int(va & c.pageMask)
 		f.Store32(off, f.Load32(off))
 	}
 	if c.proc != home {
