@@ -1,23 +1,38 @@
 # Build, verify and benchmark the numasim reproduction.
 #
-#   make check   - build everything, vet, and run the full test suite
-#                  under the race detector (the parallel harness runs
-#                  many simulations concurrently; -race guards it)
-#   make bench   - run the benchmark suite (tables, ablations, and the
-#                  simulator hot-path microbenchmarks)
-#   make tables  - regenerate the paper's tables and figures
+#   make check    - build everything, vet, lint (numalint), and run the
+#                   full test suite under the race detector (the parallel
+#                   harness runs many simulations concurrently; -race
+#                   guards it)
+#   make lint     - run the numalint analyzer suite (determinism,
+#                   maporder, statemachine, units) via go vet -vettool
+#   make numalint - build the numalint binary and print its path
+#   make bench    - run the benchmark suite (tables, ablations, and the
+#                   simulator hot-path microbenchmarks)
+#   make tables   - regenerate the paper's tables and figures
 
 GO ?= go
+NUMALINT := bin/numalint
 
-.PHONY: check build vet test bench tables
+.PHONY: check build vet lint numalint test bench tables
 
-check: build vet test
+check: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# numalint builds the analyzer binary and prints its absolute path, so it
+# composes with go vet: go vet -vettool=$$(make -s numalint) ./...
+numalint:
+	@$(GO) build -o $(NUMALINT) ./cmd/numalint
+	@echo $(CURDIR)/$(NUMALINT)
+
+lint:
+	$(GO) build -o $(NUMALINT) ./cmd/numalint
+	$(GO) vet -vettool=$(CURDIR)/$(NUMALINT) ./...
 
 test:
 	$(GO) test -race ./...

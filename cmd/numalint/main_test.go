@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"numasim/internal/analysis"
+	"numasim/internal/analysis/load"
+)
+
+// TestRepositoryIsClean runs every analyzer over the whole module: the
+// invariants numalint enforces are part of the test suite, not just an
+// optional lint step.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Dir(filepath.Dir(wd)) // cmd/numalint -> module root
+	pkgs, err := load.Packages(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; expected the whole module", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		findings, err := analysis.Run(pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo, analyzers)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.PkgPath, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s: [%s] %s", pkg.Fset.Position(f.Diag.Pos), f.Analyzer.Name, f.Diag.Message)
+		}
+	}
+}

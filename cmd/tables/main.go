@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	tables [-nproc N] [-workers N] [-small] [-parallel N]
+//	tables [-nproc N] [-workers N] [-small] [-parallel N] [-timing]
 //	       [-table N | -figure N | -exp NAME]
 //
 // Experiments: falsesharing (§4.2).
@@ -17,8 +17,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"numasim/internal/harness"
+	"numasim/internal/metrics"
 )
 
 func main() {
@@ -30,10 +32,22 @@ func main() {
 	exp := flag.String("exp", "", "print only the named experiment (falsesharing)")
 	csv := flag.Bool("csv", false, "emit Tables 3 and 4 as CSV")
 	parallel := flag.Int("parallel", 0, "simulations to run concurrently (0: one per host CPU; results are identical at every setting)")
+	timing := flag.Bool("timing", false, "report wall-clock run time on stderr (diagnostic only; never part of a table)")
 	flag.Parse()
 
 	opts := harness.Options{NProc: *nproc, Workers: *workers, Small: *smallFlag, Parallelism: *parallel}
 	all := *table == 0 && *figure == 0 && *exp == ""
+
+	// Wall-clock time is host-side diagnostics in its own unit type
+	// (metrics.WallMicros); the tables themselves carry only virtual
+	// seconds (sim.Ticks), and the numalint units analyzer keeps the two
+	// from ever mixing.
+	start := time.Now()
+	if *timing {
+		defer func() {
+			fmt.Fprintf(os.Stderr, "tables: wall time %.1f ms\n", metrics.WallSince(start).Millis())
+		}()
+	}
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "tables:", err)

@@ -1,0 +1,221 @@
+// Package load type-checks packages of this module for the numalint
+// analyzers without any dependency outside the standard library.
+//
+// It drives `go list -deps -export -json`, which compiles (or fetches from
+// the build cache) the export data of every dependency, then parses the
+// target packages from source and type-checks them against that export
+// data via the standard gc importer. The result is the same typed syntax
+// an x/tools-based driver would hand an analyzer.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+
+	"numasim/internal/analysis"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File // non-test files, parsed with comments
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+}
+
+// Exports resolves import paths to compiled export data. The zero value
+// resolves lazily by shelling out to `go list -export`; prefilled maps
+// (the vettool protocol's PackageFile) take precedence.
+type Exports struct {
+	mu sync.Mutex
+	// Files maps a package path to its export data file.
+	Files map[string]string
+	// ImportMap maps source-level import paths to package paths
+	// (vendoring or test-variant indirection); identity when absent.
+	ImportMap map[string]string
+	// Dir is the working directory for lazy `go list` calls.
+	Dir string
+	// NoList disables lazy resolution (vettool mode: the go command has
+	// already supplied every legal import).
+	NoList bool
+}
+
+// Lookup returns a reader of the export data for path.
+func (e *Exports) Lookup(path string) (io.ReadCloser, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.ImportMap[path]; ok {
+		path = p
+	}
+	if e.Files == nil {
+		e.Files = make(map[string]string)
+	}
+	file, ok := e.Files[path]
+	if !ok {
+		if e.NoList {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		if err := e.list(path); err != nil {
+			return nil, err
+		}
+		if file, ok = e.Files[path]; !ok {
+			return nil, fmt.Errorf("go list produced no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// list resolves path (and its dependencies, cheaply, since they share
+// build-cache entries) into e.Files.
+func (e *Exports) list(patterns ...string) error {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export,DepOnly,Standard,Dir,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = e.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		if p.Export != "" {
+			e.Files[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+// Importer returns a types.Importer backed by the export map.
+func (e *Exports) Importer(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "gc", e.Lookup)
+}
+
+// NewInfo allocates a fully populated types.Info.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// Check parses and type-checks one package from its file list. Test files
+// are dropped (analyzers do not inspect them). sizes may be nil.
+func Check(pkgPath string, fset *token.FileSet, filenames []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		if analysis.IsTestFile(name) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		// Nothing but test files (an external _test package): analyzers do
+		// not inspect test code, so return an empty package.
+		return &Package{PkgPath: pkgPath, Fset: fset, Types: types.NewPackage(pkgPath, "_"), TypesInfo: NewInfo()}, nil
+	}
+	info := NewInfo()
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		PkgPath:   pkgPath,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// Packages loads, parses and type-checks the packages matching the go
+// list patterns (e.g. "./..."), in deterministic import-path order.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	exp := &Exports{Files: make(map[string]string), Dir: dir}
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export,DepOnly,Standard,Dir,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		if p.Export != "" {
+			exp.Files[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	var pkgs []*Package
+	for _, t := range targets {
+		fset := token.NewFileSet()
+		var names []string
+		for _, g := range t.GoFiles {
+			names = append(names, filepath.Join(t.Dir, g))
+		}
+		pkg, err := Check(t.ImportPath, fset, names, exp.Importer(fset))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", t.ImportPath, err)
+		}
+		pkg.Dir = t.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,120 @@
+// Package determinism forbids wall-clock and entropy sources inside the
+// simulator's deterministic core.
+//
+// The repository's headline guarantee is that every table in the paper is
+// reproduced by a deterministic discrete-event simulation: byte-identical
+// output at any host parallelism. A single time.Now or unseeded
+// math/rand call inside the simulation would silently void that
+// guarantee, so the core packages are closed to ambient inputs.
+//
+// A package is "core" when its import path is on the built-in restricted
+// list (the simulator packages) or when any of its files carries a
+// //numalint:deterministic directive. Within a core package the analyzer
+// reports:
+//
+//   - any import of math/rand, math/rand/v2 or crypto/rand (workloads
+//     that need pseudo-randomness must use an explicitly seeded generator
+//     owned by the simulation, not a package-level source);
+//   - any reference to a wall-clock or process-identity function:
+//     time.Now/Since/Until/After/AfterFunc/Tick/NewTimer/NewTicker/Sleep,
+//     os.Getpid/Getppid/Environ/Getenv/Hostname.
+package determinism
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"numasim/internal/analysis"
+)
+
+// Analyzer is the determinism check.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock and entropy sources in the simulator's deterministic core",
+	Run:  run,
+}
+
+// RestrictedPrefixes lists the import paths (and their subtrees) that make
+// up the deterministic core. Packages can also opt in with a
+// //numalint:deterministic directive.
+var RestrictedPrefixes = []string{
+	"numasim/internal/sim",
+	"numasim/internal/numa",
+	"numasim/internal/vm",
+	"numasim/internal/mmu",
+	"numasim/internal/pmap",
+	"numasim/internal/policy",
+	"numasim/internal/workloads",
+	"numasim/internal/ace",
+	"numasim/internal/cthreads",
+	"numasim/internal/sched",
+	"numasim/internal/mem",
+	"numasim/internal/trace",
+}
+
+// forbiddenImports are packages whose mere presence defeats determinism.
+var forbiddenImports = map[string]string{
+	"math/rand":    "package-level randomness",
+	"math/rand/v2": "package-level randomness",
+	"crypto/rand":  "hardware entropy",
+}
+
+// forbiddenFuncs maps package path to the ambient functions banned in it.
+var forbiddenFuncs = map[string]map[string]string{
+	"time": {
+		"Now": "wall clock", "Since": "wall clock", "Until": "wall clock",
+		"After": "wall-clock timer", "AfterFunc": "wall-clock timer",
+		"Tick": "wall-clock timer", "NewTimer": "wall-clock timer",
+		"NewTicker": "wall-clock timer", "Sleep": "wall-clock delay",
+	},
+	"os": {
+		"Getpid": "process identity", "Getppid": "process identity",
+		"Environ": "ambient environment", "Getenv": "ambient environment",
+		"LookupEnv": "ambient environment", "Hostname": "host identity",
+	},
+}
+
+func restricted(pass *analysis.Pass) bool {
+	path := pass.Pkg.Path()
+	for _, p := range RestrictedPrefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return analysis.HasPackageDirective(pass, "deterministic")
+}
+
+func run(pass *analysis.Pass) error {
+	if !restricted(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := forbiddenImports[path]; ok {
+				pass.Reportf(imp.Pos(), "import of %s (%s) in deterministic package %s; use a simulation-owned seeded generator instead",
+					path, why, pass.Pkg.Path())
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if why, ok := forbiddenFuncs[obj.Pkg().Path()][obj.Name()]; ok {
+				pass.Reportf(sel.Pos(), "%s.%s (%s) in deterministic package %s; simulated code must take time from sim.Thread clocks only",
+					obj.Pkg().Path(), obj.Name(), why, pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package determinism_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"numasim/internal/analysis/analysistest"
+	"numasim/internal/analysis/passes/determinism"
+)
+
+func TestDirectiveOptIn(t *testing.T) {
+	analysistest.Run(t, filepath.Join(analysistest.TestData(), "directive_optin"), determinism.Analyzer)
+}
+
+func TestRestrictedImportPath(t *testing.T) {
+	// The same kind of violation is reported without any directive when
+	// the package lives in the restricted subtree.
+	analysistest.Run(t, filepath.Join(analysistest.TestData(), "core_path"), determinism.Analyzer,
+		analysistest.WithImportPath("numasim/internal/sim/fixture"))
+}
+
+func TestUnrestrictedPackageIsIgnored(t *testing.T) {
+	// No directive, host-side import path: the same code is legal.
+	analysistest.Run(t, filepath.Join(analysistest.TestData(), "unrestricted"), determinism.Analyzer,
+		analysistest.WithImportPath("numasim/internal/harness/fixture"))
+}
+
+func TestPathBoundary(t *testing.T) {
+	// A path that merely shares a prefix string (numasim/internal/simX)
+	// must NOT be restricted: the boundary is a path separator.
+	analysistest.Run(t, filepath.Join(analysistest.TestData(), "unrestricted"), determinism.Analyzer,
+		analysistest.WithImportPath("numasim/internal/simulators"))
+}

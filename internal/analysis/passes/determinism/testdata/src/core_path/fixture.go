@@ -1,0 +1,10 @@
+// Package fixture carries no directive; it is restricted only when
+// type-checked under a core import path (the test overrides the path to
+// live below numasim/internal/sim).
+package fixture
+
+import "time"
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now \(wall clock\)`
+}

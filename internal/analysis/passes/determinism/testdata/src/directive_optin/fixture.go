@@ -1,0 +1,31 @@
+// Package fixture opts into the deterministic core via directive: every
+// ambient-input reference below must be reported.
+//
+//numalint:deterministic
+package fixture
+
+import (
+	"math/rand" // want `import of math/rand \(package-level randomness\)`
+	"os"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now()                            // want `time\.Now \(wall clock\)`
+	time.Sleep(0)                              // want `time\.Sleep \(wall-clock delay\)`
+	return t.UnixNano() + int64(time.Since(t)) // want `time\.Since \(wall clock\)`
+}
+
+func entropy() int {
+	return rand.Int() + os.Getpid() // want `os\.Getpid \(process identity\)`
+}
+
+func environment() string {
+	v, _ := os.LookupEnv("HOME") // want `os\.LookupEnv \(ambient environment\)`
+	return v
+}
+
+// Virtual-time constructs are fine: only ambient sources are banned.
+func allowed() time.Duration {
+	return 3 * time.Second
+}

@@ -1,0 +1,10 @@
+// Package fixture is host-side code: no directive, and the test runs it
+// under a non-core import path, so wall clocks are allowed (the harness
+// legitimately measures how long simulations take to run).
+package fixture
+
+import "time"
+
+func wallClock() int64 {
+	return time.Now().UnixNano()
+}

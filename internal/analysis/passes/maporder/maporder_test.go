@@ -1,0 +1,13 @@
+package maporder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"numasim/internal/analysis/analysistest"
+	"numasim/internal/analysis/passes/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, filepath.Join(analysistest.TestData(), "maporder"), maporder.Analyzer)
+}

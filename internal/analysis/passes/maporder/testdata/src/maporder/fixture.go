@@ -1,0 +1,115 @@
+// Package fixture exercises the maporder analyzer: range-over-map loops
+// whose bodies emit ordered output are flagged; order-independent loops,
+// the key-collection idiom and //numalint:ordered suppressions are not.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func appendValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `iteration over map m writes ordered output \(append to out\)`
+		out = append(out, v)
+	}
+	return out
+}
+
+func buildString(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `iteration over map m writes ordered output \(WriteString call\)`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func printDirectly(m map[string]int) {
+	for k, v := range m { // want `iteration over map m writes ordered output \(Printf call\)`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func sendKeys(m map[string]int, ch chan string) {
+	for k := range m { // want `iteration over map m writes ordered output \(channel send\)`
+		ch <- k
+	}
+}
+
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m { // want `iteration over map m writes ordered output \(string concatenation onto s\)`
+		s += k
+	}
+	return s
+}
+
+func sliceStore(m map[int]string, out []string) {
+	for i, v := range m { // want `iteration over map m writes ordered output \(store into slice out\)`
+		out[i%len(out)] = v
+	}
+}
+
+// Order-independent uses are not reported.
+
+func countValues(m map[string]int) map[int]int {
+	counts := make(map[int]int)
+	for _, v := range m {
+		counts[v]++ // a map store commutes; no report
+	}
+	return counts
+}
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// The key-collection idiom is exempt: the loop only gathers keys and the
+// slice is sorted before use.
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// An explicit suppression silences the report (the caller sorts).
+
+func suppressed(m map[string]int) []int {
+	var out []int
+	//numalint:ordered — caller sorts the result
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func suppressedSameLine(m map[string]int) []int {
+	var out []int
+	for _, v := range m { //numalint:ordered
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// A directive attached to nothing is itself flagged, so stale
+// suppressions cannot accumulate.
+
+func stale(m map[string]int) int {
+	//numalint:ordered stale, attached to nothing // want `unused //numalint:ordered directive`
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

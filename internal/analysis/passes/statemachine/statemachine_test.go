@@ -1,0 +1,13 @@
+package statemachine_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"numasim/internal/analysis/analysistest"
+	"numasim/internal/analysis/passes/statemachine"
+)
+
+func TestStateMachine(t *testing.T) {
+	analysistest.Run(t, filepath.Join(analysistest.TestData(), "statemachine"), statemachine.Analyzer)
+}

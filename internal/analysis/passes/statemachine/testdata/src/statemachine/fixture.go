@@ -1,0 +1,108 @@
+// Package fixture exercises the statemachine analyzer with a local enum,
+// guard and transition table declared via directives.
+package fixture
+
+// Phase is a little three-state machine.
+//
+//numalint:stateenum
+type Phase int
+
+// Phases.
+const (
+	PhaseA Phase = iota
+	PhaseB
+	PhaseC
+)
+
+// Transitions is the legal relation.
+//
+//numalint:transitions
+var Transitions = map[Phase][]Phase{
+	PhaseA: {PhaseB},
+	PhaseB: {PhaseC},
+	PhaseC: {PhaseA},
+}
+
+// MissingRow lacks an entry for PhaseC.
+//
+//numalint:transitions
+var MissingRow = map[Phase][]Phase{ // want `transition table has no entries for states \[PhaseC\]`
+	PhaseA: {PhaseB},
+	PhaseB: {PhaseA},
+}
+
+func mkPhase() Phase { return PhaseB }
+
+// NonConst smuggles a computed state into the relation.
+//
+//numalint:transitions
+var NonConst = map[Phase][]Phase{
+	PhaseA: {mkPhase()}, // want `transition table entries must be declared .*Phase constants`
+	PhaseB: {PhaseA},
+	PhaseC: {PhaseA},
+}
+
+type machine struct {
+	phase Phase
+}
+
+// setPhase is the sole writer of machine.phase.
+//
+//numalint:stateguard
+func (m *machine) setPhase(next Phase) {
+	for _, s := range Transitions[m.phase] {
+		if s == next {
+			m.phase = next
+			return
+		}
+	}
+	panic("illegal transition")
+}
+
+func (m *machine) throughGuard() {
+	m.setPhase(PhaseB)
+}
+
+func (m *machine) directWrite() {
+	m.phase = PhaseB // want `direct assignment to .*Phase field phase outside setPhase`
+}
+
+func (m *machine) computedState(p Phase) {
+	m.setPhase(p) // want `setPhase must be called with a declared .*Phase constant`
+}
+
+// Construction is not a transition: composite literals are exempt.
+func fresh() *machine {
+	return &machine{phase: PhaseA}
+}
+
+// Switch coverage.
+
+func exhaustive(p Phase) int {
+	switch p {
+	case PhaseA:
+		return 0
+	case PhaseB:
+		return 1
+	case PhaseC:
+		return 2
+	}
+	return -1
+}
+
+func withDefault(p Phase) int {
+	switch p {
+	case PhaseA:
+		return 0
+	default:
+		return -1
+	}
+}
+
+func missingCases(p Phase) int {
+	switch p { // want `switch on .*Phase is not exhaustive: missing \[PhaseB PhaseC\]`
+	case PhaseA:
+		return 0
+	}
+	return -1
+}

@@ -1,0 +1,42 @@
+// Package fixture exercises the units analyzer with two local unit types.
+// Mixing them through raw-float laundering or direct conversion is
+// flagged; dimension-changing multiplication/division, untyped constants
+// and explicit accessor methods are not.
+package fixture
+
+//numalint:unit
+type Meters float64
+
+//numalint:unit
+type Feet float64
+
+// Kilometer is a declared constant of a unit type: it carries the unit.
+const Kilometer Meters = 1000
+
+// Feet is the blessed Meters→Feet accessor: a method call is a deliberate
+// scale boundary.
+func (m Meters) Feet() Feet { return Feet(float64(m) * 3.28084) }
+
+func mixing(m, m2 Meters, f Feet) {
+	_ = float64(m) - float64(f)  // want `operands of "-" mix units .*Meters and .*Feet`
+	_ = float64(f) + float64(m2) // want `operands of "\+" mix units .*Feet and .*Meters`
+	if float64(m) > float64(f) { // want `operands of ">" mix units .*Meters and .*Feet`
+		return
+	}
+}
+
+func conversion(m Meters) Feet {
+	return Feet(m) // want `conversion from .*Meters to .*Feet changes units without rescaling`
+}
+
+func allowed(m, m2 Meters, f Feet) {
+	_ = m + m2                  // same unit
+	_ = m + 5                   // untyped constants carry no unit
+	_ = m > Kilometer           // named unit constant, same unit
+	_ = float64(m) * float64(f) // multiplication changes dimension
+	ratio := float64(m / m2)    // same-unit ratio is a plain number
+	_ = ratio
+	_ = m.Feet() + f // accessor call is a deliberate boundary
+	_ = Meters(3.5)  // converting an untyped constant attaches a unit
+	_ = float64(m)   // converting to a non-unit type drops the unit
+}

@@ -1,0 +1,13 @@
+package units_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"numasim/internal/analysis/analysistest"
+	"numasim/internal/analysis/passes/units"
+)
+
+func TestUnits(t *testing.T) {
+	analysistest.Run(t, filepath.Join(analysistest.TestData(), "units"), units.Analyzer)
+}

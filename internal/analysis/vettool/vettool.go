@@ -1,0 +1,153 @@
+// Package vettool speaks the `go vet -vettool=` unit-checker protocol, so
+// the numalint analyzers run under the go command's build cache exactly
+// like the standard vet suite.
+//
+// The protocol (see cmd/go/internal/work and the reference implementation
+// in golang.org/x/tools/go/analysis/unitchecker):
+//
+//   - `tool -V=full` prints "<name> version devel ... buildID=<hex>"; the
+//     go command folds the line into its action cache key, so the hex must
+//     change whenever the tool binary changes (we hash the executable);
+//   - `tool -flags` prints a JSON description of the tool's flags ("[]");
+//   - `tool <file>.cfg` analyzes one compilation unit: the cfg file is a
+//     JSON Config naming the unit's sources and the export data of every
+//     dependency. Diagnostics go to stderr as "file:line:col: message" and
+//     the exit status is 2 when there are findings.
+//
+// The go command supplies export data for all imports in Config, so no
+// `go list` subprocesses run here — analysis is pure CPU on cached data.
+package vettool
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+
+	"numasim/internal/analysis"
+	"numasim/internal/analysis/load"
+)
+
+// Config is the JSON payload of a vet .cfg file, as written by the go
+// command for each compilation unit.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main implements the protocol for args (os.Args[1:]). It returns the
+// process exit status: 0 clean, 1 tool error, 2 diagnostics reported.
+func Main(progname string, args []string, analyzers []*analysis.Analyzer) int {
+	if len(args) == 1 {
+		switch args[0] {
+		case "-V=full":
+			fmt.Printf("%s version devel numalint buildID=%s\n", progname, selfID())
+			return 0
+		case "-V", "-V=short":
+			fmt.Printf("%s version devel numalint\n", progname)
+			return 0
+		case "-flags":
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	if len(args) != 1 || filepath.Ext(args[0]) != ".cfg" {
+		fmt.Fprintf(os.Stderr, "%s: in vettool mode expected a single .cfg argument, got %q\n", progname, args)
+		return 1
+	}
+	n, err := runUnit(args[0], analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		return 1
+	}
+	if n > 0 {
+		return 2
+	}
+	return 0
+}
+
+// selfID hashes the running executable, keying the go command's cache to
+// this build of the tool.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// runUnit analyzes one compilation unit and returns the finding count.
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %v", cfgFile, err)
+	}
+
+	// The go command requires the facts file to exist even though the
+	// numalint analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("numalint: no facts\n"), 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	exp := &load.Exports{
+		Files:     cfg.PackageFile,
+		ImportMap: cfg.ImportMap,
+		NoList:    true,
+	}
+	pkg, err := load.Check(cfg.ImportPath, fset, cfg.GoFiles, exp.Importer(fset))
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+	if len(pkg.Files) == 0 {
+		// A unit of test files only (external _test package): analyzers
+		// do not inspect test code.
+		return 0, nil
+	}
+
+	findings, err := analysis.Run(fset, pkg.Files, pkg.Types, pkg.TypesInfo, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(f.Diag.Pos), f.Analyzer.Name, f.Diag.Message)
+	}
+	return len(findings), nil
+}

@@ -61,10 +61,11 @@ func (r FalseSharingResult) Render() string {
 // E9: pin-threshold sweep (§2.3.2's boot-time parameter).
 // ---------------------------------------------------------------------
 
-// SweepRow is one point of a parameter sweep.
+// SweepRow is one point of a parameter sweep. Times are virtual seconds
+// (sim.Ticks).
 type SweepRow struct {
 	Param        string
-	Tnuma, Snuma float64
+	Tnuma, Snuma sim.Ticks
 	Alpha, Gamma float64
 	Pins, Moves  uint64
 }
@@ -315,8 +316,8 @@ func (r RemoteResult) Render() string {
 // PolicyRow is one policy's result on the phase-change probe.
 type PolicyRow struct {
 	Policy    string
-	UserSec   float64
-	SysSec    float64
+	UserSec   sim.Ticks
+	SysSec    sim.Ticks
 	LocalFrac float64
 	Pins      uint64
 }

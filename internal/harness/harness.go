@@ -127,12 +127,14 @@ func (o Options) evaluator() *metrics.Evaluator {
 // mix experiment reads naturally).
 func newMachineFor(cfg ace.Config) *ace.Machine { return ace.NewMachine(cfg) }
 
-// fmtF renders a float with sensible precision for the tables.
-func fmtF(v float64, prec int) string {
-	if math.IsNaN(v) {
+// fmtF renders a float with sensible precision for the tables. It is
+// generic over named float64 types (sim.Ticks and plain float64 render
+// identically), so adopting unit types cannot change table bytes.
+func fmtF[F ~float64](v F, prec int) string {
+	if math.IsNaN(float64(v)) {
 		return "na"
 	}
-	return fmt.Sprintf("%.*f", prec, v)
+	return fmt.Sprintf("%.*f", prec, float64(v))
 }
 
 // renderTable renders a fixed-width text table.

@@ -7,6 +7,7 @@ import (
 	"numasim/internal/cthreads"
 	"numasim/internal/policy"
 	"numasim/internal/sched"
+	"numasim/internal/sim"
 	"numasim/internal/vm"
 	"numasim/internal/workloads"
 )
@@ -18,8 +19,8 @@ import (
 // through independent modification of individual applications".
 type MixResult struct {
 	Apps      []string
-	UserSec   float64
-	SysSec    float64
+	UserSec   sim.Ticks
+	SysSec    sim.Ticks
 	LocalFrac float64
 	Pins      uint64
 	Moves     uint64
@@ -60,8 +61,8 @@ func MixRun(opts Options, apps []string) (MixResult, error) {
 	ns := kernel.NUMA().Stats()
 	return MixResult{
 		Apps:      apps,
-		UserSec:   machine.Engine().TotalUserTime().Seconds(),
-		SysSec:    machine.Engine().TotalSysTime().Seconds(),
+		UserSec:   machine.Engine().TotalUserTime().Ticks(),
+		SysSec:    machine.Engine().TotalSysTime().Ticks(),
 		LocalFrac: refs.LocalFraction(),
 		Pins:      ns.Pins,
 		Moves:     ns.Moves,

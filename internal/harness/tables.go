@@ -232,10 +232,11 @@ var PaperTable4 = map[string]PaperRow4{
 // Table4Apps lists the Table 4 applications in row order.
 var Table4Apps = []string{"IMatMult", "Primes1", "Primes2", "Primes3", "FFT"}
 
-// Table4Row is one measured Table 4 row.
+// Table4Row is one measured Table 4 row. Times are virtual seconds
+// (sim.Ticks); DeltaPct is dimensionless.
 type Table4Row struct {
 	App                           string
-	Snuma, Sglobal, DeltaS, Tnuma float64
+	Snuma, Sglobal, DeltaS, Tnuma sim.Ticks
 	DeltaPct                      float64
 	Paper                         PaperRow4
 }
@@ -257,7 +258,7 @@ func Table4Single(opts Options, app string) (Table4Row, error) {
 		Paper:   PaperTable4[app],
 	}
 	if e.Tnuma > 0 {
-		r.DeltaPct = 100 * e.DeltaS / e.Tnuma
+		r.DeltaPct = 100 * float64(e.DeltaS) / float64(e.Tnuma)
 	}
 	return r, nil
 }

@@ -28,6 +28,7 @@ import (
 	"numasim/internal/numa"
 	"numasim/internal/policy"
 	"numasim/internal/sched"
+	"numasim/internal/sim"
 	"numasim/internal/vm"
 )
 
@@ -52,12 +53,14 @@ type RunSpec struct {
 
 // RunResult is the outcome of one instrumented run.
 type RunResult struct {
-	Workload  string
-	Policy    string
-	NProc     int
-	Workers   int
-	UserSec   float64
-	SysSec    float64
+	Workload string
+	Policy   string
+	NProc    int
+	Workers  int
+	// UserSec and SysSec are virtual seconds (sim.Ticks), the unit of
+	// every rendered table.
+	UserSec   sim.Ticks
+	SysSec    sim.Ticks
 	Refs      ace.RefStats
 	NUMA      numa.Stats
 	VM        vm.Stats
@@ -86,8 +89,8 @@ func Run(w Runner, spec RunSpec) (RunResult, error) {
 		Policy:    spec.Policy.Name(),
 		NProc:     spec.Config.NProc,
 		Workers:   spec.Workers,
-		UserSec:   machine.Engine().TotalUserTime().Seconds(),
-		SysSec:    machine.Engine().TotalSysTime().Seconds(),
+		UserSec:   machine.Engine().TotalUserTime().Ticks(),
+		SysSec:    machine.Engine().TotalSysTime().Ticks(),
 		Refs:      machine.TotalRefs(),
 		NUMA:      kernel.NUMA().Stats(),
 		VM:        kernel.Stats(),
@@ -100,16 +103,16 @@ func Run(w Runner, spec RunSpec) (RunResult, error) {
 // and the derived model parameters.
 type Eval struct {
 	Workload string
-	// Total user times in (virtual) seconds, §3.1.
-	Tglobal, Tnuma, Tlocal float64
-	// Model parameters.
+	// Total user times in virtual seconds (sim.Ticks), §3.1.
+	Tglobal, Tnuma, Tlocal sim.Ticks
+	// Model parameters (dimensionless).
 	Alpha, Beta, Gamma float64
 	// GOverL is the G/L ratio used in the equations: the fetch-only ratio
 	// (≈2.3) for fetch-heavy applications, the mixed ratio (≈2.0)
 	// otherwise, per §3.2 footnote 3.
 	GOverL float64
 	// System times for the Table 4 overhead analysis, §3.3.
-	Snuma, Sglobal, DeltaS float64
+	Snuma, Sglobal, DeltaS sim.Ticks
 	// MeasuredLocalFrac is the true fraction of references that hit local
 	// memory in the T_numa run (simulator cross-check; not in the paper).
 	MeasuredLocalFrac float64
@@ -226,14 +229,14 @@ func (e *Evaluator) Evaluate(fresh func() Runner) (Eval, error) {
 // (4) and (5). When T_global and T_local coincide (β = 0), α is undefined;
 // it is reported as NaN-free 0 with β 0, matching the paper's "na" entry
 // for ParMult.
-func Derive(tGlobal, tNuma, tLocal, gOverL float64) (alpha, beta, gamma float64) {
-	gamma = tNuma / tLocal
+func Derive(tGlobal, tNuma, tLocal sim.Ticks, gOverL float64) (alpha, beta, gamma float64) {
+	gamma = float64(tNuma / tLocal)
 	denom := tGlobal - tLocal
 	if denom <= 0 {
 		return 0, 0, gamma
 	}
-	alpha = (tGlobal - tNuma) / denom
-	beta = (denom / tLocal) * (1 / (gOverL - 1))
+	alpha = float64((tGlobal - tNuma) / denom)
+	beta = float64(denom/tLocal) * (1 / (gOverL - 1))
 	if alpha < 0 {
 		alpha = 0
 	}
@@ -245,6 +248,6 @@ func Derive(tGlobal, tNuma, tLocal, gOverL float64) (alpha, beta, gamma float64)
 
 // ModelPredictTnuma applies equation (2): the predicted T_numa for given
 // α, β and T_local.
-func ModelPredictTnuma(tLocal, alpha, beta, gOverL float64) float64 {
-	return tLocal * ((1 - beta) + beta*(alpha+(1-alpha)*gOverL))
+func ModelPredictTnuma(tLocal sim.Ticks, alpha, beta, gOverL float64) sim.Ticks {
+	return sim.Ticks(float64(tLocal) * ((1 - beta) + beta*(alpha+(1-alpha)*gOverL)))
 }

@@ -8,6 +8,7 @@ import (
 	"numasim/internal/metrics"
 	"numasim/internal/policy"
 	"numasim/internal/sched"
+	"numasim/internal/sim"
 	"numasim/internal/workloads"
 )
 
@@ -16,7 +17,7 @@ func TestDeriveMatchesPaperRows(t *testing.T) {
 	// and check we recover the published α, β, γ.
 	cases := []struct {
 		name                   string
-		tGlobal, tNuma, tLocal float64
+		tGlobal, tNuma, tLocal sim.Ticks
 		gOverL                 float64
 		alpha, beta, gamma     float64
 	}{
@@ -68,15 +69,16 @@ func TestDeriveClamps(t *testing.T) {
 func TestModelPredictTnuma(t *testing.T) {
 	// Equation (2) must be the inverse of Derive: predicting T_numa from
 	// the derived parameters reproduces the measured T_numa.
-	tGlobal, tNuma, tLocal, gl := 82.1, 69.0, 68.2, 2.3
+	tGlobal, tNuma, tLocal := sim.Ticks(82.1), sim.Ticks(69.0), sim.Ticks(68.2)
+	gl := 2.3
 	alpha, beta, _ := metrics.Derive(tGlobal, tNuma, tLocal, gl)
 	pred := metrics.ModelPredictTnuma(tLocal, alpha, beta, gl)
-	if math.Abs(pred-tNuma) > 1e-9 {
+	if math.Abs(float64(pred-tNuma)) > 1e-9 {
 		t.Errorf("model round trip: predicted %.6f, measured %.6f", pred, tNuma)
 	}
 	// And with α=0 it must reproduce T_global (equation 3).
 	predG := metrics.ModelPredictTnuma(tLocal, 0, beta, gl)
-	if math.Abs(predG-tGlobal) > 1e-9 {
+	if math.Abs(float64(predG-tGlobal)) > 1e-9 {
 		t.Errorf("α=0 prediction %.6f, want T_global %.6f", predG, tGlobal)
 	}
 }

@@ -1,0 +1,23 @@
+package metrics
+
+import "time"
+
+// WallMicros is a wall-clock duration in microseconds, used only for
+// host-side diagnostics (how long a simulation took to run, not how long
+// the simulated machine ran). It is deliberately a distinct type from
+// sim.Time and sim.Ticks: the numalint units analyzer rejects any
+// arithmetic or comparison mixing wall-clock and virtual time, and the
+// determinism analyzer keeps wall clocks out of the simulator core
+// entirely — this package is host-side and may read them.
+//
+//numalint:unit
+type WallMicros float64
+
+// WallSince reports the wall-clock time elapsed since start. It is the
+// blessed time.Time→WallMicros boundary.
+func WallSince(start time.Time) WallMicros {
+	return WallMicros(float64(time.Since(start)) / float64(time.Microsecond))
+}
+
+// Millis reports the duration in milliseconds, for human-oriented logs.
+func (w WallMicros) Millis() float64 { return float64(w) / 1e3 }

@@ -32,6 +32,8 @@ import (
 )
 
 // State is the consistency state of a logical page.
+//
+//numalint:stateenum
 type State int
 
 // Logical page states. The first three are §2.3.1's; Remote realizes the
@@ -454,7 +456,7 @@ func (n *Manager) toRemote(th *sim.Thread, pg *Page, proc int, maxProt mmu.Prot)
 		n.unmapAll(th, pg)
 	}
 	f := n.ensureCopy(th, pg, home)
-	pg.state = Remote
+	pg.setState(Remote)
 	pg.owner = home
 	n.stats.RemotePlaced++
 	n.act("place at home")
@@ -484,7 +486,7 @@ func (n *Manager) demoteRemote(th *sim.Thread, pg *Page, requester int) {
 	pg.copies[at] = nil
 	n.stats.Flushes++
 	n.stats.RemoteDemoted++
-	pg.state = ReadOnly
+	pg.setState(ReadOnly)
 	pg.owner = -1
 	n.act("sync&flush home")
 }
@@ -503,7 +505,7 @@ func (n *Manager) readLocal(th *sim.Thread, pg *Page, proc int) (*mem.Frame, mmu
 	case GlobalWritable:
 		n.unmapAll(th, pg)
 		f := n.ensureCopy(th, pg, proc)
-		pg.state = ReadOnly
+		pg.setState(ReadOnly)
 		return f, mmu.ProtRead
 	case LocalWritable:
 		if pg.owner == proc {
@@ -512,11 +514,12 @@ func (n *Manager) readLocal(th *sim.Thread, pg *Page, proc int) (*mem.Frame, mmu
 		}
 		n.syncFlush(th, pg, pg.owner, proc, "sync&flush other")
 		f := n.ensureCopy(th, pg, proc)
-		pg.state = ReadOnly
+		pg.setState(ReadOnly)
 		pg.owner = -1
 		return f, mmu.ProtRead
+	default:
+		panic("numa: readLocal on a remote page (toRemote handles placement)")
 	}
-	panic("numa: bad page state")
 }
 
 // writeLocal implements the LOCAL row of Table 2.
@@ -532,7 +535,7 @@ func (n *Manager) writeLocal(th *sim.Thread, pg *Page, proc int, maxProt mmu.Pro
 		f := n.ensureCopy(th, pg, proc)
 		// Coming home from global memory is not a transfer between
 		// processors, so it does not count against the move budget.
-		pg.state = LocalWritable
+		pg.setState(LocalWritable)
 		pg.owner = proc
 		pg.lastOwner = proc
 		return f, maxProt
@@ -545,8 +548,9 @@ func (n *Manager) writeLocal(th *sim.Thread, pg *Page, proc int, maxProt mmu.Pro
 		f := n.ensureCopy(th, pg, proc)
 		n.becomeOwner(pg, proc)
 		return f, maxProt
+	default:
+		panic("numa: writeLocal on a remote page (toRemote handles placement)")
 	}
-	panic("numa: bad page state")
 }
 
 // toGlobal implements the GLOBAL rows of Tables 1 and 2.
@@ -563,9 +567,11 @@ func (n *Manager) toGlobal(th *sim.Thread, pg *Page, proc int, maxProt mmu.Prot)
 			n.syncFlush(th, pg, pg.owner, proc, "sync&flush other")
 		}
 		pg.owner = -1
+	case Remote:
+		panic("numa: toGlobal on a remote page (demote it first)")
 	}
 	if pg.state != GlobalWritable {
-		pg.state = GlobalWritable
+		pg.setState(GlobalWritable)
 		if !pg.pinned {
 			pg.pinned = true
 			n.stats.Pins++
@@ -615,7 +621,7 @@ func (n *Manager) MaybeSweep(th *sim.Thread) {
 // ownership transfer when the page last belonged to a different processor
 // ("transfers of page ownership", §2.3.2).
 func (n *Manager) becomeOwner(pg *Page, proc int) {
-	pg.state = LocalWritable
+	pg.setState(LocalWritable)
 	pg.owner = proc
 	if pg.lastOwner >= 0 && pg.lastOwner != proc {
 		pg.moves++
@@ -771,7 +777,7 @@ func (n *Manager) PrepareEvict(th *sim.Thread, pg *Page) {
 	}
 	n.flushExcept(th, pg, -1, "flush all")
 	n.unmapAll(th, pg)
-	pg.state = ReadOnly
+	pg.setState(ReadOnly)
 }
 
 // CheckInvariants validates the structural invariants of a page's
@@ -839,7 +845,7 @@ func (n *Manager) FreePage(th *sim.Thread, pg *Page) *FreeTag {
 		}
 	}
 	n.machine.Memory().Global().Release(pg.global)
-	pg.state = ReadOnly
+	pg.setState(ReadOnly)
 	pg.owner = -1
 	pg.pinned = false
 	pg.moves = 0

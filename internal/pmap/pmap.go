@@ -16,6 +16,7 @@ package pmap
 
 import (
 	"fmt"
+	"sort"
 
 	"numasim/internal/ace"
 	"numasim/internal/mmu"
@@ -72,9 +73,17 @@ func (m *Manager) Create() *Pmap {
 	return p
 }
 
-// Destroy removes every mapping of the pmap and retires it.
+// Destroy removes every mapping of the pmap and retires it. Mappings are
+// torn down in VPN order: removal releases frames back to the allocators,
+// so map-iteration order here would reorder free lists and leak host
+// nondeterminism into later placements.
 func (m *Manager) Destroy(th *sim.Thread, p *Pmap) {
+	vpns := make([]uint32, 0, len(p.res))
 	for vpn := range p.res {
+		vpns = append(vpns, vpn)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	for _, vpn := range vpns {
 		p.removeVPN(th, vpn)
 	}
 	p.destroy = true

@@ -22,6 +22,8 @@ import (
 )
 
 // Time is a point in (or span of) virtual time, in nanoseconds.
+//
+//numalint:unit
 type Time int64
 
 // Common durations.
@@ -34,6 +36,18 @@ const (
 
 // Seconds reports t as floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Ticks is a span of virtual time in seconds — the unit of every rendered
+// table (the paper reports user/system seconds). It is a distinct type
+// from Time (virtual nanoseconds) and from wall-clock measurements, so the
+// numalint units analyzer can reject arithmetic that mixes scales.
+//
+//numalint:unit
+type Ticks float64
+
+// Ticks reports t rescaled to virtual seconds. The method is the blessed
+// Time→Ticks boundary; converting Ticks(t) directly is a units violation.
+func (t Time) Ticks() Ticks { return Ticks(float64(t) / float64(Second)) }
 
 // String formats the time in the most readable unit.
 func (t Time) String() string {
@@ -50,6 +64,8 @@ func (t Time) String() string {
 }
 
 // State is a thread's scheduling state.
+//
+//numalint:stateenum
 type State int
 
 // Thread states.
@@ -111,7 +127,7 @@ type Thread struct {
 	res *Resource // bound processor, may be nil
 
 	seq    uint64 // yield order, for FIFO tie-breaking
-	key    Time  // effective time when enqueued on the ready heap
+	key    Time   // effective time when enqueued on the ready heap
 	resume chan resumeMsg
 	err    error
 

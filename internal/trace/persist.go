@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // File format: a small binary container so traces can be captured in one
@@ -44,8 +45,16 @@ func (c *Collector) Save(w io.Writer) error {
 			return err
 		}
 	}
+	// Write records in key order: map iteration order would make the
+	// file bytes differ between otherwise identical runs.
 	write := func(m map[uint32]*use) error {
-		for key, u := range m {
+		keys := make([]uint32, 0, len(m))
+		for key := range m {
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, key := range keys {
+			u := m[key]
 			rec := record{Key: key, Readers: u.readers, Writers: u.writers, Reads: u.reads, Writes: u.writes}
 			if err := binary.Write(bw, binary.LittleEndian, &rec); err != nil {
 				return err

@@ -146,8 +146,14 @@ func (c *Collector) Record(proc int, va uint32, write bool) {
 
 // Pages returns the per-page reports, sorted by page number.
 func (c *Collector) Pages() []PageReport {
-	var out []PageReport
-	for vpn, u := range c.pages {
+	vpns := make([]uint32, 0, len(c.pages))
+	for vpn := range c.pages {
+		vpns = append(vpns, vpn)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	out := make([]PageReport, 0, len(vpns))
+	for _, vpn := range vpns {
+		u := c.pages[vpn]
 		r := PageReport{
 			VPN:     vpn,
 			Class:   u.classify(),
@@ -161,7 +167,6 @@ func (c *Collector) Pages() []PageReport {
 		}
 		out = append(out, r)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].VPN < out[j].VPN })
 	return out
 }
 
