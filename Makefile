@@ -7,8 +7,10 @@
 #   make lint     - run the numalint analyzer suite (determinism,
 #                   maporder, statemachine, units) via go vet -vettool
 #   make numalint - build the numalint binary and print its path
-#   make bench    - run the benchmark suite (tables, ablations, and the
-#                   simulator hot-path microbenchmarks)
+#   make bench    - run the benchmark suite (tables, ablations, the
+#                   simulator hot-path microbenchmarks, and the simtrace
+#                   overhead check: BenchmarkTraceOverhead/off must stay
+#                   within noise of earlier runs)
 #   make tables   - regenerate the paper's tables and figures
 
 GO ?= go

@@ -13,6 +13,7 @@ import (
 	"numasim"
 	"numasim/internal/harness"
 	"numasim/internal/sim"
+	"numasim/internal/simtrace"
 )
 
 // benchOpts uses the reduced problem sizes so a full -bench run stays
@@ -244,6 +245,30 @@ func BenchmarkPolicyCompare(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkTraceOverhead measures what the simtrace bus costs the Table 3
+// hot path. The "off" case is the zero-cost-when-off contract: with no
+// sink attached every emission site reduces to one nil check, so it must
+// stay within noise (<1%) of the pre-simtrace baseline. The "counting"
+// case prices the cheapest real sink (one atomic add per event).
+func BenchmarkTraceOverhead(b *testing.B) {
+	run := func(b *testing.B, sink simtrace.Sink) {
+		b.Helper()
+		opts := benchOpts
+		opts.TraceSink = sink
+		for i := 0; i < b.N; i++ {
+			if _, err := harness.Table3Single(opts, "FFT"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("counting", func(b *testing.B) {
+		counts := &simtrace.CountingSink{}
+		run(b, counts)
+		b.ReportMetric(float64(counts.Total())/float64(b.N), "events/op")
+	})
 }
 
 // BenchmarkMix runs two applications concurrently (the application-mix

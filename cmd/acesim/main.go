@@ -1,24 +1,33 @@
 // Command acesim runs one or more of the paper's applications on the
 // simulated ACE under a chosen NUMA policy and reports timing, placement
-// and reference statistics — optionally with a reference trace and
-// false-sharing analysis (§4.2, §5).
+// and reference statistics — optionally with a reference trace,
+// false-sharing analysis (§4.2, §5), and a structured event trace
+// exported as Chrome trace-event JSON for Perfetto.
 //
 // Usage:
 //
 //	acesim -app IMatMult [-policy threshold] [-threshold 4] [-nproc 7]
-//	       [-workers N] [-sched affinity] [-trace] [-unixmaster] [-parallel N]
+//	       [-workers N] [-sched affinity] [-trace] [-traceout FILE]
+//	       [-trace-out FILE] [-unixmaster] [-parallel N]
 //
-// -app accepts a comma-separated list; the simulations run concurrently
-// (bounded by -parallel) and the reports print in the order given.
+// -app accepts a comma-separated list (names are case-insensitive); the
+// simulations run concurrently (bounded by -parallel; results are
+// identical at every setting) and the reports print in the order given.
+//
+// -traceout saves the per-page reference trace in the binary format
+// traceview analyzes; -trace-out saves the structured event trace as
+// Chrome trace-event JSON, loadable at ui.perfetto.dev (one track per
+// processor, async tracks for page lifetimes). Both require a single -app.
 //
 // Policies: threshold (default), allglobal, alllocal, neverpin, pragma,
-// reconsider, freezedefrost. Apps: ParMult, Gfetch, IMatMult, Primes1, Primes2,
-// Primes2-untuned, Primes3, FFT, PlyTrace.
+// reconsider, freezedefrost. Apps: ParMult, Gfetch, IMatMult, Primes1,
+// Primes2, Primes2-untuned, Primes3, FFT, PlyTrace.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -28,6 +37,7 @@ import (
 	"numasim/internal/numa"
 	"numasim/internal/policy"
 	"numasim/internal/sched"
+	"numasim/internal/simtrace"
 	"numasim/internal/trace"
 	"numasim/internal/vm"
 	"numasim/internal/workloads"
@@ -42,6 +52,7 @@ type runOpts struct {
 	mode        sched.Mode
 	doTrace     bool
 	traceOut    string
+	chromeOut   string
 	unixMaster  bool
 	pageSize    int
 	size        int
@@ -102,6 +113,11 @@ func runOne(app string, o runOpts) (string, error) {
 		collector = trace.New(machine.PageShift(), true)
 		kernel.RefTrace = collector.Hook()
 	}
+	var events *simtrace.ListSink
+	if o.chromeOut != "" {
+		events = &simtrace.ListSink{}
+		machine.AttachSink(events)
+	}
 	rt := cthreads.New(kernel, o.mode)
 
 	if err := w.Run(rt, o.workers); err != nil {
@@ -154,25 +170,48 @@ func runOne(app string, o runOpts) (string, error) {
 			fmt.Fprintf(&b, "trace written to %s\n", o.traceOut)
 		}
 	}
+	if events != nil {
+		f, err := os.Create(o.chromeOut)
+		if err != nil {
+			return "", err
+		}
+		meta := simtrace.ChromeMeta{NProc: machine.NProc(), Label: w.Name()}
+		if err := simtrace.WriteChrome(f, events.Events(), meta); err != nil {
+			f.Close()
+			return "", err
+		}
+		if err := f.Close(); err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "event trace (%d events) written to %s — load it at ui.perfetto.dev\n",
+			len(events.Events()), o.chromeOut)
+	}
 	return b.String(), nil
 }
 
-func main() {
-	app := flag.String("app", "IMatMult", "application to run, or a comma-separated list")
-	polName := flag.String("policy", "threshold", "placement policy")
-	threshold := flag.Int("threshold", policy.DefaultThreshold, "move limit for the threshold policy")
-	nproc := flag.Int("nproc", 7, "number of processors")
-	workers := flag.Int("workers", 0, "worker threads (default: one per processor)")
-	schedName := flag.String("sched", "affinity", "scheduler: affinity or noaffinity")
-	doTrace := flag.Bool("trace", false, "collect a reference trace and report sharing classes")
-	traceOut := flag.String("traceout", "", "save the reference trace to this file (implies -trace)")
-	unixMaster := flag.Bool("unixmaster", false, "funnel system calls to processor 0 (§4.6)")
-	pageSize := flag.Int("pagesize", 4096, "page size in bytes")
-	size := flag.Int("size", 0, "problem size (0: workload default); units for ParMult, pages for Gfetch, matrix side for IMatMult/FFT, limit for Primes1-3, triangles for PlyTrace")
-	perProc := flag.Bool("perproc", false, "report per-processor reference counts")
-	replication := flag.Bool("replication", true, "replicate read-only pages (disable for the Li-style migration ablation)")
-	parallel := flag.Int("parallel", 0, "simulations to run concurrently when -app lists several (0: one per host CPU)")
-	flag.Parse()
+// run is the testable entry point: it parses args (without the program
+// name) and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("acesim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	app := fs.String("app", "IMatMult", "application to run, or a comma-separated list (case-insensitive)")
+	polName := fs.String("policy", "threshold", "placement policy")
+	threshold := fs.Int("threshold", policy.DefaultThreshold, "move limit for the threshold policy")
+	nproc := fs.Int("nproc", 7, "number of processors")
+	workers := fs.Int("workers", 0, "worker threads (default: one per processor)")
+	schedName := fs.String("sched", "affinity", "scheduler: affinity or noaffinity")
+	doTrace := fs.Bool("trace", false, "collect a reference trace and report sharing classes")
+	traceOut := fs.String("traceout", "", "save the reference trace to this file in traceview's binary format (implies -trace)")
+	chromeOut := fs.String("trace-out", "", "save the structured event trace to this file as Chrome trace-event JSON (Perfetto)")
+	unixMaster := fs.Bool("unixmaster", false, "funnel system calls to processor 0 (§4.6)")
+	pageSize := fs.Int("pagesize", 4096, "page size in bytes")
+	size := fs.Int("size", 0, "problem size (0: workload default); units for ParMult, pages for Gfetch, matrix side for IMatMult/FFT, limit for Primes1-3, triangles for PlyTrace")
+	perProc := fs.Bool("perproc", false, "report per-processor reference counts")
+	replication := fs.Bool("replication", true, "replicate read-only pages (disable for the Li-style migration ablation)")
+	parallel := fs.Int("parallel", 0, "simulations to run concurrently when -app lists several (0: one per host CPU; results are identical at every setting)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	mode := sched.Affinity
 	if strings.HasPrefix(strings.ToLower(*schedName), "no") {
@@ -184,8 +223,12 @@ func main() {
 		apps[i] = strings.TrimSpace(apps[i])
 	}
 	if len(apps) > 1 && *traceOut != "" {
-		fmt.Fprintln(os.Stderr, "acesim: -traceout requires a single -app (the file would be overwritten)")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "acesim: -traceout requires a single -app (the file would be overwritten)")
+		return 1
+	}
+	if len(apps) > 1 && *chromeOut != "" {
+		fmt.Fprintln(stderr, "acesim: -trace-out requires a single -app (the file would be overwritten)")
+		return 1
 	}
 
 	o := runOpts{
@@ -194,7 +237,7 @@ func main() {
 		nproc:     *nproc,
 		workers:   *workers,
 		mode:      mode,
-		doTrace:   *doTrace, traceOut: *traceOut,
+		doTrace:   *doTrace, traceOut: *traceOut, chromeOut: *chromeOut,
 		unixMaster: *unixMaster,
 		pageSize:   *pageSize,
 		size:       *size,
@@ -213,13 +256,18 @@ func main() {
 		return nil
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "acesim:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "acesim:", err)
+		return 1
 	}
 	for i, rep := range reports {
 		if i > 0 {
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		fmt.Print(rep)
+		fmt.Fprint(stdout, rep)
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -8,7 +8,12 @@
 // Usage:
 //
 //	tables [-nproc N] [-workers N] [-small] [-parallel N] [-timing]
-//	       [-table N | -figure N | -exp NAME]
+//	       [-table N | -figure N | -exp NAME] [-csv]
+//
+// -parallel bounds how many independent simulations run concurrently;
+// the tables are byte-identical at every setting. -timing reports
+// wall-clock time and per-kind simtrace event counts on stderr —
+// diagnostics only, never part of a table.
 //
 // Experiments: falsesharing (§4.2).
 package main
@@ -16,24 +21,32 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"numasim/internal/harness"
 	"numasim/internal/metrics"
+	"numasim/internal/simtrace"
 )
 
-func main() {
-	nproc := flag.Int("nproc", 7, "number of processors for parallel runs")
-	workers := flag.Int("workers", 0, "worker threads (default: one per processor)")
-	smallFlag := flag.Bool("small", false, "use reduced problem sizes")
-	table := flag.Int("table", 0, "print only table N (1-4)")
-	figure := flag.Int("figure", 0, "print only figure N (1-2)")
-	exp := flag.String("exp", "", "print only the named experiment (falsesharing)")
-	csv := flag.Bool("csv", false, "emit Tables 3 and 4 as CSV")
-	parallel := flag.Int("parallel", 0, "simulations to run concurrently (0: one per host CPU; results are identical at every setting)")
-	timing := flag.Bool("timing", false, "report wall-clock run time on stderr (diagnostic only; never part of a table)")
-	flag.Parse()
+// run is the testable entry point: it parses args (without the program
+// name) and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	nproc := fs.Int("nproc", 7, "number of processors for parallel runs")
+	workers := fs.Int("workers", 0, "worker threads (default: one per processor)")
+	smallFlag := fs.Bool("small", false, "use reduced problem sizes")
+	table := fs.Int("table", 0, "print only table N (1-4)")
+	figure := fs.Int("figure", 0, "print only figure N (1-2)")
+	exp := fs.String("exp", "", "print only the named experiment (falsesharing)")
+	csv := fs.Bool("csv", false, "emit Tables 3 and 4 as CSV")
+	parallel := fs.Int("parallel", 0, "simulations to run concurrently (0: one per host CPU; results are identical at every setting)")
+	timing := fs.Bool("timing", false, "report wall-clock run time and simtrace event counts on stderr (diagnostic only; never part of a table)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	opts := harness.Options{NProc: *nproc, Workers: *workers, Small: *smallFlag, Parallelism: *parallel}
 	all := *table == 0 && *figure == 0 && *exp == ""
@@ -41,66 +54,83 @@ func main() {
 	// Wall-clock time is host-side diagnostics in its own unit type
 	// (metrics.WallMicros); the tables themselves carry only virtual
 	// seconds (sim.Ticks), and the numalint units analyzer keeps the two
-	// from ever mixing.
+	// from ever mixing. The counting sink rides along on every machine the
+	// experiments build: one atomic add per event, aggregated across all
+	// concurrent runs.
 	start := time.Now()
+	var counts *simtrace.CountingSink
 	if *timing {
+		counts = &simtrace.CountingSink{}
+		opts.TraceSink = counts
 		defer func() {
-			fmt.Fprintf(os.Stderr, "tables: wall time %.1f ms\n", metrics.WallSince(start).Millis())
+			fmt.Fprintf(stderr, "tables: wall time %.1f ms\n", metrics.WallSince(start).Millis())
+			fmt.Fprintf(stderr, "tables: %d trace events\n%s", counts.Total(), counts.Render())
 		}()
 	}
 
+	code := 0
 	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "tables:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "tables:", err)
+		code = 1
 	}
 
 	if all || *figure == 1 {
-		fmt.Println(harness.Figure1(opts))
+		fmt.Fprintln(stdout, harness.Figure1(opts))
 	}
 	if all || *figure == 2 {
-		fmt.Println(harness.Figure2())
+		fmt.Fprintln(stdout, harness.Figure2())
 	}
 	if all || *table == 1 {
 		s, err := harness.ProtocolTable(false)
 		if err != nil {
 			fail(err)
+			return code
 		}
-		fmt.Println(s)
+		fmt.Fprintln(stdout, s)
 	}
 	if all || *table == 2 {
 		s, err := harness.ProtocolTable(true)
 		if err != nil {
 			fail(err)
+			return code
 		}
-		fmt.Println(s)
+		fmt.Fprintln(stdout, s)
 	}
 	if all || *table == 3 {
 		rows, err := harness.Table3(opts)
 		if err != nil {
 			fail(err)
+			return code
 		}
 		if *csv {
-			fmt.Print(harness.RenderTable3CSV(rows))
+			fmt.Fprint(stdout, harness.RenderTable3CSV(rows))
 		} else {
-			fmt.Println(harness.RenderTable3(rows))
+			fmt.Fprintln(stdout, harness.RenderTable3(rows))
 		}
 	}
 	if all || *table == 4 {
 		rows, err := harness.Table4(opts)
 		if err != nil {
 			fail(err)
+			return code
 		}
 		if *csv {
-			fmt.Print(harness.RenderTable4CSV(rows))
+			fmt.Fprint(stdout, harness.RenderTable4CSV(rows))
 		} else {
-			fmt.Println(harness.RenderTable4(rows))
+			fmt.Fprintln(stdout, harness.RenderTable4(rows))
 		}
 	}
 	if all || *exp == "falsesharing" {
 		r, err := harness.FalseSharing(opts)
 		if err != nil {
 			fail(err)
+			return code
 		}
-		fmt.Println(r.Render())
+		fmt.Fprintln(stdout, r.Render())
 	}
+	return code
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

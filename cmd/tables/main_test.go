@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr: %s", code, errb.String())
+	}
+}
+
+func TestProtocolTables(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-table", "1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Table 1") || !strings.Contains(out.String(), "sync&flush") {
+		t.Errorf("Table 1 output unexpected:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-table", "2"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Table 2") {
+		t.Errorf("Table 2 output unexpected:\n%s", out.String())
+	}
+}
+
+func TestFigures(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-figure", "1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Figure 1") {
+		t.Errorf("Figure 1 output unexpected:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-figure", "2"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Figure 2") {
+		t.Errorf("Figure 2 output unexpected:\n%s", out.String())
+	}
+}
+
+func TestTimingReportsEventCounts(t *testing.T) {
+	// -timing diagnostics go to stderr only; the table on stdout must be
+	// byte-identical with and without it.
+	var plain, plainErr strings.Builder
+	if code := run([]string{"-small", "-table", "3"}, &plain, &plainErr); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, plainErr.String())
+	}
+	var timed, timedErr strings.Builder
+	if code := run([]string{"-small", "-table", "3", "-timing"}, &timed, &timedErr); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, timedErr.String())
+	}
+	if plain.String() != timed.String() {
+		t.Error("-timing changed the table output")
+	}
+	se := timedErr.String()
+	if !strings.Contains(se, "wall time") || !strings.Contains(se, "trace events") {
+		t.Errorf("-timing should report wall time and event counts on stderr, got: %s", se)
+	}
+	for _, kind := range []string{"action", "state-change", "dispatch"} {
+		if !strings.Contains(se, kind) {
+			t.Errorf("-timing breakdown missing %q:\n%s", kind, se)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"numasim/internal/mem"
 	"numasim/internal/mmu"
 	"numasim/internal/sim"
+	"numasim/internal/simtrace"
 )
 
 // CostModel gives the virtual-time cost of every charged operation.
@@ -223,6 +224,7 @@ type Machine struct {
 	procs  []*Processor
 	memory *mem.Memory
 	mmus   []*mmu.MMU
+	bus    *simtrace.Bus
 }
 
 // NewMachine builds a machine from cfg, panicking on invalid configuration
@@ -235,15 +237,26 @@ func NewMachine(cfg Config) *Machine {
 		cfg:    cfg,
 		engine: sim.NewEngine(),
 		memory: mem.NewMemory(cfg.NProc, cfg.GlobalFrames, cfg.LocalFrames, cfg.PageSize),
+		bus:    simtrace.NewBus(),
 	}
+	m.engine.Bus = m.bus
 	m.procs = make([]*Processor, cfg.NProc)
 	m.mmus = make([]*mmu.MMU, cfg.NProc)
 	for i := 0; i < cfg.NProc; i++ {
-		m.procs[i] = &Processor{id: i, res: &sim.Resource{Name: fmt.Sprintf("cpu%d", i)}}
+		m.procs[i] = &Processor{id: i, res: &sim.Resource{Name: fmt.Sprintf("cpu%d", i), ID: i}}
 		m.mmus[i] = mmu.New(i)
 	}
 	return m
 }
+
+// Bus returns the machine's trace-event bus. The bus always exists; it is
+// inert (and nearly free) until a sink is attached.
+func (m *Machine) Bus() *simtrace.Bus { return m.bus }
+
+// AttachSink connects a trace sink to the machine's bus; every
+// instrumented layer (engine, kernel, NUMA manager, pmap, scheduler)
+// starts emitting to it.
+func (m *Machine) AttachSink(s simtrace.Sink) { m.bus.Attach(s) }
 
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }

@@ -51,6 +51,7 @@ var RestrictedPrefixes = []string{
 	"numasim/internal/sched",
 	"numasim/internal/mem",
 	"numasim/internal/trace",
+	"numasim/internal/simtrace",
 }
 
 // forbiddenImports are packages whose mere presence defeats determinism.

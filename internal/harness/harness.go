@@ -13,6 +13,7 @@ import (
 
 	"numasim/internal/ace"
 	"numasim/internal/metrics"
+	"numasim/internal/simtrace"
 	"numasim/internal/workloads"
 )
 
@@ -37,6 +38,11 @@ type Options struct {
 	// <= 0 selects runtime.NumCPU(). Simulated results are identical at
 	// every setting; only wall-clock time changes.
 	Parallelism int
+	// TraceSink, when non-nil, is attached to every simulated machine the
+	// experiments build. Runs execute concurrently, so the sink must be
+	// safe for concurrent Emit (simtrace.CountingSink is). It feeds the
+	// tables -timing event-count report; it never affects table contents.
+	TraceSink simtrace.Sink
 }
 
 // withDefaults fills in defaults.
@@ -117,6 +123,7 @@ func (o Options) evaluator() *metrics.Evaluator {
 	ev.Config = o.config()
 	ev.Workers = o.Workers
 	ev.Parallelism = o.Parallelism
+	ev.TraceSink = o.TraceSink
 	if o.Threshold > 0 {
 		ev.Threshold = o.Threshold
 	}

@@ -29,6 +29,7 @@ import (
 	"numasim/internal/policy"
 	"numasim/internal/sched"
 	"numasim/internal/sim"
+	"numasim/internal/simtrace"
 	"numasim/internal/vm"
 )
 
@@ -49,6 +50,10 @@ type RunSpec struct {
 	UnixMast bool
 	// NoReplication disables read replication (the replication ablation).
 	NoReplication bool
+	// TraceSink, when non-nil, is attached to the run's machine before the
+	// workload starts. A sink shared across concurrent runs must be safe
+	// for concurrent Emit (simtrace.CountingSink is).
+	TraceSink simtrace.Sink
 }
 
 // RunResult is the outcome of one instrumented run.
@@ -71,6 +76,9 @@ type RunResult struct {
 // Run executes one workload on a freshly built machine per spec.
 func Run(w Runner, spec RunSpec) (RunResult, error) {
 	machine := ace.NewMachine(spec.Config)
+	if spec.TraceSink != nil {
+		machine.AttachSink(spec.TraceSink)
+	}
 	kernel := vm.NewKernel(machine, spec.Policy)
 	kernel.UnixMaster = spec.UnixMast
 	if spec.NoReplication {
@@ -137,6 +145,10 @@ type Evaluator struct {
 	// self-contained deterministic simulation on its own machine, so the
 	// measured results are bit-identical regardless of this setting.
 	Parallelism int
+	// TraceSink, when non-nil, is attached to every run's machine. The
+	// three runs may execute concurrently, so the sink must be safe for
+	// concurrent Emit (simtrace.CountingSink is).
+	TraceSink simtrace.Sink
 }
 
 // NewEvaluator returns an evaluator for the paper's measurement setup:
@@ -172,9 +184,9 @@ func (e *Evaluator) Evaluate(fresh func() Runner) (Eval, error) {
 		w    Runner
 		spec RunSpec
 	}{
-		{wNuma, RunSpec{Config: cfg, Policy: policy.NewThreshold(thr), Workers: workers, Sched: e.Sched}},
-		{fresh(), RunSpec{Config: cfg, Policy: policy.AllGlobal{}, Workers: workers, Sched: e.Sched}},
-		{fresh(), RunSpec{Config: localCfg, Policy: policy.AllLocal{}, Workers: 1, Sched: e.Sched}},
+		{wNuma, RunSpec{Config: cfg, Policy: policy.NewThreshold(thr), Workers: workers, Sched: e.Sched, TraceSink: e.TraceSink}},
+		{fresh(), RunSpec{Config: cfg, Policy: policy.AllGlobal{}, Workers: workers, Sched: e.Sched, TraceSink: e.TraceSink}},
+		{fresh(), RunSpec{Config: localCfg, Policy: policy.AllLocal{}, Workers: 1, Sched: e.Sched, TraceSink: e.TraceSink}},
 	}
 	var results [3]RunResult
 	var errs [3]error

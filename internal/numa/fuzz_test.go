@@ -1,0 +1,205 @@
+package numa_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"numasim/internal/ace"
+	"numasim/internal/mmu"
+	"numasim/internal/numa"
+	"numasim/internal/policy"
+	"numasim/internal/sim"
+	"numasim/internal/simtrace"
+)
+
+// protocolChecker is a simtrace sink that validates protocol invariants
+// from the event stream alone: every observed state change must be legal
+// under numa.Transitions, a page is pinned at most once per lifetime, and
+// its move count never decreases. Violations are recorded, not fatal, so
+// the fuzz driver can dump the ring-buffer trace alongside them.
+type protocolChecker struct {
+	errs   []string
+	state  map[int64]numa.State
+	pinned map[int64]bool
+	moves  map[int64]int64
+}
+
+func newProtocolChecker() *protocolChecker {
+	return &protocolChecker{
+		state:  make(map[int64]numa.State),
+		pinned: make(map[int64]bool),
+		moves:  make(map[int64]int64),
+	}
+}
+
+func (c *protocolChecker) failf(format string, args ...any) {
+	c.errs = append(c.errs, fmt.Sprintf(format, args...))
+}
+
+func (c *protocolChecker) Emit(ev simtrace.Event) {
+	switch ev.Kind {
+	case simtrace.KindPageCreated:
+		c.state[ev.Page] = numa.ReadOnly
+		c.pinned[ev.Page] = false
+		c.moves[ev.Page] = 0
+	case simtrace.KindStateChange:
+		from, to := numa.State(ev.Arg2), numa.State(ev.Arg)
+		if have, ok := c.state[ev.Page]; ok && have != from {
+			c.failf("page%d: state change from %v but last known state is %v", ev.Page, from, have)
+		}
+		legal := false
+		for _, s := range numa.Transitions[from] {
+			if s == to {
+				legal = true
+				break
+			}
+		}
+		if !legal {
+			c.failf("page%d: illegal transition %v -> %v", ev.Page, from, to)
+		}
+		c.state[ev.Page] = to
+	case simtrace.KindPin:
+		if c.pinned[ev.Page] {
+			c.failf("page%d: pinned twice without an intervening free", ev.Page)
+		}
+		c.pinned[ev.Page] = true
+	case simtrace.KindDecision:
+		if ev.Arg2 < c.moves[ev.Page] {
+			c.failf("page%d: move count went backwards (%d -> %d)", ev.Page, c.moves[ev.Page], ev.Arg2)
+		}
+		c.moves[ev.Page] = ev.Arg2
+	case simtrace.KindPageFreed:
+		delete(c.state, ev.Page)
+		delete(c.pinned, ev.Page)
+		delete(c.moves, ev.Page)
+	}
+}
+
+// fuzzScript drives one seeded random access script against the NUMA
+// manager and reports the first invariant violation, comparing page
+// contents against a trivial last-write-wins oracle throughout.
+func fuzzScript(t *testing.T, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+
+	cfg := ace.DefaultConfig()
+	cfg.NProc = 3
+	cfg.GlobalFrames = 32
+	cfg.LocalFrames = 4 // small enough that LOCAL decisions sometimes fall back
+	cfg.PageSize = 256
+	m := ace.NewMachine(cfg)
+
+	// Pre-generate the policy's answers so the run exercises Scripted too.
+	// PlaceRemote answers are demoted to Global by the manager unless the
+	// page carries a home pragma.
+	const nops = 120
+	script := &policy.Scripted{}
+	for i := 0; i < nops; i++ {
+		switch r := rng.Intn(10); {
+		case r < 5:
+			script.Answers = append(script.Answers, numa.Local)
+		case r < 8:
+			script.Answers = append(script.Answers, numa.Global)
+		default:
+			script.Answers = append(script.Answers, numa.PlaceRemote)
+		}
+	}
+	n := numa.NewManager(m, script)
+
+	ring := simtrace.NewRingSink(256)
+	checker := newProtocolChecker()
+	m.AttachSink(simtrace.Tee(ring, checker))
+
+	const npages = 6
+	pages := make([]*numa.Page, npages)
+	oracle := make([]uint32, npages)
+
+	var scriptErr error
+	m.Engine().Spawn("fuzz", 0, func(th *sim.Thread) {
+		scriptErr = func() error {
+			for i := range pages {
+				pg, err := n.NewPage()
+				if err != nil {
+					return err
+				}
+				if i%2 == 0 {
+					pg.SetHint(numa.HintRemote)
+					pg.SetHome(rng.Intn(cfg.NProc))
+				}
+				pages[i] = pg
+			}
+			for op := 0; op < nops; op++ {
+				i := rng.Intn(npages)
+				pg := pages[i]
+				proc := rng.Intn(cfg.NProc)
+				switch r := rng.Intn(100); {
+				case r < 70:
+					write := rng.Intn(2) == 0
+					f, prot := n.Access(th, pg, proc, write, mmu.ProtReadWrite)
+					if write {
+						if !prot.CanWrite() {
+							return fmt.Errorf("op %d: write access granted prot %v", op, prot)
+						}
+						v := uint32(seed)<<8 | uint32(op)
+						f.Store32(0, v)
+						oracle[i] = v
+					} else if got := f.Load32(0); got != oracle[i] {
+						return fmt.Errorf("op %d: page%d read %#x, oracle %#x", op, pg.ID(), got, oracle[i])
+					}
+				case r < 80:
+					n.PrepareEvict(th, pg)
+				case r < 90:
+					n.MigrateOwner(th, pg, rng.Intn(cfg.NProc))
+				case r < 95:
+					n.FreePageSync(n.FreePage(th, pg))
+					fresh, err := n.NewPage()
+					if err != nil {
+						return err
+					}
+					pages[i], oracle[i] = fresh, 0
+				default:
+					pg.SetHome(rng.Intn(cfg.NProc)) // churn the §4.4 home pragma
+				}
+				for j, p := range pages {
+					if err := n.CheckInvariants(p); err != nil {
+						return fmt.Errorf("op %d: %w", op, err)
+					}
+					if got := p.Authoritative().Load32(0); got != oracle[j] {
+						return fmt.Errorf("op %d: page%d authoritative copy holds %#x, oracle %#x",
+							op, p.ID(), got, oracle[j])
+					}
+				}
+			}
+			return nil
+		}()
+	})
+	if err := m.Engine().Run(); err != nil {
+		t.Fatalf("seed %d: engine: %v", seed, err)
+	}
+	if scriptErr != nil || len(checker.errs) > 0 {
+		t.Errorf("seed %d: script error: %v; checker errors: %v", seed, scriptErr, checker.errs)
+		t.Logf("last %d events:\n%s", len(ring.Events()), simtrace.FormatEvents(ring.Events()))
+	}
+}
+
+// TestProtocolFuzz replays seeded random access scripts against the NUMA
+// manager: random reads and writes from random processors under a scripted
+// policy (including §4.4 remote placements), interleaved with evictions,
+// owner migrations, frees and home-pragma churn. After every operation the
+// structural invariants must hold and each page's authoritative contents
+// must match a last-write-wins oracle; the simtrace event stream is
+// independently checked for transition legality and pin monotonicity.
+// Failures dump the ring-buffer trace.
+func TestProtocolFuzz(t *testing.T) {
+	seeds := 1000
+	if testing.Short() {
+		seeds = 50
+	}
+	for seed := 0; seed < seeds; seed++ {
+		fuzzScript(t, int64(seed))
+		if t.Failed() {
+			t.Fatalf("stopping at first failing seed")
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"numasim/internal/mem"
 	"numasim/internal/mmu"
 	"numasim/internal/sim"
+	"numasim/internal/simtrace"
 )
 
 // State is the consistency state of a logical page.
@@ -116,6 +117,8 @@ type Policy interface {
 
 // Page is the NUMA manager's record for one logical page.
 type Page struct {
+	id     int64 // manager-unique id, for trace events
+	bus    *simtrace.Bus
 	global *mem.Frame
 	state  State
 	owner  int          // processor holding the local-writable copy, else -1
@@ -172,6 +175,9 @@ func (h Hint) String() string {
 		return fmt.Sprintf("hint(%d)", int(h))
 	}
 }
+
+// ID returns the page's manager-unique id, as carried by trace events.
+func (p *Page) ID() int64 { return p.id }
 
 // Hint returns the page's placement pragma.
 func (p *Page) Hint() Hint { return p.hint }
@@ -267,6 +273,14 @@ type Manager struct {
 	policy  Policy
 	stats   Stats
 
+	// bus is the machine's trace bus; nextPageID numbers pages for its
+	// events, and now tracks the virtual time of the request being
+	// handled for emission sites that have no thread at hand (page
+	// creation, state changes).
+	bus        *simtrace.Bus
+	nextPageID int64
+	now        sim.Time
+
 	// noReplication disables read replication: a read-only page keeps at
 	// most one local copy, which migrates to its readers (the pure
 	// migration protocol of Li-style systems). Used by the replication
@@ -288,7 +302,7 @@ func NewManager(machine *ace.Machine, pol Policy) *Manager {
 	if pol == nil {
 		panic("numa: nil policy")
 	}
-	return &Manager{machine: machine, policy: pol}
+	return &Manager{machine: machine, policy: pol, bus: machine.Bus()}
 }
 
 // Policy returns the manager's placement policy.
@@ -309,9 +323,19 @@ func (n *Manager) SetActionHook(fn func(string)) { n.onAction = fn }
 // local copy between readers instead of replicating.
 func (n *Manager) SetReplication(enabled bool) { n.noReplication = !enabled }
 
-func (n *Manager) act(s string) {
+// emitAction reports one protocol action: to the string hook (from which
+// Tables 1 and 2 are derived) and, when a sink is attached, as a
+// structured KindAction event stamped with the acting thread's clock.
+// proc is the processor the action serves, or -1 for whole-page sweeps.
+func (n *Manager) emitAction(th *sim.Thread, pg *Page, proc int, label string) {
 	if n.onAction != nil {
-		n.onAction(s)
+		n.onAction(label)
+	}
+	if n.bus.Enabled() {
+		n.bus.Emit(simtrace.Event{
+			Kind: simtrace.KindAction, Proc: int32(proc), Thread: int32(th.ID()),
+			Time: int64(th.Clock()), Page: pg.id, Arg: int64(pg.state), Label: label,
+		})
 	}
 }
 
@@ -337,8 +361,24 @@ func (n *Manager) NewPage() (*Page, error) {
 		copies:    make([]*mem.Frame, n.machine.NProc()),
 		needZero:  true,
 	}
-	n.stats.PagesCreated++
+	n.adopt(pg)
 	return pg, nil
+}
+
+// adopt numbers a new page, hooks it to the trace bus and reports its
+// birth. Creation has no thread at hand, so the event carries the time of
+// the request the manager most recently handled.
+func (n *Manager) adopt(pg *Page) {
+	pg.id = n.nextPageID
+	n.nextPageID++
+	pg.bus = n.bus
+	n.stats.PagesCreated++
+	if n.bus.Enabled() {
+		n.bus.Emit(simtrace.Event{
+			Kind: simtrace.KindPageCreated, Proc: -1, Thread: -1,
+			Time: int64(n.now), Page: pg.id,
+		})
+	}
 }
 
 // AdoptPage builds a page around existing contents (page-in from backing
@@ -355,7 +395,7 @@ func (n *Manager) AdoptPage(global *mem.Frame) *Page {
 		home:      -1,
 		copies:    make([]*mem.Frame, n.machine.NProc()),
 	}
-	n.stats.PagesCreated++
+	n.adopt(pg)
 	return pg
 }
 
@@ -397,6 +437,7 @@ func (n *Manager) Access(th *sim.Thread, pg *Page, proc int, write bool, maxProt
 		n.stats.ReadRequests++
 	}
 	pg.lastRequest = th.Clock()
+	n.now = th.Clock()
 	n.MaybeSweep(th)
 
 	loc := n.policy.CachePolicy(pg, proc, write, maxProt)
@@ -410,6 +451,13 @@ func (n *Manager) Access(th *sim.Thread, pg *Page, proc int, write bool, maxProt
 		(pg.copies[pg.home] == nil && n.machine.Memory().Local(pg.home).Free() == 0)) {
 		// No home pragma, or the home's local memory is exhausted.
 		loc = Global
+	}
+	if n.bus.Enabled() {
+		n.bus.Emit(simtrace.Event{
+			Kind: simtrace.KindDecision, Proc: int32(proc), Thread: int32(th.ID()),
+			Time: int64(th.Clock()), Page: pg.id,
+			Arg: int64(loc), Arg2: int64(pg.moves), Label: n.policy.Name(),
+		})
 	}
 	// A remote-placed page whose policy answer has changed is demoted
 	// first: its home copy is synced back to global memory and flushed.
@@ -439,7 +487,7 @@ func (n *Manager) toRemote(th *sim.Thread, pg *Page, proc int, maxProt mmu.Prot)
 	switch pg.state {
 	case Remote:
 		if pg.owner == home {
-			n.act("no action")
+			n.emitAction(th, pg, proc, "no action")
 			return pg.copies[home], maxProt
 		}
 		// The home pragma changed while the page was placed: sync the old
@@ -459,7 +507,7 @@ func (n *Manager) toRemote(th *sim.Thread, pg *Page, proc int, maxProt mmu.Prot)
 	pg.setState(Remote)
 	pg.owner = home
 	n.stats.RemotePlaced++
-	n.act("place at home")
+	n.emitAction(th, pg, proc, "place at home")
 	return f, maxProt
 }
 
@@ -488,7 +536,7 @@ func (n *Manager) demoteRemote(th *sim.Thread, pg *Page, requester int) {
 	n.stats.RemoteDemoted++
 	pg.setState(ReadOnly)
 	pg.owner = -1
-	n.act("sync&flush home")
+	n.emitAction(th, pg, requester, "sync&flush home")
 }
 
 // readLocal implements the LOCAL row of Table 1.
@@ -509,7 +557,7 @@ func (n *Manager) readLocal(th *sim.Thread, pg *Page, proc int) (*mem.Frame, mmu
 		return f, mmu.ProtRead
 	case LocalWritable:
 		if pg.owner == proc {
-			n.act("no action")
+			n.emitAction(th, pg, proc, "no action")
 			return pg.copies[proc], mmu.ProtRead
 		}
 		n.syncFlush(th, pg, pg.owner, proc, "sync&flush other")
@@ -541,7 +589,7 @@ func (n *Manager) writeLocal(th *sim.Thread, pg *Page, proc int, maxProt mmu.Pro
 		return f, maxProt
 	case LocalWritable:
 		if pg.owner == proc {
-			n.act("no action")
+			n.emitAction(th, pg, proc, "no action")
 			return pg.copies[proc], maxProt
 		}
 		n.syncFlush(th, pg, pg.owner, proc, "sync&flush other")
@@ -559,7 +607,7 @@ func (n *Manager) toGlobal(th *sim.Thread, pg *Page, proc int, maxProt mmu.Prot)
 	case ReadOnly:
 		n.flushExcept(th, pg, -1, "flush all")
 	case GlobalWritable:
-		n.act("no action")
+		n.emitAction(th, pg, proc, "no action")
 	case LocalWritable:
 		if pg.owner == proc {
 			n.syncFlush(th, pg, proc, proc, "sync&flush own")
@@ -575,6 +623,12 @@ func (n *Manager) toGlobal(th *sim.Thread, pg *Page, proc int, maxProt mmu.Prot)
 		if !pg.pinned {
 			pg.pinned = true
 			n.stats.Pins++
+			if n.bus.Enabled() {
+				n.bus.Emit(simtrace.Event{
+					Kind: simtrace.KindPin, Proc: int32(proc), Thread: int32(th.ID()),
+					Time: int64(th.Clock()), Page: pg.id, Arg: int64(pg.moves),
+				})
+			}
 		}
 		if _, ok := n.policy.(ReconsideringPolicy); ok {
 			n.gwPages = append(n.gwPages, pg)
@@ -658,7 +712,7 @@ func (n *Manager) ensureCopy(th *sim.Thread, pg *Page, proc int) *mem.Frame {
 		n.stats.Copies++
 	}
 	pg.copies[proc] = f
-	n.act("copy to local")
+	n.emitAction(th, pg, proc, "copy to local")
 	return f
 }
 
@@ -677,7 +731,7 @@ func (n *Manager) syncFlush(th *sim.Thread, pg *Page, owner, requester int, labe
 	th.AdvanceSys(cost.CopyCost(src, pg.global, requester, n.machine.PageSize()))
 	n.stats.Syncs++
 	n.dropCopy(th, pg, owner)
-	n.act(label)
+	n.emitAction(th, pg, requester, label)
 }
 
 // dropCopy removes owner's replica: drops any mapping to it and releases
@@ -717,7 +771,7 @@ func (n *Manager) flushExcept(th *sim.Thread, pg *Page, keep int, label string) 
 		}
 	}
 	if acted {
-		n.act(label)
+		n.emitAction(th, pg, -1, label)
 	}
 }
 
@@ -733,7 +787,7 @@ func (n *Manager) unmapAll(th *sim.Thread, pg *Page) {
 			n.stats.Unmaps++
 		}
 	}
-	n.act("unmap all")
+	n.emitAction(th, pg, -1, "unmap all")
 }
 
 // MigrateOwner moves a local-writable page's copy from its current owner
@@ -743,6 +797,7 @@ func (n *Manager) unmapAll(th *sim.Thread, pg *Page) {
 // left where they are. The transfer does not count against the page's move
 // budget: it is scheduler-initiated, not "in response to writes".
 func (n *Manager) MigrateOwner(th *sim.Thread, pg *Page, newProc int) {
+	n.now = th.Clock()
 	if pg.state != LocalWritable || pg.owner == newProc {
 		return
 	}
@@ -768,6 +823,7 @@ func (n *Manager) MigrateOwner(th *sim.Thread, pg *Page, newProc int) {
 // to global memory, flushes every replica and drops every mapping. After it
 // returns, the global frame is authoritative and unmapped everywhere.
 func (n *Manager) PrepareEvict(th *sim.Thread, pg *Page) {
+	n.now = th.Clock()
 	if pg.state == Remote {
 		n.demoteRemote(th, pg, pg.owner)
 	}
@@ -835,6 +891,7 @@ type FreeTag struct {
 // The costs are charged when the cleanup is performed; the returned tag
 // lets a reallocation wait for completion.
 func (n *Manager) FreePage(th *sim.Thread, pg *Page) *FreeTag {
+	n.now = th.Clock()
 	if pg.state == Remote {
 		n.demoteRemote(th, pg, pg.owner)
 	}
@@ -850,6 +907,12 @@ func (n *Manager) FreePage(th *sim.Thread, pg *Page) *FreeTag {
 	pg.pinned = false
 	pg.moves = 0
 	n.stats.PagesFreed++
+	if n.bus.Enabled() {
+		n.bus.Emit(simtrace.Event{
+			Kind: simtrace.KindPageFreed, Proc: -1, Thread: int32(th.ID()),
+			Time: int64(th.Clock()), Page: pg.id,
+		})
+	}
 	return &FreeTag{pg: pg, done: true}
 }
 

@@ -22,6 +22,7 @@ import (
 	"numasim/internal/mmu"
 	"numasim/internal/numa"
 	"numasim/internal/sim"
+	"numasim/internal/simtrace"
 )
 
 // Pmap holds the virtual-to-physical mappings of one address space (one
@@ -133,6 +134,12 @@ func (p *Pmap) Enter(th *sim.Thread, proc int, va uint32, pg *numa.Page, maxProt
 	hw.Enter(key, frame, prot)
 	th.AdvanceSys(p.mgr.machine.Cost().MMUOp)
 	p.res[va>>p.shift] = pg
+	if bus := p.mgr.machine.Bus(); bus.Enabled() {
+		bus.Emit(simtrace.Event{
+			Kind: simtrace.KindMapEnter, Proc: int32(proc), Thread: int32(th.ID()),
+			Time: int64(th.Clock()), Page: pg.ID(), Arg: int64(va), Arg2: int64(prot),
+		})
+	}
 }
 
 // Protect tightens (or loosens) the protection of all resident pages in

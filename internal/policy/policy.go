@@ -194,6 +194,35 @@ func (f *Forced) CachePolicy(pg *numa.Page, proc int, write bool, maxProt mmu.Pr
 // Name implements numa.Policy.
 func (f *Forced) Name() string { return "forced-" + f.Answer.String() }
 
+// Scripted replays a pre-generated sequence of answers, one per request,
+// repeating the last answer when the script runs out (an empty script
+// answers LOCAL). It lets protocol tests — the seeded fuzz suite in
+// particular — drive the NUMA manager through arbitrary decision
+// sequences deterministically, independent of any real policy's logic.
+type Scripted struct {
+	Answers []numa.Location
+	pos     int
+}
+
+// CachePolicy implements numa.Policy.
+func (s *Scripted) CachePolicy(pg *numa.Page, proc int, write bool, maxProt mmu.Prot) numa.Location {
+	if len(s.Answers) == 0 {
+		return numa.Local
+	}
+	if s.pos >= len(s.Answers) {
+		return s.Answers[len(s.Answers)-1]
+	}
+	ans := s.Answers[s.pos]
+	s.pos++
+	return ans
+}
+
+// Consumed reports how many scripted answers have been handed out.
+func (s *Scripted) Consumed() int { return s.pos }
+
+// Name implements numa.Policy.
+func (s *Scripted) Name() string { return "scripted" }
+
 // Compile-time interface checks.
 var (
 	_ numa.Policy = (*Threshold)(nil)
@@ -202,4 +231,5 @@ var (
 	_ numa.Policy = (*Pragma)(nil)
 	_ numa.Policy = (*Reconsider)(nil)
 	_ numa.Policy = (*Forced)(nil)
+	_ numa.Policy = (*Scripted)(nil)
 )

@@ -13,6 +13,7 @@ package sched
 
 import (
 	"numasim/internal/sim"
+	"numasim/internal/simtrace"
 	"numasim/internal/vm"
 )
 
@@ -78,7 +79,7 @@ func (s *Scheduler) pick() int {
 func (s *Scheduler) Spawn(name string, task *vm.Task, start sim.Time, fn func(*vm.Context)) *sim.Thread {
 	proc := s.pick()
 	s.live[proc]++
-	return s.kernel.Machine().Engine().Spawn(name, start, func(th *sim.Thread) {
+	th := s.kernel.Machine().Engine().Spawn(name, start, func(th *sim.Thread) {
 		defer func() { s.live[proc]-- }()
 		c := vm.NewContext(s.kernel, task, th, proc)
 		if s.mode == NoAffinity {
@@ -86,6 +87,13 @@ func (s *Scheduler) Spawn(name string, task *vm.Task, start sim.Time, fn func(*v
 		}
 		fn(c)
 	})
+	if bus := s.kernel.Machine().Bus(); bus.Enabled() {
+		bus.Emit(simtrace.Event{
+			Kind: simtrace.KindSchedAssign, Proc: int32(proc), Thread: int32(th.ID()),
+			Time: int64(start), Page: -1, Label: name,
+		})
+	}
+	return th
 }
 
 // hop migrates a thread to the next processor in round-robin order, the

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"numasim/internal/simtrace"
 )
 
 // Time is a point in (or span of) virtual time, in nanoseconds.
@@ -102,7 +104,10 @@ type abortSignal struct{}
 // thread bound to a Resource cannot begin running before the resource's
 // previous occupant has yielded.
 type Resource struct {
-	Name   string
+	Name string
+	// ID is the resource's processor number as reported in trace events;
+	// leave it zero for resources that are not processors.
+	ID     int
 	freeAt Time
 }
 
@@ -285,6 +290,9 @@ type Engine struct {
 	// Trace, if non-nil, is called on every context switch with the thread
 	// about to run.
 	Trace func(t *Thread)
+	// Bus, if non-nil, receives structured dispatch and execution-span
+	// events. The engine only emits while a sink is attached.
+	Bus *simtrace.Bus
 }
 
 // NewEngine returns an empty engine.
@@ -493,9 +501,24 @@ func (e *Engine) Run() error {
 		if e.Trace != nil {
 			e.Trace(t)
 		}
+		spanStart := t.clock
+		if e.Bus.Enabled() {
+			e.Bus.Emit(simtrace.Event{
+				Kind: simtrace.KindDispatch, Proc: resourceID(t.res),
+				Thread: int32(t.id), Time: int64(t.clock), Page: -1,
+			})
+		}
 		t.resume <- resumeMsg{}
 		parked := <-e.park
 		e.running = nil
+		if e.Bus.Enabled() && parked.clock > spanStart {
+			e.Bus.Emit(simtrace.Event{
+				Kind: simtrace.KindSpan, Proc: resourceID(parked.res),
+				Thread: int32(parked.id), Time: int64(spanStart),
+				Dur: int64(parked.clock - spanStart), Page: -1,
+				Label: parked.name,
+			})
+		}
 		if parked.res != nil && parked.res.freeAt < parked.clock {
 			parked.res.freeAt = parked.clock
 		}
@@ -505,6 +528,15 @@ func (e *Engine) Run() error {
 			return err
 		}
 	}
+}
+
+// resourceID maps a bound resource to its trace processor number (-1 for
+// unbound threads).
+func resourceID(r *Resource) int32 {
+	if r == nil {
+		return -1
+	}
+	return int32(r.ID)
 }
 
 // blockedThreads describes all blocked threads for deadlock reports.

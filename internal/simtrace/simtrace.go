@@ -1,0 +1,198 @@
+// Package simtrace is the simulator's structured event layer: a typed
+// event vocabulary covering engine scheduling, fault handling, NUMA
+// protocol actions, policy decisions and page lifetimes, an always-present
+// Bus that instrumented packages emit into, and pluggable Sinks that
+// consume the stream (counting, ring-buffer post-mortems, Chrome
+// trace-event export for Perfetto).
+//
+// The design constraint is zero cost when off: every machine owns a Bus,
+// but with no sink attached the emit path is a nil check and nothing else
+// — no Event is even constructed (instrumentation sites guard with
+// Bus.Enabled() before building the Event). The Table 3 hot path measures
+// under 1% overhead with tracing disabled (BenchmarkTraceOverhead).
+//
+// Determinism: events carry only virtual time and simulation state, never
+// wall-clock or host identity (the package is on numalint's deterministic
+// core list), and they are emitted from the single-threaded simulation
+// loop, so for a given program the event stream — and any export derived
+// from it — is byte-identical at every host parallelism setting.
+package simtrace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies an Event.
+type Kind uint8
+
+// Event kinds. KindCount is the number of kinds, not a kind.
+const (
+	// KindDispatch: the engine resumed a thread (one per context switch).
+	KindDispatch Kind = iota
+	// KindSpan: a thread ran on a processor for [Time, Time+Dur).
+	KindSpan
+	// KindFaultEnter: a page fault entered the kernel (Arg: va, Arg2: 1
+	// for a write fault).
+	KindFaultEnter
+	// KindFaultExit: the fault completed; Time is the completion time and
+	// Dur the system time the fault consumed (Arg: va, Arg2: write).
+	KindFaultExit
+	// KindDecision: the NUMA policy answered a request (Arg: the
+	// numa.Location ordinal, Arg2: the page's move count, Label: policy
+	// name).
+	KindDecision
+	// KindAction: the NUMA manager performed one protocol action of the
+	// paper's Tables 1/2 (Label: the paper's action vocabulary, Arg: the
+	// page state ordinal after the action).
+	KindAction
+	// KindStateChange: a page moved between consistency states (Arg: new
+	// state ordinal, Arg2: previous state ordinal).
+	KindStateChange
+	// KindPageCreated: a logical page came into existence.
+	KindPageCreated
+	// KindPageFreed: a logical page was freed back to global memory.
+	KindPageFreed
+	// KindPin: a page was pinned into global memory (Arg: move count at
+	// the moment of pinning).
+	KindPin
+	// KindMapEnter: the pmap layer established a translation (Arg: va,
+	// Arg2: protection bits).
+	KindMapEnter
+	// KindSchedAssign: the scheduler bound a newly created thread to a
+	// processor (Label: thread name).
+	KindSchedAssign
+
+	// KindCount is the number of event kinds.
+	KindCount
+)
+
+var kindNames = [KindCount]string{
+	"dispatch", "span", "fault-enter", "fault-exit", "decision",
+	"action", "state-change", "page-created", "page-freed", "pin",
+	"map-enter", "sched-assign",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one structured trace record. Time and Dur are virtual
+// nanoseconds (the engine's sim.Time scale, held as int64 so this package
+// depends on nothing); Proc and Thread are -1 when not applicable, Page is
+// -1 when the event concerns no page. Arg/Arg2 are kind-specific (see the
+// Kind constants); Label is the kind-specific human vocabulary (protocol
+// action, thread name, policy name).
+type Event struct {
+	Kind   Kind
+	Proc   int32
+	Thread int32
+	Time   int64
+	Dur    int64
+	Page   int64
+	Arg    int64
+	Arg2   int64
+	Label  string
+}
+
+// String renders the event for logs and post-mortem dumps.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12dns %-12s", e.Time, e.Kind)
+	if e.Proc >= 0 {
+		fmt.Fprintf(&b, " cpu%d", e.Proc)
+	}
+	if e.Thread >= 0 {
+		fmt.Fprintf(&b, " th%d", e.Thread)
+	}
+	if e.Page >= 0 {
+		fmt.Fprintf(&b, " page%d", e.Page)
+	}
+	switch e.Kind {
+	case KindSpan, KindFaultExit:
+		fmt.Fprintf(&b, " dur=%dns", e.Dur)
+	case KindStateChange:
+		fmt.Fprintf(&b, " %d->%d", e.Arg2, e.Arg)
+	case KindFaultEnter, KindMapEnter:
+		fmt.Fprintf(&b, " va=%#x", uint32(e.Arg))
+	case KindDecision:
+		fmt.Fprintf(&b, " loc=%d moves=%d", e.Arg, e.Arg2)
+	case KindPin:
+		fmt.Fprintf(&b, " moves=%d", e.Arg)
+	}
+	if e.Label != "" {
+		fmt.Fprintf(&b, " %q", e.Label)
+	}
+	return b.String()
+}
+
+// Sink consumes events. Sinks attached to a machine that the harness runs
+// concurrently with others (e.g. one CountingSink shared by every table
+// row) must be safe for concurrent Emit; sinks attached to a single
+// simulation (RingSink, ListSink) need not be.
+type Sink interface {
+	Emit(ev Event)
+}
+
+// Bus is the per-machine event conduit. Instrumented packages keep a *Bus
+// and guard every emission site with Enabled(), so a machine without an
+// attached sink pays one nil check per potential event and never
+// constructs the Event itself. A nil *Bus is valid and permanently
+// disabled.
+type Bus struct {
+	sink Sink
+}
+
+// NewBus returns a bus with no sink attached.
+func NewBus() *Bus { return &Bus{} }
+
+// Attach installs the sink that will receive subsequent events (nil
+// detaches). Attach before the simulation runs; the simulation loop does
+// not expect the sink to change mid-run.
+func (b *Bus) Attach(s Sink) { b.sink = s }
+
+// Sink returns the attached sink, or nil.
+func (b *Bus) Sink() Sink {
+	if b == nil {
+		return nil
+	}
+	return b.sink
+}
+
+// Enabled reports whether events are being consumed. Emission sites check
+// it before constructing an Event — this is the whole zero-cost-when-off
+// contract.
+func (b *Bus) Enabled() bool { return b != nil && b.sink != nil }
+
+// Emit delivers the event to the attached sink, if any.
+func (b *Bus) Emit(ev Event) {
+	if b != nil && b.sink != nil {
+		b.sink.Emit(ev)
+	}
+}
+
+// tee fans one event stream out to several sinks.
+type tee []Sink
+
+func (t tee) Emit(ev Event) {
+	for _, s := range t {
+		s.Emit(ev)
+	}
+}
+
+// Tee returns a sink that forwards every event to each of sinks in order.
+func Tee(sinks ...Sink) Sink { return tee(sinks) }
+
+// FormatEvents renders events one per line — the post-mortem dump format
+// tests log when an invariant fails.
+func FormatEvents(events []Event) string {
+	var b strings.Builder
+	for _, ev := range events {
+		b.WriteString(ev.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -21,6 +21,7 @@ import (
 	"numasim/internal/numa"
 	"numasim/internal/pmap"
 	"numasim/internal/sim"
+	"numasim/internal/simtrace"
 )
 
 // Fault outcomes.
@@ -446,8 +447,35 @@ func (t *Task) find(va uint32) *Entry {
 func (t *Task) EntryAt(va uint32) *Entry { return t.find(va) }
 
 // Fault resolves a page fault taken by processor proc in this task. It is
-// called by Context on translation misses, and by tests directly.
+// called by Context on translation misses, and by tests directly. With a
+// trace sink attached it brackets the handling in fault-enter/fault-exit
+// events; the exit event's duration is the virtual time the fault
+// consumed.
 func (k *Kernel) Fault(th *sim.Thread, task *Task, proc int, va uint32, write bool) error {
+	bus := k.machine.Bus()
+	if !bus.Enabled() {
+		return k.fault(th, task, proc, va, write)
+	}
+	wr := int64(0)
+	if write {
+		wr = 1
+	}
+	bus.Emit(simtrace.Event{
+		Kind: simtrace.KindFaultEnter, Proc: int32(proc), Thread: int32(th.ID()),
+		Time: int64(th.Clock()), Page: -1, Arg: int64(va), Arg2: wr,
+	})
+	t0 := th.Clock()
+	err := k.fault(th, task, proc, va, write)
+	bus.Emit(simtrace.Event{
+		Kind: simtrace.KindFaultExit, Proc: int32(proc), Thread: int32(th.ID()),
+		Time: int64(th.Clock()), Dur: int64(th.Clock() - t0), Page: -1,
+		Arg: int64(va), Arg2: wr,
+	})
+	return err
+}
+
+// fault is the uninstrumented fault handler.
+func (k *Kernel) fault(th *sim.Thread, task *Task, proc int, va uint32, write bool) error {
 	cost := k.machine.Cost()
 	th.AdvanceSys(cost.FaultBase)
 	k.machine.Proc(proc).Faults++

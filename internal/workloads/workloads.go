@@ -18,6 +18,7 @@ package workloads
 
 import (
 	"fmt"
+	"strings"
 
 	"numasim/internal/cthreads"
 	"numasim/internal/vm"
@@ -67,11 +68,11 @@ func All() []Workload {
 // §4.2.
 func ByName(name string) (Workload, error) {
 	for _, w := range All() {
-		if w.Name() == name {
+		if strings.EqualFold(w.Name(), name) {
 			return w, nil
 		}
 	}
-	if name == "Primes2-untuned" {
+	if strings.EqualFold(name, "Primes2-untuned") {
 		return NewPrimes2(0, false), nil
 	}
 	return nil, fmt.Errorf("workloads: unknown workload %q (known: %v and Primes2-untuned)", name, Names())
@@ -85,7 +86,7 @@ func NewSized(name string, size int) (Workload, error) {
 	if size < 0 {
 		return nil, fmt.Errorf("workloads: negative size %d", size)
 	}
-	switch name {
+	switch canonical(name) {
 	case "ParMult":
 		return NewParMult(size, 0), nil
 	case "Gfetch":
@@ -109,6 +110,23 @@ func NewSized(name string, size int) (Workload, error) {
 	default:
 		return nil, fmt.Errorf("workloads: unknown workload %q", name)
 	}
+}
+
+// canonical resolves name to its exact Table 3 spelling,
+// case-insensitively, leaving unknown names untouched. Workload names on
+// the command line thus work in any case ("fft", "FFT", "plytrace").
+func canonical(name string) string {
+	for _, n := range Names() {
+		if strings.EqualFold(n, name) {
+			return n
+		}
+	}
+	for _, n := range []string{"Primes2-untuned", "Syscaller"} {
+		if strings.EqualFold(n, name) {
+			return n
+		}
+	}
+	return name
 }
 
 // Names lists the standard workload names in table order.
