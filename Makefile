@@ -12,13 +12,16 @@
 #                   overhead check: BenchmarkTraceOverhead/off must stay
 #                   within noise of earlier runs)
 #   make tables   - regenerate the paper's tables and figures
+#   make pressure - smoke-run the memory-pressure sweep with seeded fault
+#                   injection (small sizes; exercises reclaim, fallback
+#                   and retry end to end)
 
 GO ?= go
 NUMALINT := bin/numalint
 
-.PHONY: check build vet lint numalint test bench tables
+.PHONY: check build vet lint numalint test bench tables pressure
 
-check: build vet lint test
+check: build vet lint test pressure
 
 build:
 	$(GO) build ./...
@@ -44,3 +47,7 @@ bench:
 
 tables:
 	$(GO) run ./cmd/tables
+
+pressure:
+	$(GO) run ./cmd/tables -small -nproc 3 -exp pressuresweep -app FFT \
+		-frames 4,2 -chaos-seed 42 -chaos-fail 0.05 -chaos-delay 0.10

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"numasim/internal/chaos"
+	"numasim/internal/harness"
+)
+
+// experimentOptions carries the subset of acesim's flags that apply to a
+// registry experiment run.
+type experimentOptions struct {
+	app        string
+	appSet     bool // whether -app was given explicitly
+	nproc      int
+	workers    int
+	threshold  int
+	parallel   int
+	frames     string
+	chaosSeed  int64
+	chaosFail  float64
+	chaosDelay float64
+}
+
+// flagWasSet reports whether the named flag appeared on the command line
+// (as opposed to holding its default).
+func flagWasSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// parseFrames parses a comma-separated list of local-frame budgets.
+func parseFrames(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var frames []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -frames entry %q (want positive integers)", part)
+		}
+		frames = append(frames, n)
+	}
+	return frames, nil
+}
+
+// runExperiment executes one harness-registry experiment ("list" prints
+// the registry) and returns the process exit code.
+func runExperiment(name string, eo experimentOptions, stdout, stderr io.Writer) int {
+	if name == "list" {
+		for _, n := range harness.Names() {
+			e, _ := harness.Lookup(n)
+			fmt.Fprintf(stdout, "%-16s %s\n", e.Name(), e.Describe())
+		}
+		return 0
+	}
+	e, ok := harness.Lookup(name)
+	if !ok {
+		fmt.Fprintf(stderr, "acesim: unknown experiment %q (try -exp list)\n", name)
+		return 1
+	}
+	frames, err := parseFrames(eo.frames)
+	if err != nil {
+		fmt.Fprintln(stderr, "acesim:", err)
+		return 2
+	}
+	opts := harness.Options{
+		NProc: eo.nproc, Workers: eo.workers, Threshold: eo.threshold,
+		Parallelism: eo.parallel, PressureFrames: frames,
+	}
+	// -app has a single-run default (IMatMult) that should not override an
+	// experiment's own default application; only pass it through when the
+	// user actually chose one.
+	if eo.appSet {
+		opts.App = eo.app
+	}
+	if eo.chaosFail > 0 || eo.chaosDelay > 0 {
+		cc := chaos.Config{
+			Seed: eo.chaosSeed, FailProb: eo.chaosFail, DelayProb: eo.chaosDelay,
+			MaxRetries: chaos.DefaultMaxRetries, Backoff: chaos.DefaultBackoff,
+			MoveDelay: chaos.DefaultMoveDelay,
+		}
+		if err := cc.Validate(); err != nil {
+			fmt.Fprintln(stderr, "acesim:", err)
+			return 2
+		}
+		opts.Chaos = cc
+	}
+	res, err := e.Run(opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "acesim:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, res.Render())
+	return 0
+}

@@ -19,6 +19,12 @@
 // Chrome trace-event JSON, loadable at ui.perfetto.dev (one track per
 // processor, async tracks for page lifetimes). Both require a single -app.
 //
+// -exp NAME runs a harness-registry experiment instead of a single app
+// (the same registry the tables command prints from; -exp list names
+// them). The pressure sweep takes -frames for its local-frame budgets,
+// and the -chaos-seed/-chaos-fail/-chaos-delay flags enable seeded fault
+// injection.
+//
 // Policies: threshold (default), allglobal, alllocal, neverpin, pragma,
 // reconsider, freezedefrost. Apps: ParMult, Gfetch, IMatMult, Primes1,
 // Primes2, Primes2-untuned, Primes3, FFT, PlyTrace.
@@ -34,7 +40,6 @@ import (
 	"numasim/internal/ace"
 	"numasim/internal/cthreads"
 	"numasim/internal/harness"
-	"numasim/internal/numa"
 	"numasim/internal/policy"
 	"numasim/internal/sched"
 	"numasim/internal/simtrace"
@@ -60,28 +65,6 @@ type runOpts struct {
 	replication bool
 }
 
-// newPolicy builds a fresh policy instance (policies hold per-run state,
-// so concurrent runs must not share one).
-func newPolicy(o runOpts) (numa.Policy, error) {
-	switch strings.ToLower(o.polName) {
-	case "threshold":
-		return policy.NewThreshold(o.threshold), nil
-	case "allglobal":
-		return policy.AllGlobal{}, nil
-	case "alllocal":
-		return policy.AllLocal{}, nil
-	case "neverpin":
-		return policy.NeverPin(), nil
-	case "pragma":
-		return policy.NewPragma(nil), nil
-	case "reconsider":
-		return policy.NewReconsider(o.threshold, 64), nil
-	case "freezedefrost":
-		return policy.NewFreezeDefrost(0, 0), nil
-	}
-	return nil, fmt.Errorf("unknown policy %q", o.polName)
-}
-
 // runOne simulates one application and returns its rendered report.
 func runOne(app string, o runOpts) (string, error) {
 	var w workloads.Workload
@@ -94,7 +77,7 @@ func runOne(app string, o runOpts) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	pol, err := newPolicy(o)
+	pol, err := policy.ByName(o.polName, o.threshold)
 	if err != nil {
 		return "", err
 	}
@@ -209,13 +192,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	perProc := fs.Bool("perproc", false, "report per-processor reference counts")
 	replication := fs.Bool("replication", true, "replicate read-only pages (disable for the Li-style migration ablation)")
 	parallel := fs.Int("parallel", 0, "simulations to run concurrently when -app lists several (0: one per host CPU; results are identical at every setting)")
+	exp := fs.String("exp", "", "run a harness experiment instead of a single app (list: print the registry); -app, -nproc, -workers, -threshold and -parallel apply")
+	framesFlag := fs.String("frames", "", "comma-separated local-frame budgets for -exp pressuresweep")
+	chaosSeed := fs.Int64("chaos-seed", 0, "seed for fault injection in -exp runs")
+	chaosFail := fs.Float64("chaos-fail", 0, "probability a local frame allocation transiently fails in -exp runs (0 disables)")
+	chaosDelay := fs.Float64("chaos-delay", 0, "probability a page move is delayed in -exp runs (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	mode := sched.Affinity
-	if strings.HasPrefix(strings.ToLower(*schedName), "no") {
-		mode = sched.NoAffinity
+	mode, err := sched.ParseMode(*schedName)
+	if err != nil {
+		fmt.Fprintln(stderr, "acesim:", err)
+		return 2
+	}
+
+	if *exp != "" {
+		return runExperiment(*exp, experimentOptions{
+			app: *app, appSet: flagWasSet(fs, "app"), nproc: *nproc,
+			workers: *workers, threshold: *threshold, parallel: *parallel,
+			frames: *framesFlag, chaosSeed: *chaosSeed,
+			chaosFail: *chaosFail, chaosDelay: *chaosDelay,
+		}, stdout, stderr)
 	}
 
 	apps := strings.Split(*app, ",")
@@ -247,7 +245,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// Run every app concurrently (bounded), buffer the reports, and print
 	// them in the order given on the command line.
 	reports := make([]string, len(apps))
-	err := harness.NewPool(*parallel).Run(len(apps), func(i int) error {
+	err = harness.NewPool(*parallel).Run(len(apps), func(i int) error {
 		rep, err := runOne(apps[i], o)
 		if err != nil {
 			return fmt.Errorf("%s: %w", apps[i], err)

@@ -102,3 +102,50 @@ func TestTraceOutRequiresSingleApp(t *testing.T) {
 		}
 	}
 }
+
+func TestExperimentList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-exp", "list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "pressuresweep") || !strings.Contains(out.String(), "table3") {
+		t.Errorf("experiment list incomplete:\n%s", out.String())
+	}
+}
+
+func TestUnknownExperimentFails(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-exp", "bogusexp"}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "bogusexp") {
+		t.Errorf("stderr should name the unknown experiment, got: %s", errb.String())
+	}
+}
+
+func TestExperimentPressureSweep(t *testing.T) {
+	var out, errb strings.Builder
+	args := []string{"-exp", "pressuresweep", "-app", "FFT", "-nproc", "3",
+		"-frames", "4,2", "-chaos-seed", "7", "-chaos-fail", "0.1"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Memory pressure") ||
+		!strings.Contains(out.String(), "FFT") {
+		t.Errorf("pressure table unexpected:\n%s", out.String())
+	}
+}
+
+func TestExperimentDefaultAppIsWholeMix(t *testing.T) {
+	// acesim's -app default (IMatMult) must not narrow an experiment that
+	// sweeps every application unless the user actually passed -app.
+	var out, errb strings.Builder
+	if code := run([]string{"-exp", "pressuresweep", "-nproc", "3", "-frames", "8"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, errb.String())
+	}
+	for _, app := range []string{"Gfetch", "IMatMult", "FFT"} {
+		if !strings.Contains(out.String(), app) {
+			t.Errorf("app-less pressure sweep missing %s:\n%s", app, out.String())
+		}
+	}
+}

@@ -9,13 +9,19 @@
 //
 //	tables [-nproc N] [-workers N] [-small] [-parallel N] [-timing]
 //	       [-table N | -figure N | -exp NAME] [-csv]
+//	       [-app NAME] [-frames LIST] [-chaos-seed N] [-chaos-fail P]
+//
+// Every output is an experiment in the harness registry; -exp runs one by
+// name (-exp list prints them all), and -table/-figure are shorthand for
+// the tableN/figureN entries. -app selects the application for
+// experiments that take one (the pressure sweep, ablations), -frames the
+// local-frame budgets for the pressure sweep, and the -chaos flags enable
+// seeded fault injection.
 //
 // -parallel bounds how many independent simulations run concurrently;
 // the tables are byte-identical at every setting. -timing reports
 // wall-clock time and per-kind simtrace event counts on stderr —
 // diagnostics only, never part of a table.
-//
-// Experiments: falsesharing (§4.2).
 package main
 
 import (
@@ -23,12 +29,31 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"numasim/internal/chaos"
 	"numasim/internal/harness"
 	"numasim/internal/metrics"
 	"numasim/internal/simtrace"
 )
+
+// parseFrames parses a comma-separated list of local-frame budgets.
+func parseFrames(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var frames []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -frames entry %q (want positive integers)", part)
+		}
+		frames = append(frames, n)
+	}
+	return frames, nil
+}
 
 // run is the testable entry point: it parses args (without the program
 // name) and returns the process exit code.
@@ -40,16 +65,60 @@ func run(args []string, stdout, stderr io.Writer) int {
 	smallFlag := fs.Bool("small", false, "use reduced problem sizes")
 	table := fs.Int("table", 0, "print only table N (1-4)")
 	figure := fs.Int("figure", 0, "print only figure N (1-2)")
-	exp := fs.String("exp", "", "print only the named experiment (falsesharing)")
-	csv := fs.Bool("csv", false, "emit Tables 3 and 4 as CSV")
+	exp := fs.String("exp", "", "print only the named experiment (list: print the registry)")
+	app := fs.String("app", "", "application for single-app experiments (default: per experiment)")
+	framesFlag := fs.String("frames", "", "comma-separated local-frame budgets for the pressure sweep")
+	chaosSeed := fs.Int64("chaos-seed", 0, "seed for fault injection (used when a -chaos probability is set)")
+	chaosFail := fs.Float64("chaos-fail", 0, "probability a local frame allocation transiently fails (0 disables)")
+	chaosDelay := fs.Float64("chaos-delay", 0, "probability a page move is delayed (0 disables)")
+	csv := fs.Bool("csv", false, "emit tabular experiments as CSV")
 	parallel := fs.Int("parallel", 0, "simulations to run concurrently (0: one per host CPU; results are identical at every setting)")
 	timing := fs.Bool("timing", false, "report wall-clock run time and simtrace event counts on stderr (diagnostic only; never part of a table)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	opts := harness.Options{NProc: *nproc, Workers: *workers, Small: *smallFlag, Parallelism: *parallel}
-	all := *table == 0 && *figure == 0 && *exp == ""
+	frames, err := parseFrames(*framesFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "tables:", err)
+		return 2
+	}
+	opts := harness.Options{
+		NProc: *nproc, Workers: *workers, Small: *smallFlag, Parallelism: *parallel,
+		App: *app, PressureFrames: frames,
+	}
+	if *chaosFail > 0 || *chaosDelay > 0 {
+		cc := chaos.Config{
+			Seed: *chaosSeed, FailProb: *chaosFail, DelayProb: *chaosDelay,
+			MaxRetries: chaos.DefaultMaxRetries, Backoff: chaos.DefaultBackoff,
+			MoveDelay: chaos.DefaultMoveDelay,
+		}
+		if err := cc.Validate(); err != nil {
+			fmt.Fprintln(stderr, "tables:", err)
+			return 2
+		}
+		opts.Chaos = cc
+	}
+
+	if *exp == "list" {
+		for _, name := range harness.Names() {
+			e, _ := harness.Lookup(name)
+			fmt.Fprintf(stdout, "%-16s %s\n", e.Name(), e.Describe())
+		}
+		return 0
+	}
+
+	// The experiments to print, in document order: the whole evaluation by
+	// default, or the single table/figure/experiment asked for.
+	names := harness.TablesSequence
+	switch {
+	case *table > 0:
+		names = []string{fmt.Sprintf("table%d", *table)}
+	case *figure > 0:
+		names = []string{fmt.Sprintf("figure%d", *figure)}
+	case *exp != "":
+		names = []string{*exp}
+	}
 
 	// Wall-clock time is host-side diagnostics in its own unit type
 	// (metrics.WallMicros); the tables themselves carry only virtual
@@ -68,67 +137,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
-	code := 0
-	fail := func(err error) {
-		fmt.Fprintln(stderr, "tables:", err)
-		code = 1
-	}
-
-	if all || *figure == 1 {
-		fmt.Fprintln(stdout, harness.Figure1(opts))
-	}
-	if all || *figure == 2 {
-		fmt.Fprintln(stdout, harness.Figure2())
-	}
-	if all || *table == 1 {
-		s, err := harness.ProtocolTable(false)
-		if err != nil {
-			fail(err)
-			return code
+	for _, name := range names {
+		e, ok := harness.Lookup(name)
+		if !ok {
+			fmt.Fprintf(stderr, "tables: unknown experiment %q (try -exp list)\n", name)
+			return 1
 		}
-		fmt.Fprintln(stdout, s)
-	}
-	if all || *table == 2 {
-		s, err := harness.ProtocolTable(true)
+		res, err := e.Run(opts)
 		if err != nil {
-			fail(err)
-			return code
-		}
-		fmt.Fprintln(stdout, s)
-	}
-	if all || *table == 3 {
-		rows, err := harness.Table3(opts)
-		if err != nil {
-			fail(err)
-			return code
+			fmt.Fprintln(stderr, "tables:", err)
+			return 1
 		}
 		if *csv {
-			fmt.Fprint(stdout, harness.RenderTable3CSV(rows))
-		} else {
-			fmt.Fprintln(stdout, harness.RenderTable3(rows))
+			if c, ok := res.(harness.CSVResult); ok {
+				fmt.Fprint(stdout, c.RenderCSV())
+				continue
+			}
 		}
+		fmt.Fprintln(stdout, res.Render())
 	}
-	if all || *table == 4 {
-		rows, err := harness.Table4(opts)
-		if err != nil {
-			fail(err)
-			return code
-		}
-		if *csv {
-			fmt.Fprint(stdout, harness.RenderTable4CSV(rows))
-		} else {
-			fmt.Fprintln(stdout, harness.RenderTable4(rows))
-		}
-	}
-	if all || *exp == "falsesharing" {
-		r, err := harness.FalseSharing(opts)
-		if err != nil {
-			fail(err)
-			return code
-		}
-		fmt.Fprintln(stdout, r.Render())
-	}
-	return code
+	return 0
 }
 
 func main() {

@@ -72,3 +72,81 @@ func TestTimingReportsEventCounts(t *testing.T) {
 		}
 	}
 }
+
+func TestExperimentList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-exp", "list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"table3", "pressuresweep", "falsesharing"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("experiment list missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownExperimentFails(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-exp", "nonsense"}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "nonsense") {
+		t.Errorf("stderr should name the unknown experiment, got: %s", errb.String())
+	}
+}
+
+func TestPressureSweepExperiment(t *testing.T) {
+	var out, errb strings.Builder
+	args := []string{"-small", "-nproc", "3", "-exp", "pressuresweep",
+		"-app", "FFT", "-frames", "4,2"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Memory pressure") ||
+		!strings.Contains(out.String(), "unbounded") {
+		t.Errorf("pressure table unexpected:\n%s", out.String())
+	}
+
+	// The same sweep as CSV.
+	var csv strings.Builder
+	if code := run(append(args, "-csv"), &csv, &errb); code != 0 {
+		t.Fatalf("csv exit code = %d, want 0; stderr: %s", code, errb.String())
+	}
+	if !strings.HasPrefix(csv.String(), "app,local_frames,") {
+		t.Errorf("csv output unexpected:\n%s", csv.String())
+	}
+}
+
+func TestPressureSweepChaosDeterminism(t *testing.T) {
+	args := []string{"-small", "-nproc", "3", "-exp", "pressuresweep",
+		"-app", "IMatMult", "-frames", "4",
+		"-chaos-seed", "42", "-chaos-fail", "0.2", "-chaos-delay", "0.2"}
+	var a, b, errb strings.Builder
+	if code := run(append(args, "-parallel", "1"), &a, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, errb.String())
+	}
+	if code := run(append(args, "-parallel", "4"), &b, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, errb.String())
+	}
+	if a.String() != b.String() {
+		t.Errorf("chaos run differs across -parallel:\n-parallel 1:\n%s\n-parallel 4:\n%s",
+			a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), "Memory pressure") {
+		t.Errorf("pressure table missing:\n%s", a.String())
+	}
+}
+
+func TestBadFramesFails(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-exp", "pressuresweep", "-frames", "4,zero"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2 (usage error)", code)
+	}
+}
+
+func TestBadChaosConfigFails(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-exp", "pressuresweep", "-chaos-fail", "1.5"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2 (usage error)", code)
+	}
+}

@@ -8,13 +8,16 @@ import (
 
 // The basic lifecycle: build a system, run a parallel program, inspect
 // where automatic placement put the pages.
-func ExampleNewSystem() {
+func ExampleNew() {
 	cfg := numasim.DefaultConfig()
 	cfg.NProc = 2
-	sys := numasim.NewSystem(cfg, numasim.DefaultPolicy(), numasim.Affinity)
+	sys, err := numasim.New(numasim.WithConfig(cfg))
+	if err != nil {
+		panic(err)
+	}
 
 	private := sys.Runtime.Alloc("private", 4096)
-	err := sys.Runtime.Run(2, func(id int, c *numasim.Context) {
+	err = sys.Runtime.Run(2, func(id int, c *numasim.Context) {
 		if id == 0 {
 			for i := uint32(0); i < 8; i++ {
 				c.Store32(private+i*4, i)
@@ -35,9 +38,12 @@ func ExampleNewSystem() {
 func ExampleThresholdPolicy() {
 	cfg := numasim.DefaultConfig()
 	cfg.NProc = 2
-	sys := numasim.NewSystem(cfg, numasim.ThresholdPolicy(2), numasim.Affinity)
+	sys, err := numasim.New(numasim.WithConfig(cfg), numasim.WithPolicy(numasim.ThresholdPolicy(2)))
+	if err != nil {
+		panic(err)
+	}
 	shared := sys.Runtime.Alloc("shared", 4096)
-	err := sys.Runtime.Run(1, func(id int, c *numasim.Context) {
+	err = sys.Runtime.Run(1, func(id int, c *numasim.Context) {
 		for i := 0; i < 4; i++ {
 			c.MigrateTo(i % 2)
 			c.Store32(shared, uint32(i))
@@ -66,10 +72,13 @@ func ExamplePolicy() {
 func ExampleTask_SetHint() {
 	cfg := numasim.DefaultConfig()
 	cfg.NProc = 2
-	sys := numasim.NewSystem(cfg, numasim.PragmaPolicy(nil), numasim.Affinity)
+	sys, err := numasim.New(numasim.WithConfig(cfg), numasim.WithPolicy(numasim.PragmaPolicy(nil)))
+	if err != nil {
+		panic(err)
+	}
 	va := sys.Runtime.Alloc("known-shared", 4096)
 	sys.Runtime.Task().SetHint(va, numasim.HintNoncacheable)
-	err := sys.Runtime.Run(1, func(id int, c *numasim.Context) {
+	err = sys.Runtime.Run(1, func(id int, c *numasim.Context) {
 		c.Store32(va, 1)
 	})
 	if err != nil {
@@ -85,12 +94,15 @@ func ExampleTask_SetHint() {
 func ExampleTraceCollector() {
 	cfg := numasim.DefaultConfig()
 	cfg.NProc = 2
-	sys := numasim.NewSystem(cfg, numasim.DefaultPolicy(), numasim.Affinity)
+	sys, err := numasim.New(numasim.WithConfig(cfg))
+	if err != nil {
+		panic(err)
+	}
 	collector := numasim.NewTraceCollector(sys.Machine.PageShift(), true)
 	sys.Kernel.RefTrace = collector.Hook()
 
 	va := sys.Runtime.Alloc("data", 4096)
-	err := sys.Runtime.Run(2, func(id int, c *numasim.Context) {
+	err = sys.Runtime.Run(2, func(id int, c *numasim.Context) {
 		c.Store32(va+uint32(4*id), uint32(id)) // two CPUs write distinct words
 	})
 	if err != nil {
@@ -103,4 +115,28 @@ func ExampleTraceCollector() {
 	}
 	// Output:
 	// falsely shared: true
+}
+
+// Bounding per-processor local memory (the tentpole of the pressure
+// experiments) puts the reclaimer to work: with only two local frames,
+// writing four private pages forces two cold ones back to global memory.
+func ExampleWithLocalFrames() {
+	cfg := numasim.DefaultConfig()
+	cfg.NProc = 2
+	sys, err := numasim.New(numasim.WithConfig(cfg), numasim.WithLocalFrames(2))
+	if err != nil {
+		panic(err)
+	}
+	pages := sys.Runtime.Alloc("data", 4*4096)
+	err = sys.Runtime.Run(1, func(id int, c *numasim.Context) {
+		for p := uint32(0); p < 4; p++ {
+			c.Store32(pages+p*4096, p)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("evictions:", sys.Kernel.NUMA().Stats().Evictions)
+	// Output:
+	// evictions: 2
 }

@@ -29,7 +29,10 @@ func (writeBiased) Name() string { return "write-biased(2)" }
 func run(pol numasim.Policy) {
 	cfg := numasim.DefaultConfig()
 	cfg.NProc = 4
-	sys := numasim.NewSystem(cfg, pol, numasim.Affinity)
+	sys, err := numasim.New(numasim.WithConfig(cfg), numasim.WithPolicy(pol))
+	if err != nil {
+		panic(err)
+	}
 	w, err := numasim.WorkloadByName("Primes3")
 	if err != nil {
 		panic(err)

@@ -20,7 +20,10 @@ import (
 func run(padded bool) {
 	cfg := numasim.DefaultConfig()
 	cfg.NProc = 2
-	sys := numasim.NewSystem(cfg, numasim.DefaultPolicy(), numasim.Affinity)
+	sys, err := numasim.New(numasim.WithConfig(cfg))
+	if err != nil {
+		panic(err)
+	}
 
 	collector := numasim.NewTraceCollector(sys.Machine.PageShift(), true)
 	sys.Kernel.RefTrace = collector.Hook()
@@ -31,7 +34,7 @@ func run(padded bool) {
 		addr[1] = region + 4096 // "padding data structures out to page boundaries"
 	}
 
-	err := sys.Runtime.Run(2, func(id int, c *numasim.Context) {
+	err = sys.Runtime.Run(2, func(id int, c *numasim.Context) {
 		for i := 0; i < 400; i++ {
 			v := c.Load32(addr[id])
 			c.Store32(addr[id], v+1)

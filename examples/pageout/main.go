@@ -18,7 +18,10 @@ func main() {
 	cfg.NProc = 2
 	cfg.GlobalFrames = 24 // tiny global memory: pageout happens quickly
 	cfg.LocalFrames = 64
-	sys := numasim.NewSystem(cfg, numasim.ThresholdPolicy(2), numasim.Affinity)
+	sys, err := numasim.New(numasim.WithConfig(cfg), numasim.WithPolicy(numasim.ThresholdPolicy(2)))
+	if err != nil {
+		panic(err)
+	}
 
 	hot := sys.Runtime.Alloc("hot", 4096)
 	big := sys.Runtime.Alloc("big", 40*4096)
@@ -27,7 +30,7 @@ func main() {
 		return sys.Runtime.Task().EntryAt(hot).Object().Page(0)
 	}
 
-	err := sys.Runtime.Run(1, func(id int, c *numasim.Context) {
+	err = sys.Runtime.Run(1, func(id int, c *numasim.Context) {
 		// Phase 1: two processors fight over the hot page until it pins.
 		for i := 0; i < 4; i++ {
 			c.MigrateTo(i % 2)

@@ -18,13 +18,16 @@ import (
 func run(hint bool) {
 	cfg := numasim.DefaultConfig()
 	cfg.NProc = 2
-	sys := numasim.NewSystem(cfg, numasim.PragmaPolicy(nil), numasim.Affinity)
+	sys, err := numasim.New(numasim.WithConfig(cfg), numasim.WithPolicy(numasim.PragmaPolicy(nil)))
+	if err != nil {
+		panic(err)
+	}
 
 	shared := sys.Runtime.Alloc("shared", 4096)
 	if hint {
 		sys.Runtime.Task().SetHint(shared, numasim.HintNoncacheable)
 	}
-	err := sys.Runtime.Run(2, func(id int, c *numasim.Context) {
+	err = sys.Runtime.Run(2, func(id int, c *numasim.Context) {
 		for i := 0; i < 50; i++ {
 			c.Store32(shared+uint32(4*id), uint32(i))
 			c.Compute(300)

@@ -16,7 +16,10 @@ import (
 func main() {
 	cfg := numasim.DefaultConfig()
 	cfg.NProc = 4
-	sys := numasim.NewSystem(cfg, numasim.DefaultPolicy(), numasim.Affinity)
+	sys, err := numasim.New(numasim.WithConfig(cfg))
+	if err != nil {
+		panic(err)
+	}
 
 	// Two shared regions: one that becomes read-mostly, one that is
 	// written from two processors in alternation.
@@ -24,7 +27,7 @@ func main() {
 	pingPong := sys.Runtime.Alloc("ping-pong", 4096)
 	barrier := numasim.NewBarrier(4)
 
-	err := sys.Runtime.Run(4, func(id int, c *numasim.Context) {
+	err = sys.Runtime.Run(4, func(id int, c *numasim.Context) {
 		if id == 0 {
 			// Initialize the read-mostly page, then join the readers.
 			for i := uint32(0); i < 16; i++ {

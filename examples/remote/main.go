@@ -20,12 +20,15 @@ import (
 func run(useRemote bool) {
 	cfg := numasim.DefaultConfig()
 	cfg.NProc = 4
-	sys := numasim.NewSystem(cfg, numasim.PragmaPolicy(nil), numasim.Affinity)
+	sys, err := numasim.New(numasim.WithConfig(cfg), numasim.WithPolicy(numasim.PragmaPolicy(nil)))
+	if err != nil {
+		panic(err)
+	}
 
 	buf := sys.Runtime.Alloc("telemetry", 4096)
 	barrier := numasim.NewBarrier(4)
 
-	err := sys.Runtime.Run(4, func(id int, c *numasim.Context) {
+	err = sys.Runtime.Run(4, func(id int, c *numasim.Context) {
 		if id == 0 && useRemote {
 			c.Task().SetHome(buf, c.Proc())
 		}

@@ -143,6 +143,11 @@ func DefaultConfig() Config {
 	}
 }
 
+// MinLocalFrames is the smallest workable local memory per processor:
+// one frame to hold an incoming copy and one for the reclaimer to turn
+// over. Below it the manager could never place anything locally.
+const MinLocalFrames = 2
+
 // Validate checks the configuration for consistency.
 func (c *Config) Validate() error {
 	if c.NProc < 1 {
@@ -154,8 +159,8 @@ func (c *Config) Validate() error {
 	if c.GlobalFrames < 1 {
 		return fmt.Errorf("ace: GlobalFrames %d < 1", c.GlobalFrames)
 	}
-	if c.LocalFrames < 0 {
-		return fmt.Errorf("ace: LocalFrames %d < 0", c.LocalFrames)
+	if c.LocalFrames < MinLocalFrames {
+		return fmt.Errorf("ace: LocalFrames %d below working minimum %d", c.LocalFrames, MinLocalFrames)
 	}
 	if c.Quantum <= 0 {
 		return fmt.Errorf("ace: quantum %v <= 0", c.Quantum)
@@ -327,6 +332,27 @@ func (m *Machine) ChargeStore(th *sim.Thread, proc int, f *mem.Frame) {
 	default:
 		r.RemoteStore++
 	}
+}
+
+// PoolPressure is one local memory's frame accounting: capacity, the
+// most frames ever simultaneously in use, and how many allocation
+// attempts found the pool empty.
+type PoolPressure struct {
+	Proc      int
+	Frames    int
+	HighWater int
+	Exhausted uint64
+}
+
+// LocalPressure reports per-processor local-memory frame accounting, in
+// processor order.
+func (m *Machine) LocalPressure() []PoolPressure {
+	out := make([]PoolPressure, m.NProc())
+	for i := range out {
+		p := m.memory.Local(i)
+		out[i] = PoolPressure{Proc: i, Frames: p.Size(), HighWater: p.HighWater(), Exhausted: p.Exhausted()}
+	}
+	return out
 }
 
 // TotalRefs sums reference statistics across all processors.

@@ -52,6 +52,7 @@ var RestrictedPrefixes = []string{
 	"numasim/internal/mem",
 	"numasim/internal/trace",
 	"numasim/internal/simtrace",
+	"numasim/internal/chaos",
 }
 
 // forbiddenImports are packages whose mere presence defeats determinism.

@@ -1,0 +1,231 @@
+// Package chaos is the simulator's seeded fault-injection layer: it
+// forces transient local-allocation failures and delays page moves, so
+// the NUMA manager's pressure machinery (fallback, retry, reclaim) can be
+// exercised and measured deterministically.
+//
+// Determinism is the design constraint. The fault schedule is drawn from
+// a seeded PRNG (a splitmix64 stream owned by this package — math/rand is
+// off limits in the deterministic core) advanced in virtual time: every
+// draw folds the querying thread's virtual clock and the processor into
+// the stream, so a given simulation asks the same questions in the same
+// order and receives the same answers at any host parallelism. Each
+// machine owns its own Injector; injectors are never shared across runs.
+//
+//numalint:deterministic
+package chaos
+
+import (
+	"fmt"
+
+	"numasim/internal/sim"
+)
+
+// Config parameterizes an Injector. The zero value disables every
+// injection (Enabled reports false), which is how chaos stays strictly
+// opt-in: a zero Config produces a run byte-identical to one with no
+// injector attached.
+type Config struct {
+	// Seed selects the fault schedule. Two runs with equal Config are
+	// identical; different seeds give independent schedules.
+	Seed int64
+	// FailProb is the probability (0..1) that one local-frame allocation
+	// attempt fails transiently.
+	FailProb float64
+	// MaxRetries bounds how many times the NUMA manager retries a failed
+	// local allocation before falling back to global placement.
+	MaxRetries int
+	// Backoff is the base virtual-time wait between retries; attempt k
+	// waits Backoff<<k.
+	Backoff sim.Time
+	// DelayProb is the probability (0..1) that one page move (copy to
+	// local, sync to global) is delayed by up to MoveDelay.
+	DelayProb float64
+	// MoveDelay is the maximum extra virtual time charged to a delayed
+	// page move; the actual delay is drawn uniformly from (0, MoveDelay].
+	MoveDelay sim.Time
+}
+
+// Defaults for WithDefaults.
+const (
+	DefaultFailProb   = 0.05
+	DefaultMaxRetries = 3
+	DefaultDelayProb  = 0.10
+)
+
+// DefaultBackoff and DefaultMoveDelay are virtual-time defaults sized
+// against the ACE's fault-handling costs (a retry should cost about as
+// much as losing the fault and taking it again).
+const (
+	DefaultBackoff   = 200 * sim.Microsecond
+	DefaultMoveDelay = 100 * sim.Microsecond
+)
+
+// WithDefaults fills in the conventional injection rates for a config
+// that names only a seed, leaving explicitly set fields alone.
+func (c Config) WithDefaults() Config {
+	if c.FailProb == 0 {
+		c.FailProb = DefaultFailProb
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = DefaultMaxRetries
+	}
+	if c.Backoff == 0 {
+		c.Backoff = DefaultBackoff
+	}
+	if c.DelayProb == 0 {
+		c.DelayProb = DefaultDelayProb
+	}
+	if c.MoveDelay == 0 {
+		c.MoveDelay = DefaultMoveDelay
+	}
+	return c
+}
+
+// Enabled reports whether the config injects anything at all.
+func (c Config) Enabled() bool { return c.FailProb > 0 || c.DelayProb > 0 }
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.FailProb < 0 || c.FailProb > 1 {
+		return fmt.Errorf("chaos: FailProb %v outside [0,1]", c.FailProb)
+	}
+	if c.DelayProb < 0 || c.DelayProb > 1 {
+		return fmt.Errorf("chaos: DelayProb %v outside [0,1]", c.DelayProb)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("chaos: MaxRetries %d < 0", c.MaxRetries)
+	}
+	if c.Backoff < 0 || c.MoveDelay < 0 {
+		return fmt.Errorf("chaos: negative backoff or move delay")
+	}
+	return nil
+}
+
+// Injector draws the fault schedule for one machine. It implements
+// numa.Injector. Not safe for concurrent use — like the machine it is
+// attached to, it belongs to a single simulation loop.
+type Injector struct {
+	cfg Config
+	// state is the splitmix64 stream position; seq differentiates draws
+	// made at the same virtual instant.
+	state uint64
+	seq   uint64
+
+	// Counters for reports and tests.
+	failures uint64
+	delays   uint64
+}
+
+// New builds an injector from cfg, panicking on invalid configuration
+// (configuration is a programming error, as for ace.NewMachine).
+func New(cfg Config) *Injector {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Injector{cfg: cfg, state: mix64(uint64(cfg.Seed) ^ 0x9e3779b97f4a7c15)}
+}
+
+// Config returns the injector's configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// Failures reports how many allocation failures have been injected.
+func (in *Injector) Failures() uint64 { return in.failures }
+
+// Delays reports how many page moves have been delayed.
+func (in *Injector) Delays() uint64 { return in.delays }
+
+// draw advances the PRNG, folding the virtual time of the query and a
+// per-injector sequence number into the stream. The result is uniform in
+// [0, 1<<53).
+func (in *Injector) draw(now sim.Time, salt uint64) uint64 {
+	in.seq++
+	in.state = mix64(in.state ^ uint64(now) ^ salt ^ in.seq*0xbf58476d1ce4e5b9)
+	return in.state >> 11
+}
+
+// chance reports true with probability p for this draw.
+func (in *Injector) chance(now sim.Time, salt uint64, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	const scale = 1 << 53
+	return float64(in.draw(now, salt)) < p*scale
+}
+
+// FailLocalAlloc reports whether one local-frame allocation attempt by
+// proc at virtual time now fails transiently.
+func (in *Injector) FailLocalAlloc(now sim.Time, proc int) bool {
+	if !in.chance(now, uint64(proc)<<1, in.cfg.FailProb) {
+		return false
+	}
+	in.failures++
+	return true
+}
+
+// MoveDelay returns the extra virtual time to charge a page move
+// performed by proc at time now, or zero when the move is not delayed.
+func (in *Injector) MoveDelay(now sim.Time, proc int) sim.Time {
+	if in.cfg.MoveDelay <= 0 || !in.chance(now, uint64(proc)<<1|1, in.cfg.DelayProb) {
+		return 0
+	}
+	in.delays++
+	// Uniform in (0, MoveDelay], never zero: a delayed move always costs.
+	return sim.Time(in.draw(now, 0)%uint64(in.cfg.MoveDelay)) + 1
+}
+
+// MaxRetries bounds the NUMA manager's retry loop.
+func (in *Injector) MaxRetries() int { return in.cfg.MaxRetries }
+
+// RetryBackoff returns the virtual-time wait before retry number attempt
+// (zero-based): Backoff doubled per attempt.
+func (in *Injector) RetryBackoff(attempt int) sim.Time {
+	if attempt > 16 {
+		attempt = 16 // cap the shift; the retry loop is bounded anyway
+	}
+	return in.cfg.Backoff << uint(attempt)
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche over uint64.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Scripted replays an explicit allocation-failure schedule: call k of
+// FailLocalAlloc fails iff Fail[k] (out-of-range calls succeed). It backs
+// the protocol fuzz suite's pressure extension, where the failure
+// schedule must be part of the seeded script rather than drawn from a
+// second stream. MoveDelay never delays.
+type Scripted struct {
+	Fail    []bool
+	Retries int
+	Wait    sim.Time
+
+	calls    uint64
+	failures uint64
+}
+
+// FailLocalAlloc implements the injector contract by replaying the script.
+func (s *Scripted) FailLocalAlloc(now sim.Time, proc int) bool {
+	i := s.calls
+	s.calls++
+	if i < uint64(len(s.Fail)) && s.Fail[i] {
+		s.failures++
+		return true
+	}
+	return false
+}
+
+// MoveDelay implements the injector contract; scripted runs never delay.
+func (s *Scripted) MoveDelay(now sim.Time, proc int) sim.Time { return 0 }
+
+// MaxRetries implements the injector contract.
+func (s *Scripted) MaxRetries() int { return s.Retries }
+
+// RetryBackoff implements the injector contract with a fixed wait.
+func (s *Scripted) RetryBackoff(attempt int) sim.Time { return s.Wait }
+
+// Failures reports how many scripted failures have fired.
+func (s *Scripted) Failures() uint64 { return s.failures }

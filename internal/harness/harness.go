@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"numasim/internal/ace"
+	"numasim/internal/chaos"
 	"numasim/internal/metrics"
 	"numasim/internal/simtrace"
 	"numasim/internal/workloads"
@@ -43,6 +44,21 @@ type Options struct {
 	// safe for concurrent Emit (simtrace.CountingSink is). It feeds the
 	// tables -timing event-count report; it never affects table contents.
 	TraceSink simtrace.Sink
+	// App selects the application for single-app experiments (the pressure
+	// sweep; default Gfetch). Table experiments ignore it.
+	App string
+	// PressureFrames are the local-frame budgets the pressure sweep
+	// measures (empty: DefaultPressureFrames).
+	PressureFrames []int
+	// LocalFrames, when positive, overrides the per-processor local memory
+	// size. Zero keeps the effectively-unbounded default, under which the
+	// pressure machinery never engages.
+	LocalFrames int
+	// Chaos configures fault injection (transient local-allocation
+	// failures, delayed page moves) for every run an experiment performs.
+	// The zero value is chaos off. Each run builds its own injector from
+	// Chaos.Seed, so output is byte-identical at every Parallelism.
+	Chaos chaos.Config
 }
 
 // withDefaults fills in defaults.
@@ -71,6 +87,9 @@ func (o Options) config() ace.Config {
 	if o.Small {
 		cfg.GlobalFrames = 2048
 		cfg.LocalFrames = 1024
+	}
+	if o.LocalFrames > 0 {
+		cfg.LocalFrames = o.LocalFrames
 	}
 	return cfg
 }
@@ -124,6 +143,7 @@ func (o Options) evaluator() *metrics.Evaluator {
 	ev.Workers = o.Workers
 	ev.Parallelism = o.Parallelism
 	ev.TraceSink = o.TraceSink
+	ev.Chaos = o.Chaos
 	if o.Threshold > 0 {
 		ev.Threshold = o.Threshold
 	}

@@ -1,0 +1,219 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is a finished experiment ready to print.
+type Result interface {
+	// Render formats the result as the plain-text table(s) the command-line
+	// tools print.
+	Render() string
+}
+
+// CSVResult is implemented by results that also have a machine-readable
+// form (one header line plus one line per row, ready for plotting).
+type CSVResult interface {
+	Result
+	RenderCSV() string
+}
+
+// Experiment is one reproducible experiment: a named recipe that turns
+// Options into a Result. Implementations must be stateless — Run may be
+// called concurrently and repeatedly.
+type Experiment interface {
+	// Name is the registry key (matched case-insensitively).
+	Name() string
+	// Describe is a one-line summary for usage messages.
+	Describe() string
+	// Run executes the experiment.
+	Run(opts Options) (Result, error)
+}
+
+// registry maps lowercased experiment names to experiments. It is
+// populated by init and read-only afterwards, so lookups need no locking.
+var registry = map[string]Experiment{}
+
+// Register adds an experiment to the registry; it panics on a duplicate
+// name, which is a programming error.
+func Register(e Experiment) {
+	key := strings.ToLower(e.Name())
+	if _, dup := registry[key]; dup {
+		panic(fmt.Sprintf("harness: duplicate experiment %q", e.Name()))
+	}
+	registry[key] = e
+}
+
+// Lookup finds an experiment by name, case-insensitively.
+func Lookup(name string) (Experiment, bool) {
+	e, ok := registry[strings.ToLower(name)]
+	return e, ok
+}
+
+// Names lists the registered experiment names, sorted.
+func Names() []string {
+	keys := make([]string, 0, len(registry))
+	for key := range registry {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	names := make([]string, len(keys))
+	for i, key := range keys {
+		names[i] = registry[key].Name()
+	}
+	return names
+}
+
+// TablesSequence is the document order in which the tables command prints
+// the full evaluation: the paper's figures and tables first, then the
+// extensions.
+var TablesSequence = []string{
+	"figure1", "figure2",
+	"table1", "table2", "table3", "table4",
+	"falsesharing",
+}
+
+// expFunc is the ordinary way to build an experiment: a name, a one-line
+// description, and a run function.
+type expFunc struct {
+	name, describe string
+	run            func(Options) (Result, error)
+}
+
+func (e expFunc) Name() string                     { return e.name }
+func (e expFunc) Describe() string                 { return e.describe }
+func (e expFunc) Run(opts Options) (Result, error) { return e.run(opts) }
+
+// stringResult adapts a pre-rendered string.
+type stringResult string
+
+func (s stringResult) Render() string { return string(s) }
+
+// table3Result carries Table 3 rows with both renderings.
+type table3Result []Table3Row
+
+func (r table3Result) Render() string    { return RenderTable3(r) }
+func (r table3Result) RenderCSV() string { return RenderTable3CSV(r) }
+
+// table4Result carries Table 4 rows with both renderings.
+type table4Result []Table4Row
+
+func (r table4Result) Render() string    { return RenderTable4(r) }
+func (r table4Result) RenderCSV() string { return RenderTable4CSV(r) }
+
+// sweepResult carries parameter-sweep rows plus their table title and
+// parameter column name.
+type sweepResult struct {
+	title, param string
+	rows         []SweepRow
+}
+
+func (r sweepResult) Render() string    { return RenderSweep(r.title, r.param, r.rows) }
+func (r sweepResult) RenderCSV() string { return RenderSweepCSV(r.param, r.rows) }
+
+// pressureResult carries a memory-pressure sweep.
+type pressureResult []PressureRow
+
+func (r pressureResult) Render() string    { return RenderPressure(r) }
+func (r pressureResult) RenderCSV() string { return RenderPressureCSV(r) }
+
+// policyResult carries the policy-comparison rows.
+type policyResult []PolicyRow
+
+func (r policyResult) Render() string { return RenderPolicyCompare(r) }
+
+// appOr returns opts.App, or fallback when no application was chosen.
+func appOr(opts Options, fallback string) string {
+	if opts.App != "" {
+		return opts.App
+	}
+	return fallback
+}
+
+func init() {
+	Register(expFunc{"figure1", "machine topology diagram (Figure 1)",
+		func(opts Options) (Result, error) {
+			return stringResult(Figure1(opts)), nil
+		}})
+	Register(expFunc{"figure2", "software architecture diagram (Figure 2)",
+		func(opts Options) (Result, error) {
+			return stringResult(Figure2()), nil
+		}})
+	Register(expFunc{"table1", "NUMA manager read-fault actions (Table 1)",
+		func(opts Options) (Result, error) {
+			s, err := ProtocolTable(false)
+			return stringResult(s), err
+		}})
+	Register(expFunc{"table2", "NUMA manager write-fault actions (Table 2)",
+		func(opts Options) (Result, error) {
+			s, err := ProtocolTable(true)
+			return stringResult(s), err
+		}})
+	Register(expFunc{"table3", "user times and model parameters (Table 3)",
+		func(opts Options) (Result, error) {
+			rows, err := Table3(opts)
+			return table3Result(rows), err
+		}})
+	Register(expFunc{"table4", "system-time overhead analysis (Table 4)",
+		func(opts Options) (Result, error) {
+			rows, err := Table4(opts)
+			return table4Result(rows), err
+		}})
+	Register(expFunc{"falsesharing", "Primes2 false-sharing tuning (§4.2)",
+		func(opts Options) (Result, error) {
+			r, err := FalseSharing(opts)
+			return r, err
+		}})
+	Register(expFunc{"thresholdsweep", "pin-threshold sweep (§2.3.2 boot-time parameter)",
+		func(opts Options) (Result, error) {
+			app := appOr(opts, "IMatMult")
+			rows, err := ThresholdSweep(opts, app, []int{0, 1, 2, 4, 8, 16, -1})
+			title := fmt.Sprintf("Pin-threshold sweep on %s", app)
+			return sweepResult{title, "threshold", rows}, err
+		}})
+	Register(expFunc{"pressuresweep", "slowdown under shrinking local memory",
+		func(opts Options) (Result, error) {
+			// With no -app, sweep the paper's whole application mix.
+			var apps []string
+			if opts.App != "" {
+				apps = []string{opts.App}
+			}
+			rows, err := PressureSweepAll(opts, apps, opts.PressureFrames)
+			return pressureResult(rows), err
+		}})
+	Register(expFunc{"affinity", "processor-affinity scheduling ablation (§4.7)",
+		func(opts Options) (Result, error) {
+			r, err := AffinityCompare(opts, appOr(opts, "IMatMult"))
+			return r, err
+		}})
+	Register(expFunc{"replication", "read-replication ablation (Li-style migration)",
+		func(opts Options) (Result, error) {
+			r, err := ReplicationCompare(opts, appOr(opts, "IMatMult"))
+			return r, err
+		}})
+	Register(expFunc{"remote", "remote-reference pragma comparison (§4.4)",
+		func(opts Options) (Result, error) {
+			r, err := RemoteCompare(opts)
+			return r, err
+		}})
+	Register(expFunc{"policycompare", "threshold vs reconsider vs freeze/defrost",
+		func(opts Options) (Result, error) {
+			rows, err := PolicyCompare(opts)
+			return policyResult(rows), err
+		}})
+}
+
+// Compile-time checks that experiment results satisfy the interfaces the
+// CLIs rely on.
+var (
+	_ Result    = FalseSharingResult{}
+	_ Result    = AffinityResult{}
+	_ Result    = ReplicationResult{}
+	_ Result    = RemoteResult{}
+	_ CSVResult = table3Result(nil)
+	_ CSVResult = table4Result(nil)
+	_ CSVResult = sweepResult{}
+	_ CSVResult = pressureResult{}
+)

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestRegistryLookup: lookup is case-insensitive and misses are reported.
+func TestRegistryLookup(t *testing.T) {
+	for _, name := range []string{"table3", "Table3", "TABLE3", "pressureSweep"} {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("Lookup(%q) missed", name)
+		}
+	}
+	if _, ok := Lookup("no-such-experiment"); ok {
+		t.Error("Lookup invented an experiment")
+	}
+}
+
+// TestRegistryNames: the name list is sorted, unique, and consistent with
+// Lookup.
+func TestRegistryNames(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("empty registry")
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("names unsorted: %v", names)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[strings.ToLower(n)] {
+			t.Errorf("duplicate name %q", n)
+		}
+		seen[strings.ToLower(n)] = true
+		e, ok := Lookup(n)
+		if !ok {
+			t.Errorf("listed name %q does not look up", n)
+			continue
+		}
+		if e.Name() != n {
+			t.Errorf("Lookup(%q).Name() = %q", n, e.Name())
+		}
+		if e.Describe() == "" {
+			t.Errorf("%q has no description", n)
+		}
+	}
+}
+
+// TestTablesSequenceRegistered: every experiment the tables command prints
+// by default must exist in the registry.
+func TestTablesSequenceRegistered(t *testing.T) {
+	for _, name := range TablesSequence {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("TablesSequence entry %q not registered", name)
+		}
+	}
+}
+
+// TestRegisterRejectsDuplicates: a duplicate registration is a programming
+// error and must panic.
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register(expFunc{name: "Table3", describe: "dup", run: nil})
+}
+
+// TestRegistryExperimentsRun: every registered experiment runs end to end
+// on a small configuration and renders non-empty output.
+func TestRegistryExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole registry")
+	}
+	opts := Options{NProc: 3, Small: true, App: "Gfetch", PressureFrames: []int{8}}
+	for _, name := range Names() {
+		e, _ := Lookup(name)
+		res, err := e.Run(opts)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if res.Render() == "" {
+			t.Errorf("%s rendered nothing", name)
+		}
+	}
+}

@@ -188,6 +188,11 @@ type Pool struct {
 	proc   int
 	frames []*Frame
 	free   []*Frame // LIFO free list
+
+	// Pressure accounting: the most frames ever simultaneously in use,
+	// and how many allocation attempts found the pool empty.
+	highWater int
+	exhausted uint64
 }
 
 // NewPool creates a pool of n frames of the given size. For Local pools,
@@ -230,16 +235,28 @@ func (p *Pool) Free() int { return len(p.free) }
 // InUse reports the number of allocated frames.
 func (p *Pool) InUse() int { return len(p.frames) - len(p.free) }
 
+// HighWater reports the most frames ever simultaneously allocated — the
+// pool's true working footprint, independent of whether pressure relief
+// (fallback, reclaim) kept later allocations below it.
+func (p *Pool) HighWater() int { return p.highWater }
+
+// Exhausted reports how many allocation attempts found the pool empty.
+func (p *Pool) Exhausted() uint64 { return p.exhausted }
+
 // Alloc takes a frame from the pool. The frame's previous contents are
 // undefined; callers that need zeroed memory must call Zero (the pmap layer
 // does this lazily, per §2.3.1).
 func (p *Pool) Alloc() (*Frame, error) {
 	if len(p.free) == 0 {
+		p.exhausted++
 		return nil, &ErrNoFrames{Pool: p.name}
 	}
 	f := p.free[len(p.free)-1]
 	p.free = p.free[:len(p.free)-1]
 	f.inUse = true
+	if used := p.InUse(); used > p.highWater {
+		p.highWater = used
+	}
 	return f, nil
 }
 

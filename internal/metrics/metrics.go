@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"numasim/internal/ace"
+	"numasim/internal/chaos"
 	"numasim/internal/cthreads"
 	"numasim/internal/numa"
 	"numasim/internal/policy"
@@ -54,6 +55,10 @@ type RunSpec struct {
 	// workload starts. A sink shared across concurrent runs must be safe
 	// for concurrent Emit (simtrace.CountingSink is).
 	TraceSink simtrace.Sink
+	// Chaos configures fault injection for this run. The zero value is
+	// chaos off; when enabled, a fresh injector seeded from Chaos.Seed is
+	// built for the run, so a spec is reusable across concurrent runs.
+	Chaos chaos.Config
 }
 
 // RunResult is the outcome of one instrumented run.
@@ -83,6 +88,9 @@ func Run(w Runner, spec RunSpec) (RunResult, error) {
 	kernel.UnixMaster = spec.UnixMast
 	if spec.NoReplication {
 		kernel.NUMA().SetReplication(false)
+	}
+	if spec.Chaos.Enabled() {
+		kernel.NUMA().SetChaos(chaos.New(spec.Chaos))
 	}
 	rt := cthreads.New(kernel, spec.Sched)
 	if err := w.Run(rt, spec.Workers); err != nil {
@@ -149,6 +157,10 @@ type Evaluator struct {
 	// three runs may execute concurrently, so the sink must be safe for
 	// concurrent Emit (simtrace.CountingSink is).
 	TraceSink simtrace.Sink
+	// Chaos configures fault injection. Each instrumented run gets its own
+	// injector seeded from Chaos.Seed, so results stay byte-identical at
+	// every Parallelism setting.
+	Chaos chaos.Config
 }
 
 // NewEvaluator returns an evaluator for the paper's measurement setup:
@@ -184,9 +196,9 @@ func (e *Evaluator) Evaluate(fresh func() Runner) (Eval, error) {
 		w    Runner
 		spec RunSpec
 	}{
-		{wNuma, RunSpec{Config: cfg, Policy: policy.NewThreshold(thr), Workers: workers, Sched: e.Sched, TraceSink: e.TraceSink}},
-		{fresh(), RunSpec{Config: cfg, Policy: policy.AllGlobal{}, Workers: workers, Sched: e.Sched, TraceSink: e.TraceSink}},
-		{fresh(), RunSpec{Config: localCfg, Policy: policy.AllLocal{}, Workers: 1, Sched: e.Sched, TraceSink: e.TraceSink}},
+		{wNuma, RunSpec{Config: cfg, Policy: policy.NewThreshold(thr), Workers: workers, Sched: e.Sched, TraceSink: e.TraceSink, Chaos: e.Chaos}},
+		{fresh(), RunSpec{Config: cfg, Policy: policy.AllGlobal{}, Workers: workers, Sched: e.Sched, TraceSink: e.TraceSink, Chaos: e.Chaos}},
+		{fresh(), RunSpec{Config: localCfg, Policy: policy.AllLocal{}, Workers: 1, Sched: e.Sched, TraceSink: e.TraceSink, Chaos: e.Chaos}},
 	}
 	var results [3]RunResult
 	var errs [3]error

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"numasim/internal/ace"
+	"numasim/internal/chaos"
 	"numasim/internal/mmu"
 	"numasim/internal/numa"
 	"numasim/internal/policy"
@@ -78,8 +79,13 @@ func (c *protocolChecker) Emit(ev simtrace.Event) {
 
 // fuzzScript drives one seeded random access script against the NUMA
 // manager and reports the first invariant violation, comparing page
-// contents against a trivial last-write-wins oracle throughout.
-func fuzzScript(t *testing.T, seed int64) {
+// contents against a trivial last-write-wins oracle throughout. With
+// pressure set, a scripted chaos injector fails a quarter of the local
+// frame allocations, exercising the retry/fallback path under the same
+// oracle.
+// It returns the number of chaos faults the manager absorbed, so the
+// pressure test can assert the failure schedule really fired.
+func fuzzScript(t *testing.T, seed int64, pressure bool) uint64 {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 
@@ -106,6 +112,15 @@ func fuzzScript(t *testing.T, seed int64) {
 		}
 	}
 	n := numa.NewManager(m, script)
+	if pressure {
+		// The failure schedule is part of the seeded script: call k of
+		// FailLocalAlloc fails iff fails[k], so the run stays reproducible.
+		fails := make([]bool, 4*nops)
+		for i := range fails {
+			fails[i] = rng.Intn(4) == 0
+		}
+		n.SetChaos(&chaos.Scripted{Fail: fails, Retries: 2, Wait: 50 * sim.Microsecond})
+	}
 
 	ring := simtrace.NewRingSink(256)
 	checker := newProtocolChecker()
@@ -181,6 +196,7 @@ func fuzzScript(t *testing.T, seed int64) {
 		t.Errorf("seed %d: script error: %v; checker errors: %v", seed, scriptErr, checker.errs)
 		t.Logf("last %d events:\n%s", len(ring.Events()), simtrace.FormatEvents(ring.Events()))
 	}
+	return n.Stats().ChaosFaults
 }
 
 // TestProtocolFuzz replays seeded random access scripts against the NUMA
@@ -197,9 +213,31 @@ func TestProtocolFuzz(t *testing.T) {
 		seeds = 50
 	}
 	for seed := 0; seed < seeds; seed++ {
-		fuzzScript(t, int64(seed))
+		fuzzScript(t, int64(seed), false)
 		if t.Failed() {
 			t.Fatalf("stopping at first failing seed")
 		}
+	}
+}
+
+// TestProtocolFuzzPressure reruns the fuzz scripts with a scripted chaos
+// injector failing a quarter of the local-frame allocations. Transient
+// allocation failures must never corrupt contents or break a protocol
+// invariant: the manager retries, reclaims or falls back to global
+// placement, and the last-write-wins oracle stays green throughout.
+func TestProtocolFuzzPressure(t *testing.T) {
+	seeds := 500
+	if testing.Short() {
+		seeds = 25
+	}
+	var faults uint64
+	for seed := 0; seed < seeds; seed++ {
+		faults += fuzzScript(t, int64(seed), true)
+		if t.Failed() {
+			t.Fatalf("stopping at first failing seed")
+		}
+	}
+	if faults == 0 {
+		t.Error("the scripted failure schedule never fired; the pressure path went unexercised")
 	}
 }

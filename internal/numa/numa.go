@@ -260,10 +260,33 @@ type Stats struct {
 	Moves         uint64 // ownership transfers in response to writes
 	Pins          uint64 // pages pinned into global memory
 	LocalFallback uint64 // LOCAL decisions demoted because local memory was full
+	Evictions     uint64 // local copies evicted by the clock reclaimer
+	Retries       uint64 // transiently failed local allocations retried after backoff
+	ChaosFaults   uint64 // transient local-allocation failures injected
+	ChaosDelays   uint64 // page moves delayed by fault injection
 	RemotePlaced  uint64 // pages placed at a home processor (§4.4)
 	RemoteDemoted uint64 // remote placements revoked by a policy change
 	PagesCreated  uint64
 	PagesFreed    uint64
+}
+
+// Injector is the fault-injection hook the NUMA manager consults on the
+// pressure paths; internal/chaos implements it. All methods are called
+// from the simulation loop with the acting thread's virtual clock, so an
+// implementation advancing a seeded PRNG stays deterministic at any host
+// parallelism. A nil Injector (the default) injects nothing.
+type Injector interface {
+	// FailLocalAlloc reports whether one local-frame allocation attempt
+	// by proc at virtual time now fails transiently.
+	FailLocalAlloc(now sim.Time, proc int) bool
+	// MoveDelay returns extra virtual time to charge a page move by proc,
+	// or zero.
+	MoveDelay(now sim.Time, proc int) sim.Time
+	// MaxRetries bounds the manager's retry loop for transient failures.
+	MaxRetries() int
+	// RetryBackoff returns the virtual-time wait before the zero-based
+	// retry attempt.
+	RetryBackoff(attempt int) sim.Time
 }
 
 // Manager is the NUMA manager: it owns the consistency protocol for all
@@ -291,6 +314,19 @@ type Manager struct {
 	gwPages   []*Page
 	lastSweep sim.Time
 
+	// chaos, when non-nil, injects transient local-allocation failures
+	// and page-move delays on the pressure paths.
+	chaos Injector
+
+	// Clock-reclaimer state: which page's copy occupies each local frame
+	// (resident[proc][frameIndex]), a second-chance reference bit per
+	// frame, and the clock hand per processor. The residency table is the
+	// per-memory index that makes deterministic eviction possible without
+	// iterating any map.
+	resident [][]*Page
+	refbit   [][]bool
+	hand     []int
+
 	// onAction, when set, receives the paper's action vocabulary as each
 	// protocol action is performed ("sync&flush other", "copy to local",
 	// ...). Used to derive Tables 1 and 2 from the implementation itself.
@@ -302,8 +338,25 @@ func NewManager(machine *ace.Machine, pol Policy) *Manager {
 	if pol == nil {
 		panic("numa: nil policy")
 	}
-	return &Manager{machine: machine, policy: pol, bus: machine.Bus()}
+	n := &Manager{machine: machine, policy: pol, bus: machine.Bus()}
+	nproc := machine.NProc()
+	n.resident = make([][]*Page, nproc)
+	n.refbit = make([][]bool, nproc)
+	n.hand = make([]int, nproc)
+	for p := 0; p < nproc; p++ {
+		size := machine.Memory().Local(p).Size()
+		n.resident[p] = make([]*Page, size)
+		n.refbit[p] = make([]bool, size)
+	}
+	return n
 }
+
+// SetChaos installs a fault injector on the manager's pressure paths
+// (nil disables injection). Install before the simulation runs.
+func (n *Manager) SetChaos(inj Injector) { n.chaos = inj }
+
+// Chaos returns the installed fault injector, or nil.
+func (n *Manager) Chaos() Injector { return n.chaos }
 
 // Policy returns the manager's placement policy.
 func (n *Manager) Policy() Policy { return n.policy }
@@ -441,14 +494,15 @@ func (n *Manager) Access(th *sim.Thread, pg *Page, proc int, write bool, maxProt
 	n.MaybeSweep(th)
 
 	loc := n.policy.CachePolicy(pg, proc, write, maxProt)
-	if loc == Local && pg.copies[proc] == nil && n.machine.Memory().Local(proc).Free() == 0 {
-		// Local memory exhausted: fall back to a global placement for this
-		// request only (the decision is re-made on the next fault).
+	if loc == Local && pg.copies[proc] == nil && !n.admitLocal(th, pg, proc) {
+		// Local memory could not yield a frame even after retry and
+		// reclaim: fall back to a global placement for this request only
+		// (the decision is re-made on the next fault).
 		loc = Global
 		n.stats.LocalFallback++
 	}
 	if loc == PlaceRemote && (pg.home < 0 ||
-		(pg.copies[pg.home] == nil && n.machine.Memory().Local(pg.home).Free() == 0)) {
+		(pg.copies[pg.home] == nil && !n.admitLocal(th, pg, pg.home))) {
 		// No home pragma, or the home's local memory is exhausted.
 		loc = Global
 	}
@@ -465,16 +519,24 @@ func (n *Manager) Access(th *sim.Thread, pg *Page, proc int, write bool, maxProt
 		n.demoteRemote(th, pg, proc)
 	}
 
+	var f *mem.Frame
+	var prot mmu.Prot
 	switch {
 	case loc == PlaceRemote:
-		return n.toRemote(th, pg, proc, maxProt)
+		f, prot = n.toRemote(th, pg, proc, maxProt)
 	case loc == Global:
-		return n.toGlobal(th, pg, proc, maxProt)
+		f, prot = n.toGlobal(th, pg, proc, maxProt)
 	case write:
-		return n.writeLocal(th, pg, proc, maxProt)
+		f, prot = n.writeLocal(th, pg, proc, maxProt)
 	default:
-		return n.readLocal(th, pg, proc)
+		f, prot = n.readLocal(th, pg, proc)
 	}
+	// Give the frame a second chance against the clock reclaimer: it was
+	// just used.
+	if f.Kind() == mem.Local {
+		n.refbit[f.Proc()][f.Index()] = true
+	}
+	return f, prot
 }
 
 // toRemote implements the §4.4 extension: the page is placed in its home
@@ -524,6 +586,7 @@ func (n *Manager) demoteRemote(th *sim.Thread, pg *Page, requester int) {
 	pg.global.CopyFrom(src)
 	th.AdvanceSys(cost.CopyCost(src, pg.global, requester, n.machine.PageSize()))
 	n.stats.Syncs++
+	n.chargeMoveDelay(th, requester)
 	// Every processor may map the home frame; drop them all.
 	for p := 0; p < n.machine.NProc(); p++ {
 		if n.machine.MMU(p).RemoveFrame(src) {
@@ -531,6 +594,7 @@ func (n *Manager) demoteRemote(th *sim.Thread, pg *Page, requester int) {
 		}
 	}
 	n.machine.Memory().Local(at).Release(src)
+	n.noteDrop(at, src)
 	pg.copies[at] = nil
 	n.stats.Flushes++
 	n.stats.RemoteDemoted++
@@ -710,8 +774,10 @@ func (n *Manager) ensureCopy(th *sim.Thread, pg *Page, proc int) *mem.Frame {
 		f.CopyFrom(pg.global)
 		th.AdvanceSys(cost.CopyCost(pg.global, f, proc, n.machine.PageSize()))
 		n.stats.Copies++
+		n.chargeMoveDelay(th, proc)
 	}
 	pg.copies[proc] = f
+	n.noteCopy(pg, proc, f)
 	n.emitAction(th, pg, proc, "copy to local")
 	return f
 }
@@ -730,6 +796,7 @@ func (n *Manager) syncFlush(th *sim.Thread, pg *Page, owner, requester int, labe
 	pg.global.CopyFrom(src)
 	th.AdvanceSys(cost.CopyCost(src, pg.global, requester, n.machine.PageSize()))
 	n.stats.Syncs++
+	n.chargeMoveDelay(th, requester)
 	n.dropCopy(th, pg, owner)
 	n.emitAction(th, pg, requester, label)
 }
@@ -746,6 +813,7 @@ func (n *Manager) dropCopy(th *sim.Thread, pg *Page, proc int) {
 		th.AdvanceSys(cost.MMUOp)
 	}
 	n.machine.Memory().Local(proc).Release(f)
+	n.noteDrop(proc, f)
 	pg.copies[proc] = nil
 	n.stats.Flushes++
 }
@@ -813,8 +881,10 @@ func (n *Manager) MigrateOwner(th *sim.Thread, pg *Page, newProc int) {
 	dst.CopyFrom(src)
 	th.AdvanceSys(cfg.Cost().CopyCost(src, dst, newProc, cfg.PageSize()))
 	n.stats.Copies++
+	n.chargeMoveDelay(th, newProc)
 	n.dropCopy(th, pg, pg.owner)
 	pg.copies[newProc] = dst
+	n.noteCopy(pg, newProc, dst)
 	pg.owner = newProc
 	pg.lastOwner = newProc
 }

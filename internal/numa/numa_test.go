@@ -357,7 +357,7 @@ func TestZeroFillGlobalDecision(t *testing.T) {
 	})
 }
 
-func TestLocalPoolExhaustionFallsBack(t *testing.T) {
+func TestLocalPoolExhaustionReclaims(t *testing.T) {
 	cfg := ace.DefaultConfig()
 	cfg.NProc = 2
 	cfg.GlobalFrames = 32
@@ -375,16 +375,68 @@ func TestLocalPoolExhaustionFallsBack(t *testing.T) {
 			pages = append(pages, pg)
 			n.Access(th, pg, 0, true, mmu.ProtReadWrite)
 		}
-		// CPU0's two local frames are used by the first two pages; the rest
-		// must have fallen back to global placement.
-		if pages[0].State() != numa.LocalWritable || pages[1].State() != numa.LocalWritable {
-			t.Error("first pages should be local")
+		// CPU0's two local frames went to the first two pages; the clock
+		// reclaimer then evicted those cold copies (syncing them back to
+		// global memory) so the later pages could still be placed locally.
+		if pages[0].State() != numa.ReadOnly || pages[1].State() != numa.ReadOnly {
+			t.Errorf("evicted pages should be read-only, got %v/%v",
+				pages[0].State(), pages[1].State())
 		}
-		if pages[2].State() != numa.GlobalWritable || pages[3].State() != numa.GlobalWritable {
-			t.Error("overflow pages should be global")
+		if pages[2].State() != numa.LocalWritable || pages[3].State() != numa.LocalWritable {
+			t.Errorf("latest pages should be local, got %v/%v",
+				pages[2].State(), pages[3].State())
 		}
-		if n.Stats().LocalFallback != 2 {
-			t.Errorf("LocalFallback = %d, want 2", n.Stats().LocalFallback)
+		if n.Stats().Evictions != 2 {
+			t.Errorf("Evictions = %d, want 2", n.Stats().Evictions)
+		}
+		if n.Stats().LocalFallback != 0 {
+			t.Errorf("LocalFallback = %d, want 0", n.Stats().LocalFallback)
+		}
+	})
+	if err := m.Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalPoolExhaustionFallsBack(t *testing.T) {
+	// When every local frame holds a page the reclaimer refuses to evict
+	// (remote home placements are sticky), the manager degrades gracefully:
+	// the request is served from global memory and counted.
+	cfg := ace.DefaultConfig()
+	cfg.NProc = 2
+	cfg.GlobalFrames = 32
+	cfg.LocalFrames = 2
+	m := ace.NewMachine(cfg)
+	forced := &policy.Forced{Answer: numa.PlaceRemote}
+	n := numa.NewManager(m, forced)
+	m.Engine().Spawn("test", 0, func(th *sim.Thread) {
+		for i := 0; i < 2; i++ {
+			pg, err := n.NewPage()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pg.SetHome(0)
+			n.Access(th, pg, 1, true, mmu.ProtReadWrite)
+			if pg.State() != numa.Remote {
+				t.Fatalf("page %d state = %v, want Remote", i, pg.State())
+			}
+		}
+		// CPU0's local memory is full of sticky remote placements; a LOCAL
+		// answer for a fresh page cannot be honoured.
+		forced.Answer = numa.Local
+		pg, err := n.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Access(th, pg, 0, true, mmu.ProtReadWrite)
+		if pg.State() != numa.GlobalWritable {
+			t.Errorf("overflow page state = %v, want GlobalWritable", pg.State())
+		}
+		if n.Stats().LocalFallback != 1 {
+			t.Errorf("LocalFallback = %d, want 1", n.Stats().LocalFallback)
+		}
+		if n.Stats().Evictions != 0 {
+			t.Errorf("Evictions = %d, want 0", n.Stats().Evictions)
 		}
 	})
 	if err := m.Engine().Run(); err != nil {

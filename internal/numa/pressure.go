@@ -1,0 +1,140 @@
+package numa
+
+import (
+	"numasim/internal/mem"
+	"numasim/internal/sim"
+	"numasim/internal/simtrace"
+)
+
+// This file is the manager's memory-pressure machinery: the residency
+// index over local frames, the deterministic clock-style reclaimer that
+// frees a frame when a local memory fills, and the fault-injection hooks
+// (transient allocation failures with bounded retry/backoff, delayed page
+// moves). None of it runs — and none of it charges virtual time or emits
+// events — unless a local pool actually exhausts or an Injector is
+// installed, which is what keeps default-configuration runs byte-identical
+// to a build without it.
+
+// admitLocal reports whether processor proc can take one more local copy
+// of pg, retrying injected transient failures with backoff and running
+// the clock reclaimer when the pool is genuinely full. On false the
+// caller demotes the placement to global for this request only.
+func (n *Manager) admitLocal(th *sim.Thread, pg *Page, proc int) bool {
+	if n.chaos != nil {
+		for attempt := 0; n.chaos.FailLocalAlloc(th.Clock(), proc); attempt++ {
+			n.stats.ChaosFaults++
+			if attempt >= n.chaos.MaxRetries() {
+				n.emitPressure(th, pg, proc, "chaos-fallback")
+				return false
+			}
+			// Wait out the transient condition in virtual time; the
+			// bookkeeping of re-issuing the allocation is system time.
+			wait := n.chaos.RetryBackoff(attempt)
+			th.Idle(wait)
+			th.AdvanceSys(n.machine.Cost().NUMAOp)
+			n.stats.Retries++
+			if n.bus.Enabled() {
+				n.bus.Emit(simtrace.Event{
+					Kind: simtrace.KindRetry, Proc: int32(proc), Thread: int32(th.ID()),
+					Time: int64(th.Clock()), Dur: int64(wait), Page: pg.id,
+					Arg: int64(attempt),
+				})
+			}
+		}
+	}
+	if n.machine.Memory().Local(proc).Free() > 0 {
+		return true
+	}
+	if n.reclaimLocal(th, pg, proc) {
+		return true
+	}
+	n.emitPressure(th, pg, proc, "local-fallback")
+	return false
+}
+
+// reclaimLocal frees one frame of proc's local memory by evicting a
+// resident copy, chosen by a second-chance clock over the frame table:
+// the hand sweeps frame indices in order, clearing reference bits, and
+// evicts the first frame whose bit is already clear. Read-only replicas
+// are flushed (the global frame stays authoritative); a local-writable
+// copy is synced back to global memory first. Remote home placements are
+// sticky (§4.4) and are skipped, as is keep — the page being placed.
+// Reports false when nothing was evictable.
+func (n *Manager) reclaimLocal(th *sim.Thread, keep *Page, proc int) bool {
+	size := len(n.resident[proc])
+	// Two revolutions bound the scan: the first may only clear bits.
+	for step := 0; step < 2*size; step++ {
+		i := n.hand[proc]
+		n.hand[proc] = (i + 1) % size
+		victim := n.resident[proc][i]
+		if victim == nil || victim == keep || victim.state == Remote {
+			continue
+		}
+		if n.refbit[proc][i] {
+			n.refbit[proc][i] = false
+			continue
+		}
+		before := victim.state
+		var action string
+		if victim.state == LocalWritable {
+			// The only copy of a local-writable page lives on its owner,
+			// so a resident local-writable victim is owned by proc.
+			n.syncFlush(th, victim, proc, proc, "sync&flush own")
+			victim.setState(ReadOnly)
+			victim.owner = -1
+			action = "sync&flush own"
+		} else {
+			n.dropCopy(th, victim, proc)
+			action = "flush"
+		}
+		th.AdvanceSys(n.machine.Cost().NUMAOp)
+		n.stats.Evictions++
+		if n.bus.Enabled() {
+			n.bus.Emit(simtrace.Event{
+				Kind: simtrace.KindEvict, Proc: int32(proc), Thread: int32(th.ID()),
+				Time: int64(th.Clock()), Page: victim.id,
+				Arg: int64(before), Label: action,
+			})
+		}
+		return true
+	}
+	return false
+}
+
+// noteCopy records that frame f of proc's local memory now holds a copy
+// of pg, and gives it a fresh reference bit.
+func (n *Manager) noteCopy(pg *Page, proc int, f *mem.Frame) {
+	n.resident[proc][f.Index()] = pg
+	n.refbit[proc][f.Index()] = true
+}
+
+// noteDrop clears the residency record for frame f of proc's pool.
+func (n *Manager) noteDrop(proc int, f *mem.Frame) {
+	n.resident[proc][f.Index()] = nil
+	n.refbit[proc][f.Index()] = false
+}
+
+// chargeMoveDelay charges any injected delay for a page move performed by
+// proc (chaos models bus contention and slow paths on copies).
+func (n *Manager) chargeMoveDelay(th *sim.Thread, proc int) {
+	if n.chaos == nil {
+		return
+	}
+	if d := n.chaos.MoveDelay(th.Clock(), proc); d > 0 {
+		th.Idle(d)
+		n.stats.ChaosDelays++
+	}
+}
+
+// emitPressure reports one graceful-degradation event: a LOCAL or remote
+// placement could not get a local frame and the request proceeds against
+// global memory.
+func (n *Manager) emitPressure(th *sim.Thread, pg *Page, proc int, label string) {
+	if n.bus.Enabled() {
+		n.bus.Emit(simtrace.Event{
+			Kind: simtrace.KindPressure, Proc: int32(proc), Thread: int32(th.ID()),
+			Time: int64(th.Clock()), Page: pg.id,
+			Arg: int64(n.machine.Memory().Local(proc).Free()), Label: label,
+		})
+	}
+}

@@ -1,0 +1,113 @@
+package numa
+
+// White-box property test for the local-frame reclaimer: however hard a
+// random workload leans on local placement, the residency table never
+// holds more pages than the configured frame budget, and it stays exactly
+// consistent with the pages' own copy records.
+
+import (
+	"math/rand"
+	"testing"
+
+	"numasim/internal/ace"
+	"numasim/internal/mmu"
+	"numasim/internal/sim"
+)
+
+// alwaysLocal asks for local placement on every request, the worst case
+// for a bounded local memory.
+type alwaysLocal struct{}
+
+func (alwaysLocal) CachePolicy(pg *Page, proc int, write bool, maxProt mmu.Prot) Location {
+	return Local
+}
+func (alwaysLocal) Name() string { return "always-local" }
+
+// checkResidency verifies the two-way consistency between the manager's
+// residency table and the pages' copy records, and the frame budget.
+func checkResidency(t *testing.T, n *Manager, pages []*Page, budget int) {
+	t.Helper()
+	for proc := range n.resident {
+		count := 0
+		for idx, pg := range n.resident[proc] {
+			if pg == nil {
+				continue
+			}
+			count++
+			f := pg.copies[proc]
+			if f == nil {
+				t.Fatalf("cpu%d frame %d: resident table lists page%d, which has no copy there",
+					proc, idx, pg.id)
+			}
+			if f.Index() != idx {
+				t.Fatalf("cpu%d: resident table slot %d holds page%d whose copy is in frame %d",
+					proc, idx, pg.id, f.Index())
+			}
+		}
+		if count > budget {
+			t.Fatalf("cpu%d: %d resident local pages exceed the %d-frame budget", proc, count, budget)
+		}
+		for _, pg := range pages {
+			if f := pg.copies[proc]; f != nil && n.resident[proc][f.Index()] != pg {
+				t.Fatalf("cpu%d: page%d has a copy in frame %d but the resident table disagrees",
+					proc, pg.id, f.Index())
+			}
+		}
+	}
+}
+
+// TestReclaimerResidencyProperty hammers a minimal local memory with
+// local-hungry accesses from every processor and checks after every
+// operation that residency never exceeds the budget and the table never
+// drifts from the pages' copy records.
+func TestReclaimerResidencyProperty(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+
+		cfg := ace.DefaultConfig()
+		cfg.NProc = 3
+		cfg.GlobalFrames = 64
+		cfg.LocalFrames = ace.MinLocalFrames
+		cfg.PageSize = 256
+		m := ace.NewMachine(cfg)
+		n := NewManager(m, alwaysLocal{})
+
+		const npages = 8
+		pages := make([]*Page, npages)
+
+		var scriptErr error
+		m.Engine().Spawn("pressure", 0, func(th *sim.Thread) {
+			for i := range pages {
+				pg, err := n.NewPage()
+				if err != nil {
+					scriptErr = err
+					return
+				}
+				pages[i] = pg
+			}
+			for op := 0; op < 300; op++ {
+				pg := pages[rng.Intn(npages)]
+				proc := rng.Intn(cfg.NProc)
+				write := rng.Intn(2) == 0
+				n.Access(th, pg, proc, write, mmu.ProtReadWrite)
+				checkResidency(t, n, pages, cfg.LocalFrames)
+				if t.Failed() {
+					return
+				}
+			}
+		})
+		if err := m.Engine().Run(); err != nil {
+			t.Fatalf("seed %d: engine: %v", seed, err)
+		}
+		if scriptErr != nil {
+			t.Fatalf("seed %d: %v", seed, scriptErr)
+		}
+		if t.Failed() {
+			t.Fatalf("seed %d: residency property violated", seed)
+		}
+		if n.Stats().Evictions == 0 {
+			t.Errorf("seed %d: a %d-frame local memory under %d pages never evicted",
+				seed, cfg.LocalFrames, npages)
+		}
+	}
+}

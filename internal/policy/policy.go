@@ -14,6 +14,7 @@ package policy
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"numasim/internal/mmu"
 	"numasim/internal/numa"
@@ -222,6 +223,30 @@ func (s *Scripted) Consumed() int { return s.pos }
 
 // Name implements numa.Policy.
 func (s *Scripted) Name() string { return "scripted" }
+
+// ByName builds a fresh policy instance from its command-line name
+// (case-insensitive). Policies hold per-run state, so concurrent runs must
+// each call ByName rather than share one value. threshold parameterizes
+// the threshold and reconsider policies; the others ignore it.
+func ByName(name string, threshold int) (numa.Policy, error) {
+	switch strings.ToLower(name) {
+	case "threshold":
+		return NewThreshold(threshold), nil
+	case "allglobal":
+		return AllGlobal{}, nil
+	case "alllocal":
+		return AllLocal{}, nil
+	case "neverpin":
+		return NeverPin(), nil
+	case "pragma":
+		return NewPragma(nil), nil
+	case "reconsider":
+		return NewReconsider(threshold, 64), nil
+	case "freezedefrost":
+		return NewFreezeDefrost(0, 0), nil
+	}
+	return nil, fmt.Errorf("unknown policy %q (want threshold, allglobal, alllocal, neverpin, pragma, reconsider or freezedefrost)", name)
+}
 
 // Compile-time interface checks.
 var (

@@ -12,6 +12,9 @@
 package sched
 
 import (
+	"fmt"
+	"strings"
+
 	"numasim/internal/sim"
 	"numasim/internal/simtrace"
 	"numasim/internal/vm"
@@ -34,6 +37,19 @@ func (m Mode) String() string {
 		return "affinity"
 	}
 	return "no-affinity"
+}
+
+// ParseMode parses a scheduler name from the command line. "affinity"
+// selects the paper's modified scheduler; "noaffinity" (or "no-affinity")
+// the original single-queue behavior. Matching is case-insensitive.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "affinity":
+		return Affinity, nil
+	case "noaffinity", "no-affinity":
+		return NoAffinity, nil
+	}
+	return Affinity, fmt.Errorf("unknown scheduler %q (want affinity or noaffinity)", s)
 }
 
 // Scheduler assigns simulated threads to processors.

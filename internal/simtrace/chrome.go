@@ -76,6 +76,15 @@ func WriteChrome(w io.Writer, events []Event, meta ChromeMeta) error {
 		case KindSchedAssign:
 			cw.instant("spawn: "+ev.Label, ev.Proc, ev.Time,
 				fmt.Sprintf("{\"thread\":%d}", ev.Thread))
+		case KindPressure:
+			cw.instant("pressure: "+ev.Label, ev.Proc, ev.Time,
+				fmt.Sprintf("{\"free\":%d,\"page\":%d}", ev.Arg, ev.Page))
+		case KindEvict:
+			cw.instant("evict: "+ev.Label, ev.Proc, ev.Time,
+				fmt.Sprintf("{\"page\":%d,\"state\":%d}", ev.Page, ev.Arg))
+		case KindRetry:
+			cw.instant("retry", ev.Proc, ev.Time,
+				fmt.Sprintf("{\"attempt\":%d,\"backoff\":%d,\"page\":%d}", ev.Arg, ev.Dur, ev.Page))
 		case KindPageCreated:
 			cw.async('b', "page", ev.Page, ev.Time, "")
 			open[ev.Page] = true

@@ -62,6 +62,19 @@ const (
 	// KindSchedAssign: the scheduler bound a newly created thread to a
 	// processor (Label: thread name).
 	KindSchedAssign
+	// KindPressure: a memory pool could not satisfy an allocation and the
+	// system degraded gracefully (Label: "local-fallback" when a LOCAL
+	// placement demoted to global, "pageout" when global memory paged out
+	// a victim; Arg: the pool's free-frame count at the moment).
+	KindPressure
+	// KindEvict: the clock reclaimer evicted one local copy to free a
+	// frame (Proc: the pool swept, Page: the victim, Arg: the victim's
+	// state ordinal before eviction, Label: the protocol action used).
+	KindEvict
+	// KindRetry: a transiently failed local allocation was retried after
+	// a backoff (Arg: the zero-based attempt number, Dur: the backoff
+	// waited in virtual nanoseconds).
+	KindRetry
 
 	// KindCount is the number of event kinds.
 	KindCount
@@ -70,7 +83,7 @@ const (
 var kindNames = [KindCount]string{
 	"dispatch", "span", "fault-enter", "fault-exit", "decision",
 	"action", "state-change", "page-created", "page-freed", "pin",
-	"map-enter", "sched-assign",
+	"map-enter", "sched-assign", "pressure", "evict", "retry",
 }
 
 func (k Kind) String() string {
@@ -122,6 +135,10 @@ func (e Event) String() string {
 		fmt.Fprintf(&b, " loc=%d moves=%d", e.Arg, e.Arg2)
 	case KindPin:
 		fmt.Fprintf(&b, " moves=%d", e.Arg)
+	case KindPressure:
+		fmt.Fprintf(&b, " free=%d", e.Arg)
+	case KindRetry:
+		fmt.Fprintf(&b, " attempt=%d backoff=%dns", e.Arg, e.Dur)
 	}
 	if e.Label != "" {
 		fmt.Fprintf(&b, " %q", e.Label)

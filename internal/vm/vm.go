@@ -605,6 +605,13 @@ func (k *Kernel) pageoutOne(th *sim.Thread) bool {
 		k.pm.FreePageSync(tag)
 		s.pg = nil
 		k.stats.Pageouts++
+		if bus := k.machine.Bus(); bus.Enabled() {
+			bus.Emit(simtrace.Event{
+				Kind: simtrace.KindPressure, Proc: -1, Thread: int32(th.ID()),
+				Time: int64(th.Clock()), Page: pg.ID(),
+				Arg: int64(k.machine.Memory().Global().Free()), Label: "pageout",
+			})
+		}
 		return true
 	}
 	return false

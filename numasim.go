@@ -21,11 +21,18 @@
 //
 // Quick start:
 //
-//	sys := numasim.NewSystem(numasim.DefaultConfig(), numasim.DefaultPolicy(), numasim.Affinity)
+//	sys, err := numasim.New() // default ACE, threshold policy, affinity scheduler
+//	if err != nil {
+//	    log.Fatal(err)
+//	}
 //	shared := sys.Runtime.Alloc("data", 4096)
-//	err := sys.Runtime.Run(0, func(id int, c *numasim.Context) {
+//	err = sys.Runtime.Run(0, func(id int, c *numasim.Context) {
 //	    c.Store32(shared+uint32(4*id), uint32(id))
 //	})
+//
+// New takes functional options — WithConfig, WithPolicy, WithSched,
+// WithLocalFrames (finite local memory), WithChaos (seeded fault
+// injection), WithTraceSink (structured event tracing).
 //
 // See the examples directory and cmd/tables for complete programs.
 package numasim
@@ -216,10 +223,18 @@ type System struct {
 
 // NewSystem builds a complete system: machine, kernel with the given
 // placement policy, and a C-Threads runtime with the given scheduler.
+//
+// Deprecated: use New, which takes functional options and validates the
+// configuration instead of panicking:
+//
+//	sys, err := numasim.New(numasim.WithConfig(cfg),
+//	    numasim.WithPolicy(pol), numasim.WithSched(mode))
 func NewSystem(cfg Config, pol Policy, mode SchedMode) *System {
-	m := ace.NewMachine(cfg)
-	k := vm.NewKernel(m, pol)
-	return &System{Machine: m, Kernel: k, Runtime: cthreads.New(k, mode)}
+	sys, err := New(WithConfig(cfg), WithPolicy(pol), WithSched(mode))
+	if err != nil {
+		panic(err)
+	}
+	return sys
 }
 
 // Policies.
@@ -344,3 +359,23 @@ func MixRun(opts HarnessOptions, apps []string) (harness.MixResult, error) {
 func PolicyCompare(opts HarnessOptions) ([]harness.PolicyRow, error) {
 	return harness.PolicyCompare(opts)
 }
+
+// PressureSweep measures one application at shrinking per-processor
+// local-frame budgets (empty frames: the default budgets), reporting
+// slowdown against the unconstrained baseline.
+func PressureSweep(opts HarnessOptions, app string, frames []int) ([]harness.PressureRow, error) {
+	return harness.PressureSweep(opts, app, frames)
+}
+
+// RenderPressure renders a pressure sweep as a plain-text table.
+func RenderPressure(rows []harness.PressureRow) string { return harness.RenderPressure(rows) }
+
+// Experiment is one registered harness experiment.
+type Experiment = harness.Experiment
+
+// LookupExperiment finds a harness experiment by name, case-insensitively
+// ("table3", "pressuresweep", ...).
+func LookupExperiment(name string) (Experiment, bool) { return harness.Lookup(name) }
+
+// ExperimentNames lists the registered experiments, sorted.
+func ExperimentNames() []string { return harness.Names() }

@@ -1,0 +1,108 @@
+package numasim
+
+import (
+	"numasim/internal/ace"
+	"numasim/internal/chaos"
+	"numasim/internal/cthreads"
+	"numasim/internal/policy"
+	"numasim/internal/simtrace"
+	"numasim/internal/vm"
+)
+
+// ChaosConfig parameterizes the seeded fault-injection layer: transient
+// local-allocation failures and delayed page moves, drawn from a PRNG
+// advanced in virtual time so runs stay deterministic. The zero value
+// injects nothing.
+type ChaosConfig = chaos.Config
+
+// TraceSink receives structured simulation events (see the simtrace
+// package); attach one with WithTraceSink to record or count events.
+type TraceSink = simtrace.Sink
+
+// TraceListSink is a simple sink that collects events in order.
+type TraceListSink = simtrace.ListSink
+
+// Option configures New.
+type Option func(*sysOptions)
+
+// sysOptions accumulates the choices New assembles a System from.
+type sysOptions struct {
+	cfg   Config
+	pol   Policy
+	mode  SchedMode
+	chaos ChaosConfig
+	sink  TraceSink
+}
+
+// WithConfig replaces the whole machine configuration (default:
+// DefaultConfig). Compose with WithLocalFrames, which applies after it.
+func WithConfig(cfg Config) Option {
+	return func(o *sysOptions) { o.cfg = cfg }
+}
+
+// WithPolicy selects the NUMA placement policy (default: the paper's
+// threshold policy with its default move limit).
+func WithPolicy(pol Policy) Option {
+	return func(o *sysOptions) { o.pol = pol }
+}
+
+// WithSched selects the scheduling discipline (default: Affinity).
+func WithSched(mode SchedMode) Option {
+	return func(o *sysOptions) { o.mode = mode }
+}
+
+// WithLocalFrames bounds each processor's local memory to n page frames.
+// The default is effectively unbounded (8 MB per processor); small values
+// put the NUMA manager's reclaimer and global-fallback path to work.
+func WithLocalFrames(n int) Option {
+	return func(o *sysOptions) { o.cfg.LocalFrames = n }
+}
+
+// WithChaos enables seeded fault injection. A fresh injector is built
+// from cc for this system alone, so two systems with the same seed see
+// the same fault schedule.
+func WithChaos(cc ChaosConfig) Option {
+	return func(o *sysOptions) { o.chaos = cc }
+}
+
+// WithTraceSink attaches a structured-event sink to the machine before
+// anything runs.
+func WithTraceSink(s TraceSink) Option {
+	return func(o *sysOptions) { o.sink = s }
+}
+
+// New builds a complete system — machine, kernel, C-Threads runtime —
+// from functional options, validating the configuration instead of
+// panicking:
+//
+//	sys, err := numasim.New(
+//	    numasim.WithPolicy(numasim.ThresholdPolicy(2)),
+//	    numasim.WithLocalFrames(64),
+//	)
+//
+// With no options it is the paper's measurement setup: the default ACE,
+// the default threshold policy, the affinity scheduler.
+func New(opts ...Option) (*System, error) {
+	o := sysOptions{cfg: DefaultConfig(), mode: Affinity}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.pol == nil {
+		o.pol = policy.NewDefault()
+	}
+	if err := o.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := o.chaos.Validate(); err != nil {
+		return nil, err
+	}
+	m := ace.NewMachine(o.cfg)
+	if o.sink != nil {
+		m.AttachSink(o.sink)
+	}
+	k := vm.NewKernel(m, o.pol)
+	if o.chaos.Enabled() {
+		k.NUMA().SetChaos(chaos.New(o.chaos))
+	}
+	return &System{Machine: m, Kernel: k, Runtime: cthreads.New(k, o.mode)}, nil
+}

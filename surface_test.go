@@ -1,6 +1,7 @@
 package numasim_test
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -32,6 +33,82 @@ func TestFacadeSurface(t *testing.T) {
 	})
 	if err := m.Engine().Run(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFacadeNewOptions exercises the full option set of numasim.New the
+// way a downstream program would, including chaos injection and a trace
+// sink.
+func TestFacadeNewOptions(t *testing.T) {
+	cfg := numasim.DefaultConfig()
+	cfg.NProc = 2
+	cfg.GlobalFrames = 64
+	var sink numasim.TraceListSink
+	sys, err := numasim.New(
+		numasim.WithConfig(cfg),
+		numasim.WithPolicy(numasim.ThresholdPolicy(2)),
+		numasim.WithSched(numasim.Affinity),
+		numasim.WithLocalFrames(2),
+		numasim.WithChaos(numasim.ChaosConfig{Seed: 7}.WithDefaults()),
+		numasim.WithTraceSink(&sink),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := sys.Runtime.Alloc("data", 6*4096)
+	err = sys.Runtime.Run(1, func(id int, c *numasim.Context) {
+		for p := uint32(0); p < 6; p++ {
+			c.Store32(region+p*4096, p)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := sys.Kernel.NUMA().Stats()
+	if ns.Evictions == 0 {
+		t.Error("two local frames and six pages should force evictions")
+	}
+	if len(sink.Events()) == 0 {
+		t.Error("trace sink saw no events")
+	}
+}
+
+// TestFacadeNewValidates checks that New reports configuration mistakes
+// as errors instead of panicking mid-build.
+func TestFacadeNewValidates(t *testing.T) {
+	if _, err := numasim.New(numasim.WithConfig(numasim.Config{})); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := numasim.New(numasim.WithLocalFrames(1)); err == nil {
+		t.Error("local frames below the working minimum accepted")
+	}
+	if _, err := numasim.New(numasim.WithChaos(numasim.ChaosConfig{FailProb: 2})); err == nil {
+		t.Error("out-of-range chaos probability accepted")
+	}
+}
+
+// TestFacadeExperimentRegistry checks the registry re-exports: lookup is
+// case-insensitive and the names list is sorted and complete.
+func TestFacadeExperimentRegistry(t *testing.T) {
+	e, ok := numasim.LookupExperiment("PressureSweep")
+	if !ok {
+		t.Fatal("pressuresweep not registered")
+	}
+	if e.Name() != "pressuresweep" {
+		t.Errorf("Name() = %q", e.Name())
+	}
+	names := numasim.ExperimentNames()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("names unsorted: %v", names)
+	}
+	found := false
+	for _, n := range names {
+		if n == "table3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("table3 missing from %v", names)
 	}
 }
 
@@ -72,6 +149,16 @@ func TestFacadeExperiments(t *testing.T) {
 	}
 	if mix.UserSec <= 0 {
 		t.Error("mix did no work")
+	}
+	press, err := numasim.PressureSweep(opts, "Gfetch", []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(press) != 2 {
+		t.Errorf("pressure rows = %d", len(press))
+	}
+	if out := numasim.RenderPressure(press); !strings.Contains(out, "unbounded") {
+		t.Error("pressure table missing baseline row")
 	}
 }
 
