@@ -1,11 +1,15 @@
 # Build, verify and benchmark the numasim reproduction.
 #
-#   make check    - build everything, vet, lint (numalint), and run the
+#   make check    - build everything, vet, lint (numalint), run the
 #                   full test suite under the race detector (the parallel
 #                   harness runs many simulations concurrently; -race
-#                   guards it)
+#                   guards it), then the audit and pressure drills
+#   make audit    - run the protocol-fuzz suite with full online
+#                   auditing (every protocol action re-validates the
+#                   directory invariants; violations die with forensics)
 #   make lint     - run the numalint analyzer suite (determinism,
-#                   maporder, statemachine, units) via go vet -vettool
+#                   maporder, statemachine, units, violation) via
+#                   go vet -vettool
 #   make numalint - build the numalint binary and print its path
 #   make bench    - run the benchmark suite (tables, ablations, the
 #                   simulator hot-path microbenchmarks, and the simtrace
@@ -19,9 +23,9 @@
 GO ?= go
 NUMALINT := bin/numalint
 
-.PHONY: check build vet lint numalint test bench tables pressure
+.PHONY: check build vet lint numalint test bench tables pressure audit
 
-check: build vet lint test pressure
+check: build vet lint test audit pressure
 
 build:
 	$(GO) build ./...
@@ -51,3 +55,10 @@ tables:
 pressure:
 	$(GO) run ./cmd/tables -small -nproc 3 -exp pressuresweep -app FFT \
 		-frames 4,2 -chaos-seed 42 -chaos-fail 0.05 -chaos-delay 0.10
+
+# audit replays the protocol-fuzz scripts (the full seed set, including
+# the pressure variant) with the online auditor at stride 1: the
+# directory invariants are re-validated after every protocol action, and
+# any violation dies with the page, its state and the event-ring trace.
+audit:
+	$(GO) test -run 'TestProtocolFuzz' -count=1 ./internal/numa/

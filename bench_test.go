@@ -95,7 +95,7 @@ func BenchmarkTable2(b *testing.B) {
 // diagrams (E1, E2).
 func BenchmarkFigure1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if numasim.Figure1(benchOpts) == "" {
+		if s, err := numasim.Figure1(benchOpts); err != nil || s == "" {
 			b.Fatal("empty figure")
 		}
 	}
@@ -269,6 +269,27 @@ func BenchmarkTraceOverhead(b *testing.B) {
 		run(b, counts)
 		b.ReportMetric(float64(counts.Total())/float64(b.N), "events/op")
 	})
+}
+
+// BenchmarkAuditOverhead prices the online protocol auditor on the
+// Table 3 hot path. "off" is the baseline; "sampled" (stride 1024) is
+// the mode meant for long sweeps and must stay within 5% of it; "full"
+// (stride 1, every protocol action re-validated) is the fuzz/debug
+// setting and may cost what it costs.
+func BenchmarkAuditOverhead(b *testing.B) {
+	run := func(b *testing.B, stride int) {
+		b.Helper()
+		opts := benchOpts
+		opts.Audit = stride
+		for i := 0; i < b.N; i++ {
+			if _, err := harness.Table3Single(opts, "FFT"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, 0) })
+	b.Run("sampled", func(b *testing.B) { run(b, 1024) })
+	b.Run("full", func(b *testing.B) { run(b, 1) })
 }
 
 // BenchmarkMix runs two applications concurrently (the application-mix

@@ -6,6 +6,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"time"
 
 	"numasim/internal/chaos"
 	"numasim/internal/harness"
@@ -21,9 +22,14 @@ type experimentOptions struct {
 	threshold  int
 	parallel   int
 	frames     string
-	chaosSeed  int64
-	chaosFail  float64
-	chaosDelay float64
+	chaos      chaos.Config
+	audit      int
+	timeout    time.Duration
+	retries    int
+	reproDir   string
+	keepGoing  bool
+	stallLimit int
+	command    string
 }
 
 // flagWasSet reports whether the named flag appeared on the command line
@@ -76,25 +82,16 @@ func runExperiment(name string, eo experimentOptions, stdout, stderr io.Writer) 
 	}
 	opts := harness.Options{
 		NProc: eo.nproc, Workers: eo.workers, Threshold: eo.threshold,
-		Parallelism: eo.parallel, PressureFrames: frames,
+		Parallelism: eo.parallel, PressureFrames: frames, Chaos: eo.chaos,
+		Audit: eo.audit, Timeout: eo.timeout, Retries: eo.retries,
+		ReproDir: eo.reproDir, KeepGoing: eo.keepGoing,
+		StallLimit: eo.stallLimit, Command: eo.command,
 	}
 	// -app has a single-run default (IMatMult) that should not override an
 	// experiment's own default application; only pass it through when the
 	// user actually chose one.
 	if eo.appSet {
 		opts.App = eo.app
-	}
-	if eo.chaosFail > 0 || eo.chaosDelay > 0 {
-		cc := chaos.Config{
-			Seed: eo.chaosSeed, FailProb: eo.chaosFail, DelayProb: eo.chaosDelay,
-			MaxRetries: chaos.DefaultMaxRetries, Backoff: chaos.DefaultBackoff,
-			MoveDelay: chaos.DefaultMoveDelay,
-		}
-		if err := cc.Validate(); err != nil {
-			fmt.Fprintln(stderr, "acesim:", err)
-			return 2
-		}
-		opts.Chaos = cc
 	}
 	res, err := e.Run(opts)
 	if err != nil {

@@ -36,12 +36,16 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"numasim/internal/ace"
+	"numasim/internal/chaos"
 	"numasim/internal/cthreads"
 	"numasim/internal/harness"
+	"numasim/internal/metrics"
 	"numasim/internal/policy"
 	"numasim/internal/sched"
+	"numasim/internal/sim"
 	"numasim/internal/simtrace"
 	"numasim/internal/trace"
 	"numasim/internal/vm"
@@ -63,10 +67,16 @@ type runOpts struct {
 	size        int
 	perProc     bool
 	replication bool
+	audit       int
+	stallLimit  int
+	forensics   bool
+	chaos       chaos.Config
 }
 
 // runOne simulates one application and returns its rendered report.
-func runOne(app string, o runOpts) (string, error) {
+// observe is the supervisor's machine hook (never nil; a no-op without
+// supervision).
+func runOne(app string, o runOpts, observe func(*ace.Machine)) (string, error) {
 	var w workloads.Workload
 	var err error
 	if o.size > 0 {
@@ -85,7 +95,13 @@ func runOne(app string, o runOpts) (string, error) {
 	cfg := ace.DefaultConfig()
 	cfg.NProc = o.nproc
 	cfg.PageSize = o.pageSize
-	machine := ace.NewMachine(cfg)
+	machine, err := ace.NewMachine(cfg)
+	if err != nil {
+		return "", err
+	}
+	if o.stallLimit != 0 {
+		machine.Engine().StallLimit = o.stallLimit
+	}
 	kernel := vm.NewKernel(machine, pol)
 	kernel.UnixMaster = o.unixMaster
 	if !o.replication {
@@ -97,13 +113,45 @@ func runOne(app string, o runOpts) (string, error) {
 		kernel.RefTrace = collector.Hook()
 	}
 	var events *simtrace.ListSink
+	var sink simtrace.Sink
 	if o.chromeOut != "" {
 		events = &simtrace.ListSink{}
-		machine.AttachSink(events)
+		sink = events
 	}
+	// Forensics and auditing share a ring of recent events; the Chrome
+	// export keeps receiving everything through a tee.
+	var ring *simtrace.RingSink
+	if o.forensics || o.audit > 0 {
+		ring = simtrace.NewRingSink(256)
+		if sink != nil {
+			sink = simtrace.Tee(sink, ring)
+		} else {
+			sink = ring
+		}
+	}
+	if sink != nil {
+		machine.AttachSink(sink)
+	}
+	if o.chaos.Enabled() {
+		kernel.NUMA().SetChaos(chaos.New(o.chaos))
+	}
+	if o.audit > 0 || ring != nil {
+		kernel.NUMA().EnableAudit(o.audit, ring)
+	}
+	observe(machine)
 	rt := cthreads.New(kernel, o.mode)
 
 	if err := w.Run(rt, o.workers); err != nil {
+		if o.forensics {
+			re := &metrics.RunError{
+				Workload: w.Name(), Policy: pol.Name(), Err: err,
+				Dump: machine.Engine().DumpState().Render(),
+			}
+			if ring != nil {
+				re.Events = ring.Events()
+			}
+			return "", re
+		}
 		return "", err
 	}
 
@@ -194,9 +242,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", 0, "simulations to run concurrently when -app lists several (0: one per host CPU; results are identical at every setting)")
 	exp := fs.String("exp", "", "run a harness experiment instead of a single app (list: print the registry); -app, -nproc, -workers, -threshold and -parallel apply")
 	framesFlag := fs.String("frames", "", "comma-separated local-frame budgets for -exp pressuresweep")
-	chaosSeed := fs.Int64("chaos-seed", 0, "seed for fault injection in -exp runs")
-	chaosFail := fs.Float64("chaos-fail", 0, "probability a local frame allocation transiently fails in -exp runs (0 disables)")
-	chaosDelay := fs.Float64("chaos-delay", 0, "probability a page move is delayed in -exp runs (0 disables)")
+	chaosSeed := fs.Int64("chaos-seed", 0, "seed for fault injection")
+	chaosFail := fs.Float64("chaos-fail", 0, "probability a local frame allocation transiently fails (0 disables)")
+	chaosDelay := fs.Float64("chaos-delay", 0, "probability a page move is delayed (0 disables)")
+	chaosPanicAt := fs.Duration("chaos-panic-at", 0, "inject one panic at this virtual time (crash drill; 0 disables)")
+	chaosStallAt := fs.Duration("chaos-stall-at", 0, "inject one virtual-time stall at this virtual time (watchdog drill; 0 disables)")
+	audit := fs.Int("audit", 0, "online protocol-audit sampling stride (0: off, 1: audit every protocol action, N: sampled)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget per supervised run (0: none)")
+	retries := fs.Int("retries", 0, "re-run a failed unit up to this many times before giving up")
+	reproDir := fs.String("repro-dir", "", "write a repro bundle for each failed run into this directory (implies -keep-going)")
+	keepGoing := fs.Bool("keep-going", false, "continue past failed runs and report partial results")
+	stallLimit := fs.Int("stall-limit", 0, "engine stall-watchdog threshold in dispatches (0: default)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -207,12 +263,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	command := "acesim " + strings.Join(args, " ")
+	cc, err := chaosConfig(*chaosSeed, *chaosFail, *chaosDelay, *chaosPanicAt, *chaosStallAt)
+	if err != nil {
+		fmt.Fprintln(stderr, "acesim:", err)
+		return 2
+	}
+
 	if *exp != "" {
 		return runExperiment(*exp, experimentOptions{
 			app: *app, appSet: flagWasSet(fs, "app"), nproc: *nproc,
 			workers: *workers, threshold: *threshold, parallel: *parallel,
-			frames: *framesFlag, chaosSeed: *chaosSeed,
-			chaosFail: *chaosFail, chaosDelay: *chaosDelay,
+			frames: *framesFlag, chaos: cc,
+			audit: *audit, timeout: *timeout, retries: *retries,
+			reproDir: *reproDir, keepGoing: *keepGoing, stallLimit: *stallLimit,
+			command: command,
 		}, stdout, stderr)
 	}
 
@@ -229,6 +294,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	// Supervision (timeout, retries, repro bundles) is configured through
+	// harness options; with none of the flags set, sup.Supervise runs the
+	// simulation directly.
+	sup := harness.Options{
+		NProc: *nproc, Workers: *workers, Threshold: *threshold, App: *app,
+		Chaos: cc, Audit: *audit, Timeout: *timeout, Retries: *retries,
+		ReproDir: *reproDir, KeepGoing: *keepGoing, StallLimit: *stallLimit,
+		Command: command,
+	}
 	o := runOpts{
 		polName:   *polName,
 		threshold: *threshold,
@@ -240,22 +314,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pageSize:   *pageSize,
 		size:       *size,
 		perProc:    *perProc, replication: *replication,
+		audit: *audit, stallLimit: *stallLimit,
+		forensics: *audit > 0 || *timeout > 0 || *retries > 0 || *reproDir != "",
+		chaos:     cc,
 	}
 
 	// Run every app concurrently (bounded), buffer the reports, and print
 	// them in the order given on the command line.
 	reports := make([]string, len(apps))
-	err = harness.NewPool(*parallel).Run(len(apps), func(i int) error {
-		rep, err := runOne(apps[i], o)
-		if err != nil {
-			return fmt.Errorf("%s: %w", apps[i], err)
-		}
-		reports[i] = rep
-		return nil
+	errs := harness.NewPool(*parallel).RunAll(len(apps), func(i int) error {
+		return sup.Supervise(apps[i], func(observe func(*ace.Machine)) error {
+			rep, err := runOne(apps[i], o, observe)
+			if err != nil {
+				return fmt.Errorf("%s: %w", apps[i], err)
+			}
+			reports[i] = rep
+			return nil
+		})
 	})
-	if err != nil {
-		fmt.Fprintln(stderr, "acesim:", err)
-		return 1
+	failed := false
+	for i, rerr := range errs {
+		if rerr == nil {
+			continue
+		}
+		failed = true
+		fmt.Fprintln(stderr, "acesim:", rerr)
+		if !*keepGoing && *reproDir == "" {
+			return 1
+		}
+		reports[i] = fmt.Sprintf("%s: failed: %v\n", apps[i], firstLine(rerr.Error()))
 	}
 	for i, rep := range reports {
 		if i > 0 {
@@ -263,7 +350,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprint(stdout, rep)
 	}
+	if failed {
+		return 1
+	}
 	return 0
+}
+
+// firstLine truncates multi-line error text (panic stacks) for reports.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// simTime converts a wall-style flag duration into virtual time (both
+// are nanosecond-granular).
+func simTime(d time.Duration) sim.Time {
+	return sim.Time(d.Nanoseconds()) * sim.Nanosecond
+}
+
+// chaosConfig assembles and validates the chaos configuration from the
+// CLI flags; the zero value (all flags unset) means chaos off.
+func chaosConfig(seed int64, fail, delay float64, panicAt, stallAt time.Duration) (chaos.Config, error) {
+	if fail <= 0 && delay <= 0 && panicAt <= 0 && stallAt <= 0 {
+		return chaos.Config{}, nil
+	}
+	cc := chaos.Config{
+		Seed: seed, FailProb: fail, DelayProb: delay,
+		MaxRetries: chaos.DefaultMaxRetries, Backoff: chaos.DefaultBackoff,
+		MoveDelay: chaos.DefaultMoveDelay,
+		PanicAt:   simTime(panicAt), StallAt: simTime(stallAt),
+	}
+	return cc, cc.Validate()
 }
 
 func main() {

@@ -1,8 +1,9 @@
 // Command numalint runs the repository's static analyzers: determinism
 // (no wall clocks or ambient entropy in the simulator core), maporder (no
 // ordered output from randomized map iteration), statemachine (exhaustive
-// switches and guarded Table 1/2 transitions) and units (no mixing of
-// simulated-time and wall-clock scales).
+// switches and guarded Table 1/2 transitions), units (no mixing of
+// simulated-time and wall-clock scales) and violation (protocol panics in
+// internal/numa must carry a typed ProtocolViolationError).
 //
 // Two modes share one binary:
 //
@@ -26,6 +27,7 @@ import (
 	"numasim/internal/analysis/passes/maporder"
 	"numasim/internal/analysis/passes/statemachine"
 	"numasim/internal/analysis/passes/units"
+	"numasim/internal/analysis/passes/violation"
 	"numasim/internal/analysis/vettool"
 )
 
@@ -34,6 +36,7 @@ var analyzers = []*analysis.Analyzer{
 	maporder.Analyzer,
 	statemachine.Analyzer,
 	units.Analyzer,
+	violation.Analyzer,
 }
 
 func main() {

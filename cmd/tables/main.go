@@ -36,6 +36,7 @@ import (
 	"numasim/internal/chaos"
 	"numasim/internal/harness"
 	"numasim/internal/metrics"
+	"numasim/internal/sim"
 	"numasim/internal/simtrace"
 )
 
@@ -71,6 +72,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	chaosSeed := fs.Int64("chaos-seed", 0, "seed for fault injection (used when a -chaos probability is set)")
 	chaosFail := fs.Float64("chaos-fail", 0, "probability a local frame allocation transiently fails (0 disables)")
 	chaosDelay := fs.Float64("chaos-delay", 0, "probability a page move is delayed (0 disables)")
+	chaosPanicAt := fs.Duration("chaos-panic-at", 0, "inject one panic at this virtual time (crash drill; 0 disables)")
+	chaosStallAt := fs.Duration("chaos-stall-at", 0, "inject one virtual-time stall at this virtual time (watchdog drill; 0 disables)")
+	audit := fs.Int("audit", 0, "online protocol-audit sampling stride (0: off, 1: audit every protocol action, N: sampled)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget per supervised run (0: none)")
+	retries := fs.Int("retries", 0, "re-run a failed unit up to this many times before giving up")
+	reproDir := fs.String("repro-dir", "", "write a repro bundle for each failed run into this directory (implies -keep-going)")
+	keepGoing := fs.Bool("keep-going", false, "continue past failed runs and report partial results")
+	stallLimit := fs.Int("stall-limit", 0, "engine stall-watchdog threshold in dispatches (0: default)")
 	csv := fs.Bool("csv", false, "emit tabular experiments as CSV")
 	parallel := fs.Int("parallel", 0, "simulations to run concurrently (0: one per host CPU; results are identical at every setting)")
 	timing := fs.Bool("timing", false, "report wall-clock run time and simtrace event counts on stderr (diagnostic only; never part of a table)")
@@ -86,12 +95,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts := harness.Options{
 		NProc: *nproc, Workers: *workers, Small: *smallFlag, Parallelism: *parallel,
 		App: *app, PressureFrames: frames,
+		Audit: *audit, Timeout: *timeout, Retries: *retries,
+		ReproDir: *reproDir, KeepGoing: *keepGoing, StallLimit: *stallLimit,
+		Command: "tables " + strings.Join(args, " "),
 	}
-	if *chaosFail > 0 || *chaosDelay > 0 {
+	if *chaosFail > 0 || *chaosDelay > 0 || *chaosPanicAt > 0 || *chaosStallAt > 0 {
 		cc := chaos.Config{
 			Seed: *chaosSeed, FailProb: *chaosFail, DelayProb: *chaosDelay,
 			MaxRetries: chaos.DefaultMaxRetries, Backoff: chaos.DefaultBackoff,
 			MoveDelay: chaos.DefaultMoveDelay,
+			PanicAt:   sim.Time(chaosPanicAt.Nanoseconds()) * sim.Nanosecond,
+			StallAt:   sim.Time(chaosStallAt.Nanoseconds()) * sim.Nanosecond,
 		}
 		if err := cc.Validate(); err != nil {
 			fmt.Fprintln(stderr, "tables:", err)

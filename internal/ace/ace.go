@@ -232,11 +232,12 @@ type Machine struct {
 	bus    *simtrace.Bus
 }
 
-// NewMachine builds a machine from cfg, panicking on invalid configuration
-// (configuration is a programming error, not an environmental condition).
-func NewMachine(cfg Config) *Machine {
+// NewMachine builds a machine from cfg, reporting invalid configuration
+// as an error the caller can propagate. Static, known-good configurations
+// (tests, examples) may use MustMachine instead.
+func NewMachine(cfg Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	m := &Machine{
 		cfg:    cfg,
@@ -250,6 +251,17 @@ func NewMachine(cfg Config) *Machine {
 	for i := 0; i < cfg.NProc; i++ {
 		m.procs[i] = &Processor{id: i, res: &sim.Resource{Name: fmt.Sprintf("cpu%d", i), ID: i}}
 		m.mmus[i] = mmu.New(i)
+	}
+	return m, nil
+}
+
+// MustMachine builds a machine from a configuration that is known to be
+// valid, panicking otherwise. For tests and static setups only; code with
+// an error path should call NewMachine.
+func MustMachine(cfg Config) *Machine {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return m
 }

@@ -87,7 +87,7 @@ func TestConfigValidate(t *testing.T) {
 func TestNewMachine(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.NProc = 3
-	m := NewMachine(cfg)
+	m := MustMachine(cfg)
 	if m.NProc() != 3 {
 		t.Errorf("NProc = %d", m.NProc())
 	}
@@ -107,19 +107,22 @@ func TestNewMachine(t *testing.T) {
 	}
 }
 
-func TestNewMachineBadConfigPanics(t *testing.T) {
+func TestNewMachineBadConfig(t *testing.T) {
+	if _, err := NewMachine(Config{}); err == nil {
+		t.Fatal("NewMachine(Config{}): want error")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("want panic")
+			t.Fatal("MustMachine(Config{}): want panic")
 		}
 	}()
-	NewMachine(Config{})
+	MustMachine(Config{})
 }
 
 func TestVPNAndOffset(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.PageSize = 4096
-	m := NewMachine(cfg)
+	m := MustMachine(cfg)
 	if m.PageShift() != 12 {
 		t.Errorf("PageShift = %d", m.PageShift())
 	}
@@ -134,7 +137,7 @@ func TestVPNAndOffset(t *testing.T) {
 func TestChargeAndCount(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.NProc = 2
-	m := NewMachine(cfg)
+	m := MustMachine(cfg)
 	g, _ := m.Memory().Global().Alloc()
 	l1, _ := m.Memory().Local(1).Alloc()
 	var done bool
@@ -182,7 +185,7 @@ func TestLocalFractionEmpty(t *testing.T) {
 }
 
 func TestTopology(t *testing.T) {
-	m := NewMachine(DefaultConfig())
+	m := MustMachine(DefaultConfig())
 	top := m.Topology()
 	for _, want := range []string{"cpu0", "cpu6", "IPC bus", "global memory", "Figure 1"} {
 		if !strings.Contains(top, want) {
@@ -194,7 +197,7 @@ func TestTopology(t *testing.T) {
 func TestTotalFaults(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.NProc = 2
-	m := NewMachine(cfg)
+	m := MustMachine(cfg)
 	m.Proc(0).Faults = 3
 	m.Proc(1).Faults = 4
 	if m.TotalFaults() != 7 {

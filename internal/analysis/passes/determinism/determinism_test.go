@@ -20,8 +20,24 @@ func TestRestrictedImportPath(t *testing.T) {
 }
 
 func TestUnrestrictedPackageIsIgnored(t *testing.T) {
-	// No directive, host-side import path: the same code is legal.
+	// No directive, host-side import path: the same code is legal. (The
+	// harness used to be the canonical host-side path here, but the
+	// supervisor pulled it into the deterministic core; report stays out.)
 	analysistest.Run(t, filepath.Join(analysistest.TestData(), "unrestricted"), determinism.Analyzer,
+		analysistest.WithImportPath("numasim/internal/report/fixture"))
+}
+
+func TestHarnessIsRestricted(t *testing.T) {
+	// The harness drives the deterministic simulations and renders their
+	// byte-identical reports, so it is on the restricted list too.
+	analysistest.Run(t, filepath.Join(analysistest.TestData(), "core_path"), determinism.Analyzer,
+		analysistest.WithImportPath("numasim/internal/harness/fixture"))
+}
+
+func TestHostsideEscape(t *testing.T) {
+	// A //numalint:hostside doc directive exempts one function from the
+	// function-level bans; the rest of the file stays checked.
+	analysistest.Run(t, filepath.Join(analysistest.TestData(), "hostside"), determinism.Analyzer,
 		analysistest.WithImportPath("numasim/internal/harness/fixture"))
 }
 

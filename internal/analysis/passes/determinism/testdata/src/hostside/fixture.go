@@ -1,0 +1,29 @@
+// Package fixture exercises the //numalint:hostside escape: the
+// annotated watchdog may read the host clock, every other function in
+// the same (restricted) package is still checked.
+package fixture
+
+import "time"
+
+// watchdog is the blessed wall-clock user, like the supervisor's
+// timeout watchdog in the real harness.
+//
+//numalint:hostside
+func watchdog(budget time.Duration, stop func()) *time.Timer {
+	t := time.AfterFunc(budget, stop)
+	_ = time.Now()
+	return t
+}
+
+// unblessed has no directive: the same references are reported.
+func unblessed() int64 {
+	time.Sleep(0)                // want `time\.Sleep \(wall-clock delay\)`
+	return time.Now().UnixNano() // want `time\.Now \(wall clock\)`
+}
+
+// docOnly shows the directive must head the function it exempts; a
+// free-standing comment inside a body exempts nothing.
+func docOnly() time.Time {
+	//numalint:hostside
+	return time.Now() // want `time\.Now \(wall clock\)`
+}

@@ -1,0 +1,51 @@
+// Package fixture is type-checked under the numasim/internal/numa
+// import path, so every panic here must carry a typed violation built
+// in-argument.
+package fixture
+
+import "fmt"
+
+type violationError struct{ msg string }
+
+func (e *violationError) Error() string { return e.msg }
+
+func newViolation(format string, args ...any) *violationError {
+	return &violationError{msg: fmt.Sprintf(format, args...)}
+}
+
+type manager struct{}
+
+func (m *manager) violation(format string, args ...any) *violationError {
+	return newViolation(format, args...)
+}
+
+func good(m *manager) {
+	panic(newViolation("broken invariant on page%d", 3))
+}
+
+func goodMethod(m *manager) {
+	panic(m.violation("broken invariant"))
+}
+
+func goodParen(m *manager) {
+	panic((m.violation("parenthesised is still a direct call")))
+}
+
+func badString() {
+	panic("numa: broken invariant") // want `panic in numasim/internal/numa must pass a typed violation built in-argument by violation or newViolation`
+}
+
+func badErrorf() {
+	panic(fmt.Errorf("numa: broken invariant")) // want `panic in numasim/internal/numa must pass a typed violation`
+}
+
+func badHoisted(m *manager) {
+	v := m.violation("built too early")
+	panic(v) // want `panic in numasim/internal/numa must pass a typed violation`
+}
+
+func shadowed() {
+	// A local function named panic is not the builtin; no finding.
+	panic := func(v any) {}
+	panic("fine")
+}

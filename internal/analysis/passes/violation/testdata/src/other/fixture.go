@@ -1,0 +1,7 @@
+// Package fixture is type-checked under a package path the violation
+// analyzer does not cover: bare panics are someone else's problem here.
+package fixture
+
+func anythingGoes() {
+	panic("not a protocol package")
+}

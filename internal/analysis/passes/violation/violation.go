@@ -1,0 +1,103 @@
+// Package violation enforces that every protocol-state panic in the
+// NUMA manager carries typed forensics.
+//
+// The simulator's crash-forensics pipeline — the engine's %w-wrapping of
+// panic values, the supervisor's repro bundles, the facade's
+// ProtocolViolation alias — only works when the panic value is a
+// *numa.ProtocolViolationError built by one of the package's two blessed
+// constructors. A bare panic("...") anywhere in internal/numa would ship
+// a string through that pipeline: no page id, no state, no ring trace,
+// and errors.As finds nothing.
+//
+// So inside the target package every call to the panic builtin must pass
+// a direct call to the violation helper (the Manager method, which
+// snapshots the manager's forensic ring) or newViolation (the
+// free-standing constructor for call sites without a manager). Any other
+// argument — a string, an fmt.Errorf, a variable holding a previously
+// built violation — is reported; hoisting the constructor call into the
+// panic argument keeps the invariant checkable.
+package violation
+
+import (
+	"go/ast"
+	"go/types"
+
+	"numasim/internal/analysis"
+)
+
+// Analyzer is the typed-violation check.
+var Analyzer = &analysis.Analyzer{
+	Name: "violation",
+	Doc:  "require protocol panics in internal/numa to construct a typed ProtocolViolationError",
+	Run:  run,
+}
+
+// TargetPackages maps each import path under the check to the helper
+// functions whose results are acceptable panic arguments there.
+var TargetPackages = map[string][]string{
+	"numasim/internal/numa": {"violation", "newViolation"},
+}
+
+func run(pass *analysis.Pass) error {
+	helpers := TargetPackages[pass.Pkg.Path()]
+	if len(helpers) == 0 {
+		return nil
+	}
+	allowed := make(map[string]bool, len(helpers))
+	for _, h := range helpers {
+		allowed[h] = true
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isBuiltinPanic(pass, call.Fun) {
+				return true
+			}
+			if len(call.Args) == 1 && isHelperCall(call.Args[0], allowed) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "panic in %s must pass a typed violation built in-argument by %s (protocol forensics depend on it)",
+				pass.Pkg.Path(), helperList(helpers))
+			return true
+		})
+	}
+	return nil
+}
+
+// isBuiltinPanic reports whether fun denotes the predeclared panic (a
+// local function or variable shadowing the name does not count).
+func isBuiltinPanic(pass *analysis.Pass, fun ast.Expr) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, builtin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return builtin
+}
+
+// isHelperCall reports whether arg is a direct call to one of the
+// blessed constructors, by function or method name.
+func isHelperCall(arg ast.Expr, allowed map[string]bool) bool {
+	call, ok := ast.Unparen(arg).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return allowed[fun.Name]
+	case *ast.SelectorExpr:
+		return allowed[fun.Sel.Name]
+	}
+	return false
+}
+
+func helperList(helpers []string) string {
+	s := ""
+	for i, h := range helpers {
+		if i > 0 {
+			s += " or "
+		}
+		s += h
+	}
+	return s
+}

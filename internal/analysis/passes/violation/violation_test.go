@@ -1,0 +1,19 @@
+package violation_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"numasim/internal/analysis/analysistest"
+	"numasim/internal/analysis/passes/violation"
+)
+
+func TestNumaPanicsMustBeTyped(t *testing.T) {
+	analysistest.Run(t, filepath.Join(analysistest.TestData(), "numa"), violation.Analyzer,
+		analysistest.WithImportPath("numasim/internal/numa"))
+}
+
+func TestOtherPackagesAreIgnored(t *testing.T) {
+	analysistest.Run(t, filepath.Join(analysistest.TestData(), "other"), violation.Analyzer,
+		analysistest.WithImportPath("numasim/internal/harness"))
+}

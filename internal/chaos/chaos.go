@@ -43,6 +43,17 @@ type Config struct {
 	// MoveDelay is the maximum extra virtual time charged to a delayed
 	// page move; the actual delay is drawn uniformly from (0, MoveDelay].
 	MoveDelay sim.Time
+	// PanicAt, when positive, makes the injector panic inside the first
+	// protocol action consulted at or after this virtual time — a crash
+	// drill for the harness supervisor's recovery and repro-bundle path.
+	// It fires at most once per injector.
+	PanicAt sim.Time
+	// StallAt, when positive, makes Disrupt report a stall on the first
+	// protocol action consulted at or after this virtual time: the faulting
+	// thread then spins without advancing virtual time until the engine's
+	// stall watchdog tears the run down. It fires at most once per
+	// injector.
+	StallAt sim.Time
 }
 
 // Defaults for WithDefaults.
@@ -82,7 +93,9 @@ func (c Config) WithDefaults() Config {
 }
 
 // Enabled reports whether the config injects anything at all.
-func (c Config) Enabled() bool { return c.FailProb > 0 || c.DelayProb > 0 }
+func (c Config) Enabled() bool {
+	return c.FailProb > 0 || c.DelayProb > 0 || c.PanicAt > 0 || c.StallAt > 0
+}
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
@@ -97,6 +110,9 @@ func (c Config) Validate() error {
 	}
 	if c.Backoff < 0 || c.MoveDelay < 0 {
 		return fmt.Errorf("chaos: negative backoff or move delay")
+	}
+	if c.PanicAt < 0 || c.StallAt < 0 {
+		return fmt.Errorf("chaos: negative PanicAt or StallAt")
 	}
 	return nil
 }
@@ -114,6 +130,10 @@ type Injector struct {
 	// Counters for reports and tests.
 	failures uint64
 	delays   uint64
+
+	// One-shot latches for the crash-drill modes.
+	panicked bool
+	stalled  bool
 }
 
 // New builds an injector from cfg, panicking on invalid configuration
@@ -173,6 +193,24 @@ func (in *Injector) MoveDelay(now sim.Time, proc int) sim.Time {
 	return sim.Time(in.draw(now, 0)%uint64(in.cfg.MoveDelay)) + 1
 }
 
+// Disrupt is consulted once per protocol action. When the config's crash
+// drills are armed it either panics (PanicAt) or reports that the calling
+// thread should stall without advancing virtual time (StallAt); each
+// fires at most once per injector. The panic happens here, not in the
+// NUMA manager, so the deterministic core's own panics all stay routed
+// through its typed-violation helper.
+func (in *Injector) Disrupt(now sim.Time, proc int) (stall bool) {
+	if in.cfg.PanicAt > 0 && !in.panicked && now >= in.cfg.PanicAt {
+		in.panicked = true
+		panic(fmt.Sprintf("chaos: injected panic at %v on cpu%d", now, proc))
+	}
+	if in.cfg.StallAt > 0 && !in.stalled && now >= in.cfg.StallAt {
+		in.stalled = true
+		return true
+	}
+	return false
+}
+
 // MaxRetries bounds the NUMA manager's retry loop.
 func (in *Injector) MaxRetries() int { return in.cfg.MaxRetries }
 
@@ -220,6 +258,10 @@ func (s *Scripted) FailLocalAlloc(now sim.Time, proc int) bool {
 
 // MoveDelay implements the injector contract; scripted runs never delay.
 func (s *Scripted) MoveDelay(now sim.Time, proc int) sim.Time { return 0 }
+
+// Disrupt implements the injector contract; scripted runs never crash or
+// stall.
+func (s *Scripted) Disrupt(now sim.Time, proc int) bool { return false }
 
 // MaxRetries implements the injector contract.
 func (s *Scripted) MaxRetries() int { return s.Retries }

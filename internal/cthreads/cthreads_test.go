@@ -17,7 +17,7 @@ func newRuntime(nproc int, mode sched.Mode) *cthreads.Runtime {
 	cfg.GlobalFrames = 256
 	cfg.LocalFrames = 128
 	cfg.Quantum = 100 * sim.Microsecond
-	k := vm.NewKernel(ace.NewMachine(cfg), policy.NewDefault())
+	k := vm.NewKernel(ace.MustMachine(cfg), policy.NewDefault())
 	return cthreads.New(k, mode)
 }
 

@@ -31,7 +31,7 @@ func FalseSharing(opts Options) (FalseSharingResult, error) {
 	variants := []string{"Primes2-untuned", "Primes2"}
 	evals := make([]metrics.Eval, len(variants))
 	err := opts.pool().Run(len(variants), func(i int) error {
-		e, err := ev.Evaluate(func() metrics.Runner { return opts.instance(variants[i]) })
+		e, err := ev.Evaluate(func() (metrics.Runner, error) { return opts.instance(variants[i]) })
 		if err != nil {
 			return err
 		}
@@ -82,7 +82,7 @@ func ThresholdSweep(opts Options, app string, limits []int) ([]SweepRow, error) 
 		if lim < 0 {
 			p = policy.NeverPin()
 		}
-		res, err := metrics.Run(opts.instance(app), metrics.RunSpec{
+		res, err := opts.runInstance(app, metrics.RunSpec{
 			Config: cfg, Policy: p, Workers: opts.Workers, Sched: sched.Affinity,
 		})
 		if err != nil {
@@ -146,7 +146,7 @@ func AffinityCompare(opts Options, app string) (AffinityResult, error) {
 	modes := []sched.Mode{sched.Affinity, sched.NoAffinity}
 	runs := make([]metrics.RunResult, len(modes))
 	err := opts.pool().Run(len(modes), func(i int) error {
-		res, err := metrics.Run(opts.instance(app), metrics.RunSpec{
+		res, err := opts.runInstance(app, metrics.RunSpec{
 			Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: modes[i],
 		})
 		if err != nil {
@@ -196,7 +196,7 @@ func UnixMasterCompare(opts Options, app string) (UnixMasterResult, error) {
 	cfg := opts.config()
 	runs := make([]metrics.RunResult, 2)
 	err := opts.pool().Run(2, func(i int) error {
-		res, err := metrics.Run(opts.instance(app), metrics.RunSpec{
+		res, err := opts.runInstance(app, metrics.RunSpec{
 			Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
 			UnixMast: i == 1,
 		})
@@ -235,7 +235,7 @@ func ReplicationCompare(opts Options, app string) (ReplicationResult, error) {
 	cfg := opts.config()
 	runs := make([]metrics.RunResult, 2)
 	err := opts.pool().Run(2, func(i int) error {
-		res, err := metrics.Run(opts.instance(app), metrics.RunSpec{
+		res, err := opts.runInstance(app, metrics.RunSpec{
 			Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
 			NoReplication: i == 1,
 		})
@@ -378,7 +378,7 @@ func PageSizeSweep(opts Options, app string, sizes []int) ([]SweepRow, error) {
 	err := opts.pool().Run(len(sizes), func(i int) error {
 		cfg := opts.config()
 		cfg.PageSize = sizes[i]
-		res, err := metrics.Run(opts.instance(app), metrics.RunSpec{
+		res, err := opts.runInstance(app, metrics.RunSpec{
 			Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
 		})
 		if err != nil {
@@ -407,7 +407,7 @@ func GLSweep(opts Options, app string, factors []float64) ([]SweepRow, error) {
 		cfg := opts.config()
 		cfg.Cost.GlobalFetch = sim.Time(float64(cfg.Cost.GlobalFetch) * f)
 		cfg.Cost.GlobalStore = sim.Time(float64(cfg.Cost.GlobalStore) * f)
-		res, err := metrics.Run(opts.instance(app), metrics.RunSpec{
+		res, err := opts.runInstance(app, metrics.RunSpec{
 			Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
 		})
 		if err != nil {
@@ -435,7 +435,7 @@ func QuantumSweep(opts Options, app string, quanta []sim.Time) ([]SweepRow, erro
 		q := quanta[i]
 		cfg := opts.config()
 		cfg.Quantum = q
-		res, err := metrics.Run(opts.instance(app), metrics.RunSpec{
+		res, err := opts.runInstance(app, metrics.RunSpec{
 			Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
 		})
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 	"math"
 	"runtime"
 	"strings"
+	"time"
 
 	"numasim/internal/ace"
 	"numasim/internal/chaos"
@@ -55,10 +56,40 @@ type Options struct {
 	// pressure machinery never engages.
 	LocalFrames int
 	// Chaos configures fault injection (transient local-allocation
-	// failures, delayed page moves) for every run an experiment performs.
-	// The zero value is chaos off. Each run builds its own injector from
-	// Chaos.Seed, so output is byte-identical at every Parallelism.
+	// failures, delayed page moves, panic/stall crash drills) for every
+	// run an experiment performs. The zero value is chaos off. Each run
+	// builds its own injector from Chaos.Seed, so output is byte-identical
+	// at every Parallelism.
 	Chaos chaos.Config
+	// Audit enables the NUMA manager's online auditor at this sampling
+	// stride for every run (0 off, 1 full, N sampled).
+	Audit int
+	// Timeout is the wall-clock budget per supervised run; 0 means no
+	// timeout. When it expires the supervisor stops the run's engine and
+	// reports a timeout failure.
+	Timeout time.Duration
+	// Retries is how many times the supervisor re-runs a failed unit
+	// before giving up (bounded retry; 0 = one attempt only).
+	Retries int
+	// ReproDir, when non-empty, is where the supervisor writes a repro
+	// bundle for each failed run (seed, config, flags, trace, state dump,
+	// ready-to-run command line).
+	ReproDir string
+	// KeepGoing lets parallel sweeps continue past failed runs and report
+	// partial results with per-run error summaries instead of aborting on
+	// the first failure. Setting ReproDir implies it.
+	KeepGoing bool
+	// StallLimit overrides the engine stall-watchdog threshold for every
+	// run (0 keeps the engine default).
+	StallLimit int
+	// Command is the CLI invocation that produced these options, recorded
+	// verbatim in repro bundles (e.g. "acesim -exp pressuresweep ...").
+	Command string
+
+	// onMachine, when non-nil, is invoked for every machine a run builds.
+	// The supervisor installs it to reach engines for timeout teardown; it
+	// may be called concurrently when Parallelism > 1.
+	onMachine func(*ace.Machine)
 }
 
 // withDefaults fills in defaults.
@@ -94,46 +125,42 @@ func (o Options) config() ace.Config {
 	return cfg
 }
 
-// instance builds a fresh workload instance by table name.
-func (o Options) instance(name string) metrics.Runner {
+// instance builds a fresh workload instance by table name, reporting
+// unknown names as an error the experiment can propagate.
+func (o Options) instance(name string) (metrics.Runner, error) {
 	if o.Small {
 		switch name {
 		case "ParMult":
-			return workloads.NewParMult(60, 80)
+			return workloads.NewParMult(60, 80), nil
 		case "Gfetch":
-			return workloads.NewGfetch(12, 4)
+			return workloads.NewGfetch(12, 4), nil
 		case "IMatMult":
-			return workloads.NewIMatMult(24)
+			return workloads.NewIMatMult(24), nil
 		case "Primes1":
-			return workloads.NewPrimes1(4000)
+			return workloads.NewPrimes1(4000), nil
 		case "Primes2":
-			return workloads.NewPrimes2(8000, true)
+			return workloads.NewPrimes2(8000, true), nil
 		case "Primes2-untuned":
-			return workloads.NewPrimes2(8000, false)
+			return workloads.NewPrimes2(8000, false), nil
 		case "Primes3":
-			return workloads.NewPrimes3(60000)
+			return workloads.NewPrimes3(60000), nil
 		case "FFT":
-			return workloads.NewFFT(32)
+			return workloads.NewFFT(32), nil
 		case "PlyTrace":
-			return workloads.NewPlyTrace(160, 128, 128)
+			return workloads.NewPlyTrace(160, 128, 128), nil
 		case "Syscaller":
-			return workloads.NewSyscaller(1200, 40)
+			return workloads.NewSyscaller(1200, 40), nil
 		}
 	}
 	if name == "Syscaller" {
-		return workloads.NewSyscaller(0, 0)
+		return workloads.NewSyscaller(0, 0), nil
 	}
 	if o.AppSize > 0 {
-		w, err := workloads.NewSized(name, o.AppSize)
-		if err == nil {
-			return w
+		if w, err := workloads.NewSized(name, o.AppSize); err == nil {
+			return w, nil
 		}
 	}
-	w, err := workloads.ByName(name)
-	if err != nil {
-		panic(err)
-	}
-	return w
+	return workloads.ByName(name)
 }
 
 // evaluator builds the three-run evaluator for the options.
@@ -144,15 +171,75 @@ func (o Options) evaluator() *metrics.Evaluator {
 	ev.Parallelism = o.Parallelism
 	ev.TraceSink = o.TraceSink
 	ev.Chaos = o.Chaos
+	ev.Audit = o.Audit
+	ev.StallLimit = o.StallLimit
+	ev.Forensics = o.forensics()
+	ev.OnMachine = o.onMachine
 	if o.Threshold > 0 {
 		ev.Threshold = o.Threshold
 	}
 	return ev
 }
 
+// forensics reports whether runs should gather crash forensics (ring
+// buffer + state dump on failure): whenever a supervisor feature or the
+// auditor is on.
+func (o Options) forensics() bool {
+	return o.ReproDir != "" || o.Timeout > 0 || o.Retries > 0 || o.Audit > 0
+}
+
+// keepGoing reports whether sweeps should report partial results past
+// failed runs.
+func (o Options) keepGoing() bool { return o.KeepGoing || o.ReproDir != "" }
+
+// runInstance builds the named workload and runs it once under the spec,
+// filling in the options' robustness knobs (audit stride, stall limit,
+// forensics, the supervisor's machine hook). All of those are zero for
+// default options, so unsupervised runs are bit-for-bit unchanged.
+func (o Options) runInstance(name string, spec metrics.RunSpec) (metrics.RunResult, error) {
+	w, err := o.instance(name)
+	if err != nil {
+		return metrics.RunResult{}, err
+	}
+	spec.Audit = o.Audit
+	spec.StallLimit = o.StallLimit
+	spec.Forensics = o.forensics()
+	spec.OnMachine = o.onMachine
+	return metrics.Run(w, spec)
+}
+
+// Supervise wraps one caller-managed run (for example acesim's
+// single-application path) in the options' supervisor: panic recovery,
+// wall-clock timeout, bounded retry, repro bundles on failure. fn must
+// call observe with every machine it builds so the timeout watchdog can
+// stop the engines; with no supervision configured fn runs directly and
+// observe is a no-op.
+func (o Options) Supervise(label string, fn func(observe func(*ace.Machine)) error) error {
+	sup := o.supervisor()
+	if sup == nil {
+		return fn(func(*ace.Machine) {})
+	}
+	return sup.Do(label, fn)
+}
+
+// supervise runs one experiment unit under the options' supervisor —
+// panic recovery, wall-clock timeout, bounded retry, repro bundles — or
+// directly when no supervision is configured.
+func (o Options) supervise(label string, fn func(Options) error) error {
+	sup := o.supervisor()
+	if sup == nil {
+		return fn(o)
+	}
+	return sup.Do(label, func(observe func(*ace.Machine)) error {
+		oo := o
+		oo.onMachine = observe
+		return fn(oo)
+	})
+}
+
 // newMachineFor builds a machine for the config (thin indirection so the
 // mix experiment reads naturally).
-func newMachineFor(cfg ace.Config) *ace.Machine { return ace.NewMachine(cfg) }
+func newMachineFor(cfg ace.Config) (*ace.Machine, error) { return ace.NewMachine(cfg) }
 
 // fmtF renders a float with sensible precision for the tables. It is
 // generic over named float64 types (sim.Ticks and plain float64 render
@@ -162,6 +249,34 @@ func fmtF[F ~float64](v F, prec int) string {
 		return "na"
 	}
 	return fmt.Sprintf("%.*f", prec, float64(v))
+}
+
+// failedRun names one failed unit of a partial result.
+type failedRun struct {
+	Unit, Err string
+}
+
+// renderFailures renders the per-run error summaries appended to a
+// partial table; it is empty — and the table bytes untouched — when
+// every run succeeded.
+func renderFailures(fails []failedRun) string {
+	if len(fails) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("failed runs:\n")
+	for _, f := range fails {
+		fmt.Fprintf(&b, "  %-12s %s\n", f.Unit, firstLine(f.Err))
+	}
+	return b.String()
+}
+
+// firstLine truncates multi-line error text (panic stacks) for tables.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 // renderTable renders a fixed-width text table.

@@ -149,7 +149,10 @@ func TestTable4Shape(t *testing.T) {
 }
 
 func TestFigures(t *testing.T) {
-	f1 := Figure1(small)
+	f1, err := Figure1(small)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, want := range []string{"cpu0", "cpu3", "IPC bus"} {
 		if !strings.Contains(f1, want) {
 			t.Errorf("Figure 1 missing %q", want)

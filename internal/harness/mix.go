@@ -32,7 +32,10 @@ type MixResult struct {
 func MixRun(opts Options, apps []string) (MixResult, error) {
 	opts = opts.withDefaults()
 	cfg := opts.config()
-	machine := newMachineFor(cfg)
+	machine, err := newMachineFor(cfg)
+	if err != nil {
+		return MixResult{}, err
+	}
 	kernel := vm.NewKernel(machine, policy.NewDefault())
 	scheduler := sched.New(kernel, sched.Affinity)
 
@@ -42,7 +45,11 @@ func MixRun(opts Options, apps []string) (MixResult, error) {
 	}
 	var finishes []func() error
 	for _, app := range apps {
-		w, ok := opts.instance(app).(workloads.Starter)
+		inst, err := opts.instance(app)
+		if err != nil {
+			return MixResult{}, err
+		}
+		w, ok := inst.(workloads.Starter)
 		if !ok {
 			return MixResult{}, fmt.Errorf("harness: %s cannot run in a mix", app)
 		}

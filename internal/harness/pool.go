@@ -1,7 +1,9 @@
 package harness
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -31,20 +33,39 @@ func (p *Pool) Workers() int { return p.workers }
 // the error of the smallest failing index — the same error a sequential
 // loop would have surfaced first — so error behaviour is deterministic too.
 func (p *Pool) Run(n int, fn func(i int) error) error {
+	for _, err := range p.RunAll(n, fn) {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunAll is Run, except it reports every index's outcome (nil on success)
+// so sweeps can render partial results with per-run error summaries. A
+// panic inside fn is recovered into that index's error — stack attached —
+// and the remaining indices still run to completion, on the sequential
+// path and on worker goroutines alike.
+func (p *Pool) RunAll(n int, fn func(i int) error) []error {
 	if n <= 0 {
 		return nil
 	}
-	if p.workers == 1 || n == 1 {
-		// Sequential fast path: no goroutines, no channel traffic.
-		var firstErr error
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil && firstErr == nil {
-				firstErr = err
+	call := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("harness: task %d panicked: %v\n%s", i, r, debug.Stack())
 			}
-		}
-		return firstErr
+		}()
+		return fn(i)
 	}
 	errs := make([]error, n)
+	if p.workers == 1 || n == 1 {
+		// Sequential fast path: no goroutines, no channel traffic.
+		for i := 0; i < n; i++ {
+			errs[i] = call(i)
+		}
+		return errs
+	}
 	sem := make(chan struct{}, p.workers)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
@@ -53,14 +74,9 @@ func (p *Pool) Run(n int, fn func(i int) error) error {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			errs[i] = fn(i)
+			errs[i] = call(i)
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return errs
 }

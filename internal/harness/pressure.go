@@ -39,6 +39,9 @@ type PressureRow struct {
 	LocalFrac float64
 	// Protocol pressure counters for the run.
 	Fallbacks, Evictions, Retries, ChaosFaults uint64
+	// Err carries a failed run's summary when the sweep continues past
+	// failures (partial results).
+	Err string
 }
 
 // PressureSweep measures one application under the threshold policy at
@@ -74,39 +77,50 @@ func PressureSweepAll(opts Options, apps []string, frames []int) ([]PressureRow,
 	}
 	points := append([]int{0}, frames...)
 	rows := make([]PressureRow, len(apps)*len(points))
-	err := opts.pool().Run(len(rows), func(i int) error {
+	errs := opts.pool().RunAll(len(rows), func(i int) error {
 		app, budget := apps[i/len(points)], points[i%len(points)]
-		cfg := opts.config()
-		if budget > 0 {
-			cfg.LocalFrames = budget
-		}
-		res, err := metrics.Run(opts.instance(app), metrics.RunSpec{
-			Config: cfg, Policy: policy.NewThreshold(thr),
-			Workers: opts.Workers, Sched: sched.Affinity,
-			TraceSink: opts.TraceSink, Chaos: opts.Chaos,
+		label := fmt.Sprintf("pressure-%s-%s", app, pressureParam(budget))
+		return opts.supervise(label, func(o Options) error {
+			cfg := o.config()
+			if budget > 0 {
+				cfg.LocalFrames = budget
+			}
+			res, err := o.runInstance(app, metrics.RunSpec{
+				Config: cfg, Policy: policy.NewThreshold(thr),
+				Workers: o.Workers, Sched: sched.Affinity,
+				TraceSink: o.TraceSink, Chaos: o.Chaos,
+			})
+			if err != nil {
+				return fmt.Errorf("pressure sweep %s at %d local frames: %w", app, budget, err)
+			}
+			rows[i] = PressureRow{
+				App:         app,
+				LocalFrames: budget,
+				Tnuma:       res.UserSec, Snuma: res.SysSec,
+				LocalFrac: res.Refs.LocalFraction(),
+				Fallbacks: res.NUMA.LocalFallback, Evictions: res.NUMA.Evictions,
+				Retries: res.NUMA.Retries, ChaosFaults: res.NUMA.ChaosFaults,
+			}
+			return nil
 		})
-		if err != nil {
-			return fmt.Errorf("pressure sweep %s at %d local frames: %w", app, budget, err)
+	})
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !opts.keepGoing() {
+			return nil, err
 		}
 		rows[i] = PressureRow{
-			App:         app,
-			LocalFrames: budget,
-			Tnuma:       res.UserSec, Snuma: res.SysSec,
-			LocalFrac: res.Refs.LocalFraction(),
-			Fallbacks: res.NUMA.LocalFallback, Evictions: res.NUMA.Evictions,
-			Retries: res.NUMA.Retries, ChaosFaults: res.NUMA.ChaosFaults,
+			App: apps[i/len(points)], LocalFrames: points[i%len(points)], Err: err.Error(),
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 	// Each application's rows are contiguous and lead with its baseline.
 	for a := 0; a < len(apps); a++ {
 		base := rows[a*len(points)].Tnuma + rows[a*len(points)].Snuma
 		for p := 0; p < len(points); p++ {
-			if base > 0 {
-				r := &rows[a*len(points)+p]
+			r := &rows[a*len(points)+p]
+			if base > 0 && r.Err == "" {
 				r.Slowdown = float64((r.Tnuma + r.Snuma) / base)
 			}
 		}
@@ -128,7 +142,14 @@ func RenderPressure(rows []PressureRow) string {
 	headers := []string{"app", "local frames", "Tuser", "Tsys", "slowdown", "local refs",
 		"fallbacks", "evictions", "retries", "faults"}
 	var body [][]string
+	var fails []failedRun
 	for _, r := range rows {
+		if r.Err != "" {
+			fails = append(fails, failedRun{
+				fmt.Sprintf("%s@%s", r.App, pressureParam(r.LocalFrames)), r.Err,
+			})
+			continue
+		}
 		body = append(body, []string{
 			r.App, pressureParam(r.LocalFrames), fmtF(r.Tnuma, 3), fmtF(r.Snuma, 3),
 			fmtF(r.Slowdown, 2) + "x", fmtF(r.LocalFrac, 3),
@@ -137,7 +158,7 @@ func RenderPressure(rows []PressureRow) string {
 		})
 	}
 	return "Memory pressure: slowdown under shrinking per-processor local memory\n" +
-		renderTable(headers, body)
+		renderTable(headers, body) + renderFailures(fails)
 }
 
 // RenderPressureCSV renders a pressure sweep as CSV, ready for plotting.
@@ -145,6 +166,9 @@ func RenderPressureCSV(rows []PressureRow) string {
 	var b strings.Builder
 	b.WriteString("app,local_frames,user_sec,sys_sec,slowdown,local_frac,fallbacks,evictions,retries,chaos_faults\n")
 	for _, r := range rows {
+		if r.Err != "" {
+			continue
+		}
 		fmt.Fprintf(&b, "%s,%d,%.6f,%.6f,%.4f,%.4f,%d,%d,%d,%d\n",
 			r.App, r.LocalFrames, r.Tnuma, r.Snuma, r.Slowdown, r.LocalFrac,
 			r.Fallbacks, r.Evictions, r.Retries, r.ChaosFaults)

@@ -135,7 +135,8 @@ func appOr(opts Options, fallback string) string {
 func init() {
 	Register(expFunc{"figure1", "machine topology diagram (Figure 1)",
 		func(opts Options) (Result, error) {
-			return stringResult(Figure1(opts)), nil
+			s, err := Figure1(opts)
+			return stringResult(s), err
 		}})
 	Register(expFunc{"figure2", "software architecture diagram (Figure 2)",
 		func(opts Options) (Result, error) {

@@ -36,7 +36,10 @@ func deriveProtocolTable(write bool) (map[string]protoCell, error) {
 			cfg.NProc = 3
 			cfg.GlobalFrames = 16
 			cfg.LocalFrames = 16
-			machine := ace.NewMachine(cfg)
+			machine, err := ace.NewMachine(cfg)
+			if err != nil {
+				return nil, err
+			}
 			forced := &policy.Forced{Answer: numa.Local}
 			mgr := numa.NewManager(machine, forced)
 			var cell protoCell
@@ -134,18 +137,20 @@ var PaperTable3 = map[string]PaperRow3{
 // Table3Apps lists the applications in the paper's row order.
 var Table3Apps = []string{"ParMult", "Gfetch", "IMatMult", "Primes1", "Primes2", "Primes3", "FFT", "PlyTrace"}
 
-// Table3Row is one measured Table 3 row.
+// Table3Row is one measured Table 3 row. Err carries a failed run's
+// summary when the sweep continues past failures (partial results).
 type Table3Row struct {
 	App   string
 	Eval  metrics.Eval
 	Paper PaperRow3
+	Err   string
 }
 
 // Table3Single evaluates one application of Table 3.
 func Table3Single(opts Options, app string) (Table3Row, error) {
 	opts = opts.withDefaults()
 	ev := opts.evaluator()
-	e, err := ev.Evaluate(func() metrics.Runner { return opts.instance(app) })
+	e, err := ev.Evaluate(func() (metrics.Runner, error) { return opts.instance(app) })
 	if err != nil {
 		return Table3Row{}, err
 	}
@@ -154,20 +159,30 @@ func Table3Single(opts Options, app string) (Table3Row, error) {
 
 // Table3 regenerates the paper's Table 3 (E5). The per-application rows
 // are independent simulations; they run on the options' worker pool and
-// land in the paper's row order regardless of completion order.
+// land in the paper's row order regardless of completion order. Under a
+// supervisor (timeout/retry/repro-dir) failed applications become
+// error-annotated rows and the rest of the table still renders.
 func Table3(opts Options) ([]Table3Row, error) {
 	opts = opts.withDefaults()
 	rows := make([]Table3Row, len(Table3Apps))
-	err := opts.pool().Run(len(Table3Apps), func(i int) error {
-		row, err := Table3Single(opts, Table3Apps[i])
-		if err != nil {
-			return err
-		}
-		rows[i] = row
-		return nil
+	errs := opts.pool().RunAll(len(Table3Apps), func(i int) error {
+		return opts.supervise("table3-"+Table3Apps[i], func(o Options) error {
+			row, err := Table3Single(o, Table3Apps[i])
+			if err != nil {
+				return err
+			}
+			rows[i] = row
+			return nil
+		})
 	})
-	if err != nil {
-		return nil, err
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !opts.keepGoing() {
+			return nil, err
+		}
+		rows[i] = Table3Row{App: Table3Apps[i], Err: err.Error()}
 	}
 	return rows, nil
 }
@@ -177,7 +192,12 @@ func RenderTable3(rows []Table3Row) string {
 	headers := []string{"Application", "Tglobal", "Tnuma", "Tlocal", "alpha", "beta", "gamma",
 		"| paper:", "alpha", "beta", "gamma"}
 	var body [][]string
+	var fails []failedRun
 	for _, r := range rows {
+		if r.Err != "" {
+			fails = append(fails, failedRun{r.App, r.Err})
+			continue
+		}
 		alpha := fmtF(r.Eval.Alpha, 2)
 		if r.App == "ParMult" {
 			alpha = "na"
@@ -194,7 +214,7 @@ func RenderTable3(rows []Table3Row) string {
 		})
 	}
 	return "Table 3: measured user times in (virtual) seconds and computed model parameters\n" +
-		renderTable(headers, body)
+		renderTable(headers, body) + renderFailures(fails)
 }
 
 // RenderTable3CSV renders Table 3 as CSV for plotting.
@@ -202,6 +222,9 @@ func RenderTable3CSV(rows []Table3Row) string {
 	var b strings.Builder
 	b.WriteString("app,t_global,t_numa,t_local,alpha,beta,gamma,paper_alpha,paper_beta,paper_gamma\n")
 	for _, r := range rows {
+		if r.Err != "" {
+			continue
+		}
 		fmt.Fprintf(&b, "%s,%.4f,%.4f,%.4f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
 			r.App, r.Eval.Tglobal, r.Eval.Tnuma, r.Eval.Tlocal,
 			r.Eval.Alpha, r.Eval.Beta, r.Eval.Gamma,
@@ -233,19 +256,21 @@ var PaperTable4 = map[string]PaperRow4{
 var Table4Apps = []string{"IMatMult", "Primes1", "Primes2", "Primes3", "FFT"}
 
 // Table4Row is one measured Table 4 row. Times are virtual seconds
-// (sim.Ticks); DeltaPct is dimensionless.
+// (sim.Ticks); DeltaPct is dimensionless. Err carries a failed run's
+// summary when the sweep continues past failures (partial results).
 type Table4Row struct {
 	App                           string
 	Snuma, Sglobal, DeltaS, Tnuma sim.Ticks
 	DeltaPct                      float64
 	Paper                         PaperRow4
+	Err                           string
 }
 
 // Table4Single evaluates one application of Table 4.
 func Table4Single(opts Options, app string) (Table4Row, error) {
 	opts = opts.withDefaults()
 	ev := opts.evaluator()
-	e, err := ev.Evaluate(func() metrics.Runner { return opts.instance(app) })
+	e, err := ev.Evaluate(func() (metrics.Runner, error) { return opts.instance(app) })
 	if err != nil {
 		return Table4Row{}, err
 	}
@@ -264,20 +289,30 @@ func Table4Single(opts Options, app string) (Table4Row, error) {
 }
 
 // Table4 regenerates the paper's Table 4 (E6): total system time for runs
-// on NProc processors. Rows run on the options' worker pool.
+// on NProc processors. Rows run on the options' worker pool; under a
+// supervisor, failed applications become error-annotated rows and the
+// rest of the table still renders.
 func Table4(opts Options) ([]Table4Row, error) {
 	opts = opts.withDefaults()
 	rows := make([]Table4Row, len(Table4Apps))
-	err := opts.pool().Run(len(Table4Apps), func(i int) error {
-		row, err := Table4Single(opts, Table4Apps[i])
-		if err != nil {
-			return err
-		}
-		rows[i] = row
-		return nil
+	errs := opts.pool().RunAll(len(Table4Apps), func(i int) error {
+		return opts.supervise("table4-"+Table4Apps[i], func(o Options) error {
+			row, err := Table4Single(o, Table4Apps[i])
+			if err != nil {
+				return err
+			}
+			rows[i] = row
+			return nil
+		})
 	})
-	if err != nil {
-		return nil, err
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !opts.keepGoing() {
+			return nil, err
+		}
+		rows[i] = Table4Row{App: Table4Apps[i], Err: err.Error()}
 	}
 	return rows, nil
 }
@@ -287,7 +322,12 @@ func RenderTable4(rows []Table4Row) string {
 	headers := []string{"Application", "Snuma", "Sglobal", "dS", "Tnuma", "dS/Tnuma",
 		"| paper:", "Snuma", "Sglobal", "dS/Tnuma"}
 	var body [][]string
+	var fails []failedRun
 	for _, r := range rows {
+		if r.Err != "" {
+			fails = append(fails, failedRun{r.App, r.Err})
+			continue
+		}
 		ds := fmtF(r.DeltaS, 2)
 		pct := fmt.Sprintf("%.1f%%", r.DeltaPct)
 		if r.DeltaS < 0 {
@@ -299,7 +339,8 @@ func RenderTable4(rows []Table4Row) string {
 			fmt.Sprintf("%.1f%%", r.Paper.DeltaPct),
 		})
 	}
-	return "Table 4: total system time (virtual seconds)\n" + renderTable(headers, body)
+	return "Table 4: total system time (virtual seconds)\n" + renderTable(headers, body) +
+		renderFailures(fails)
 }
 
 // ---------------------------------------------------------------------
@@ -311,6 +352,9 @@ func RenderTable4CSV(rows []Table4Row) string {
 	var b strings.Builder
 	b.WriteString("app,s_numa,s_global,delta_s,t_numa,delta_pct\n")
 	for _, r := range rows {
+		if r.Err != "" {
+			continue
+		}
 		fmt.Fprintf(&b, "%s,%.4f,%.4f,%.4f,%.4f,%.2f\n",
 			r.App, r.Snuma, r.Sglobal, r.DeltaS, r.Tnuma, r.DeltaPct)
 	}
@@ -318,9 +362,13 @@ func RenderTable4CSV(rows []Table4Row) string {
 }
 
 // Figure1 renders the ACE memory architecture (E1).
-func Figure1(opts Options) string {
+func Figure1(opts Options) (string, error) {
 	opts = opts.withDefaults()
-	return ace.NewMachine(opts.config()).Topology()
+	machine, err := ace.NewMachine(opts.config())
+	if err != nil {
+		return "", err
+	}
+	return machine.Topology(), nil
 }
 
 // Figure2 renders the structure of the ACE pmap layer (E2).

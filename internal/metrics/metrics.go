@@ -59,7 +59,44 @@ type RunSpec struct {
 	// chaos off; when enabled, a fresh injector seeded from Chaos.Seed is
 	// built for the run, so a spec is reusable across concurrent runs.
 	Chaos chaos.Config
+	// Audit enables the NUMA manager's online auditor at this sampling
+	// stride: 1 audits after every protocol action, larger strides sample,
+	// 0 leaves auditing off.
+	Audit int
+	// Forensics attaches a per-run forensic ring buffer and converts any
+	// failure into a *RunError carrying the ring contents and a rendered
+	// machine-state dump (the raw material of a repro bundle).
+	Forensics bool
+	// StallLimit overrides the engine's stall-watchdog threshold for this
+	// run (0 keeps the engine default).
+	StallLimit int
+	// OnMachine, when non-nil, observes the freshly built machine before
+	// the workload starts. The harness supervisor uses it to reach the
+	// engine for wall-clock-timeout teardown.
+	OnMachine func(*ace.Machine)
 }
+
+// forensicRingCap is the per-run ring-buffer capacity used when Forensics
+// or auditing is on: enough recent events to reconstruct the failing
+// protocol episode without retaining the whole run.
+const forensicRingCap = 256
+
+// RunError wraps a failed instrumented run with the forensics gathered
+// before teardown. It unwraps to the underlying failure, so errors.As
+// still reaches typed causes such as numa.ProtocolViolationError or
+// sim.StallError.
+type RunError struct {
+	Workload string
+	Policy   string
+	Err      error
+	// Events is the forensic ring's contents at failure, oldest first.
+	Events []simtrace.Event
+	// Dump is the rendered machine-state dump (sim.StateDump.Render).
+	Dump string
+}
+
+func (e *RunError) Error() string { return e.Err.Error() }
+func (e *RunError) Unwrap() error { return e.Err }
 
 // RunResult is the outcome of one instrumented run.
 type RunResult struct {
@@ -80,21 +117,56 @@ type RunResult struct {
 
 // Run executes one workload on a freshly built machine per spec.
 func Run(w Runner, spec RunSpec) (RunResult, error) {
-	machine := ace.NewMachine(spec.Config)
-	if spec.TraceSink != nil {
-		machine.AttachSink(spec.TraceSink)
+	machine, err := ace.NewMachine(spec.Config)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("metrics: %s: %w", w.Name(), err)
+	}
+	// Forensics and auditing share one per-run ring buffer; a shared
+	// TraceSink keeps receiving everything through a tee.
+	var ring *simtrace.RingSink
+	sink := spec.TraceSink
+	if spec.Forensics || spec.Audit > 0 {
+		ring = simtrace.NewRingSink(forensicRingCap)
+		if sink != nil {
+			sink = simtrace.Tee(sink, ring)
+		} else {
+			sink = ring
+		}
+	}
+	if sink != nil {
+		machine.AttachSink(sink)
+	}
+	if spec.StallLimit != 0 {
+		machine.Engine().StallLimit = spec.StallLimit
 	}
 	kernel := vm.NewKernel(machine, spec.Policy)
 	kernel.UnixMaster = spec.UnixMast
 	if spec.NoReplication {
 		kernel.NUMA().SetReplication(false)
 	}
+	if spec.Audit > 0 || ring != nil {
+		kernel.NUMA().EnableAudit(spec.Audit, ring)
+	}
 	if spec.Chaos.Enabled() {
 		kernel.NUMA().SetChaos(chaos.New(spec.Chaos))
 	}
+	if spec.OnMachine != nil {
+		spec.OnMachine(machine)
+	}
 	rt := cthreads.New(kernel, spec.Sched)
 	if err := w.Run(rt, spec.Workers); err != nil {
-		return RunResult{}, fmt.Errorf("metrics: %s under %s: %w", w.Name(), spec.Policy.Name(), err)
+		err = fmt.Errorf("metrics: %s under %s: %w", w.Name(), spec.Policy.Name(), err)
+		if spec.Forensics {
+			re := &RunError{
+				Workload: w.Name(), Policy: spec.Policy.Name(), Err: err,
+				Dump: machine.Engine().DumpState().Render(),
+			}
+			if ring != nil {
+				re.Events = ring.Events()
+			}
+			return RunResult{}, re
+		}
+		return RunResult{}, err
 	}
 	var enters uint64
 	for i := 0; i < machine.NProc(); i++ {
@@ -161,6 +233,15 @@ type Evaluator struct {
 	// injector seeded from Chaos.Seed, so results stay byte-identical at
 	// every Parallelism setting.
 	Chaos chaos.Config
+	// Audit, Forensics and StallLimit apply to every instrumented run; see
+	// the RunSpec fields of the same names.
+	Audit      int
+	Forensics  bool
+	StallLimit int
+	// OnMachine observes each run's machine as it is built; with
+	// Parallelism > 1 it may be called concurrently, so it must be safe
+	// for concurrent use.
+	OnMachine func(*ace.Machine)
 }
 
 // NewEvaluator returns an evaluator for the paper's measurement setup:
@@ -170,8 +251,9 @@ func NewEvaluator() *Evaluator {
 }
 
 // Evaluate measures one workload: fresh is a factory returning a new
-// instance of the same workload for each of the three runs.
-func (e *Evaluator) Evaluate(fresh func() Runner) (Eval, error) {
+// instance of the same workload for each of the three runs. A factory
+// error aborts the evaluation before any run starts.
+func (e *Evaluator) Evaluate(fresh func() (Runner, error)) (Eval, error) {
 	cfg := e.Config
 	workers := e.Workers
 	if workers <= 0 {
@@ -191,14 +273,33 @@ func (e *Evaluator) Evaluate(fresh func() Runner) (Eval, error) {
 	// The three instrumented runs are independent simulations on separate
 	// machines; fan them out. The workload instances are created serially
 	// (factories need not be concurrency-safe), only the runs overlap.
-	wNuma := fresh()
+	spec := func(cfg ace.Config, pol numa.Policy, workers int) RunSpec {
+		return RunSpec{
+			Config: cfg, Policy: pol, Workers: workers, Sched: e.Sched,
+			TraceSink: e.TraceSink, Chaos: e.Chaos,
+			Audit: e.Audit, Forensics: e.Forensics, StallLimit: e.StallLimit,
+			OnMachine: e.OnMachine,
+		}
+	}
+	wNuma, err := fresh()
+	if err != nil {
+		return Eval{}, err
+	}
+	wGlobal, err := fresh()
+	if err != nil {
+		return Eval{}, err
+	}
+	wLocal, err := fresh()
+	if err != nil {
+		return Eval{}, err
+	}
 	runs := []struct {
 		w    Runner
 		spec RunSpec
 	}{
-		{wNuma, RunSpec{Config: cfg, Policy: policy.NewThreshold(thr), Workers: workers, Sched: e.Sched, TraceSink: e.TraceSink, Chaos: e.Chaos}},
-		{fresh(), RunSpec{Config: cfg, Policy: policy.AllGlobal{}, Workers: workers, Sched: e.Sched, TraceSink: e.TraceSink, Chaos: e.Chaos}},
-		{fresh(), RunSpec{Config: localCfg, Policy: policy.AllLocal{}, Workers: 1, Sched: e.Sched, TraceSink: e.TraceSink, Chaos: e.Chaos}},
+		{wNuma, spec(cfg, policy.NewThreshold(thr), workers)},
+		{wGlobal, spec(cfg, policy.AllGlobal{}, workers)},
+		{wLocal, spec(localCfg, policy.AllLocal{}, 1)},
 	}
 	var results [3]RunResult
 	var errs [3]error

@@ -112,16 +112,14 @@ func TestRunPropagatesWorkloadErrors(t *testing.T) {
 	cfg.LocalFrames = 2
 	// A workload that fails verification is impossible to fake here, so
 	// instead check the error path with an impossible machine: zero
-	// processors panics inside NewMachine, which Run must not mask.
-	defer func() {
-		if recover() == nil {
-			t.Error("want panic from invalid config")
-		}
-	}()
+	// processors fails config validation, which Run must surface.
 	cfg.NProc = 0
-	_, _ = metrics.Run(workloads.NewParMult(2, 2), metrics.RunSpec{
+	_, err := metrics.Run(workloads.NewParMult(2, 2), metrics.RunSpec{
 		Config: cfg, Policy: policy.NewDefault(), Workers: 1, Sched: sched.Affinity,
 	})
+	if err == nil {
+		t.Error("want error from invalid config")
+	}
 }
 
 func TestEvaluatorEndToEnd(t *testing.T) {
@@ -131,7 +129,7 @@ func TestEvaluatorEndToEnd(t *testing.T) {
 	cfg.GlobalFrames = 512
 	cfg.LocalFrames = 256
 	ev.Config = cfg
-	e, err := ev.Evaluate(func() metrics.Runner { return workloads.NewGfetch(6, 4) })
+	e, err := ev.Evaluate(func() (metrics.Runner, error) { return workloads.NewGfetch(6, 4), nil })
 	if err != nil {
 		t.Fatal(err)
 	}

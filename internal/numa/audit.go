@@ -1,0 +1,222 @@
+package numa
+
+import (
+	"fmt"
+
+	"numasim/internal/sim"
+	"numasim/internal/simtrace"
+)
+
+// This file is the manager's online auditor: an incremental checker that
+// validates the directory invariants after protocol actions, at a
+// configurable sampling stride, and the typed-violation machinery every
+// protocol-state panic in this package routes through. A violation
+// carries the page, its state and the recent ring-buffer trace, so a
+// failed run dies with forensics attached instead of a bare string.
+
+// ProtocolViolationError reports a broken protocol invariant. It is the
+// panic value for every protocol-state failure in this package; the sim
+// engine wraps it (with %w) into the thread error, so callers can recover
+// it through engine.Run with errors.As and mine it for forensics.
+type ProtocolViolationError struct {
+	Page  int64 // offending page id, -1 when no single page is implicated
+	State State // the page's state at the time of the violation
+	Msg   string
+	// Trace holds the machine's recent trace events (oldest first) when a
+	// forensic ring buffer was attached via EnableAudit, else nil.
+	Trace []simtrace.Event
+}
+
+func (e *ProtocolViolationError) Error() string {
+	s := e.Msg
+	if e.Page >= 0 {
+		s += fmt.Sprintf(" [page%d state=%v]", e.Page, e.State)
+	}
+	if len(e.Trace) > 0 {
+		s += fmt.Sprintf(" (%d trace events captured)", len(e.Trace))
+	}
+	return s
+}
+
+// newViolation builds a typed violation, snapshotting the forensic ring.
+// It is one of the two blessed panic arguments in this package (the
+// numalint violation analyzer rejects any bare panic here).
+func newViolation(ring *simtrace.RingSink, pg *Page, format string, args ...any) *ProtocolViolationError {
+	page := int64(-1)
+	var state State
+	if pg != nil {
+		page, state = pg.id, pg.state
+	}
+	var events []simtrace.Event
+	if ring != nil {
+		events = ring.Events()
+	}
+	return &ProtocolViolationError{Page: page, State: state, Msg: fmt.Sprintf(format, args...), Trace: events}
+}
+
+// violation builds a typed violation against this manager's forensic
+// ring; pg may be nil when no single page is implicated.
+func (n *Manager) violation(pg *Page, format string, args ...any) *ProtocolViolationError {
+	return newViolation(n.ring, pg, format, args...)
+}
+
+// auditSweepFactor spaces full-directory sweeps: one sweep per this many
+// sampled page audits.
+const auditSweepFactor = 256
+
+// EnableAudit turns on the online auditor. After every protocol action
+// the manager increments an operation counter; every stride-th operation
+// audits the page just acted on, and every stride*256-th operation sweeps
+// the whole directory (every live page plus the residency table). Stride
+// 1 is the full audit used by tests and the fuzz suite; larger strides
+// make sampled auditing near-free for long sweeps. Stride 0 disables
+// checking but still records ring as the forensic trace attached to any
+// violation raised by the protocol itself.
+func (n *Manager) EnableAudit(stride int, ring *simtrace.RingSink) {
+	n.auditStride = stride
+	n.ring = ring
+	if stride > 0 {
+		n.auditSweepEvery = uint64(stride) * auditSweepFactor
+	}
+}
+
+// AuditStride returns the configured sampling stride (0 = auditing off).
+func (n *Manager) AuditStride() int { return n.auditStride }
+
+// maybeAudit runs the incremental audit according to the sampling stride.
+// pg is the page the protocol just acted on.
+func (n *Manager) maybeAudit(pg *Page) {
+	if n.auditStride <= 0 {
+		return
+	}
+	n.auditOps++
+	if n.auditOps%uint64(n.auditStride) == 0 {
+		if err := n.auditCheckPage(pg); err != nil {
+			panic(n.violation(pg, "numa: audit: %v", err))
+		}
+	}
+	if n.auditSweepEvery > 0 && n.auditOps%n.auditSweepEvery == 0 {
+		if err := n.AuditAll(); err != nil {
+			panic(n.violation(pg, "numa: audit sweep: %v", err))
+		}
+	}
+}
+
+// auditCheckPage validates one page's directory invariants: the
+// structural checks of CheckInvariants (exactly one writable copy,
+// replica sets consistent with the page state), every replica recorded in
+// the residency table, and pin monotonicity (a pin is only cleared by
+// FreePage).
+func (n *Manager) auditCheckPage(pg *Page) error {
+	if err := n.CheckInvariants(pg); err != nil {
+		return err
+	}
+	for p, c := range pg.copies {
+		if c == nil {
+			continue
+		}
+		if n.resident[p][c.Index()] != pg {
+			return fmt.Errorf("page%d copy on cpu%d frame %d is missing from the residency table",
+				pg.id, p, c.Index())
+		}
+	}
+	if pg.pinSeen && !pg.pinned {
+		return fmt.Errorf("page%d pin bit cleared outside FreePage", pg.id)
+	}
+	if pg.pinned {
+		pg.pinSeen = true
+	}
+	return nil
+}
+
+// AuditAll audits the whole directory: every live page's invariants plus
+// the residency table's consistency with the pages it indexes (no stale
+// entries, and never more recorded copies than allocated frames — the
+// residency ≤ LocalFrames budget). It returns the first violation found,
+// or nil. The fuzz suite runs it after every operation; sampled runs
+// reach it through the sweep stride.
+func (n *Manager) AuditAll() error {
+	for _, pg := range n.live {
+		if err := n.auditCheckPage(pg); err != nil {
+			return err
+		}
+	}
+	for p := range n.resident {
+		used := 0
+		for i, pg := range n.resident[p] {
+			if pg == nil {
+				continue
+			}
+			used++
+			c := pg.copies[p]
+			if c == nil || c.Index() != i {
+				return fmt.Errorf("stale residency entry: cpu%d frame %d records page%d, which holds no such copy",
+					p, i, pg.id)
+			}
+		}
+		pool := n.machine.Memory().Local(p)
+		if alloc := pool.Size() - pool.Free(); used > alloc {
+			return fmt.Errorf("cpu%d residency table records %d copies but only %d frames are allocated",
+				p, used, alloc)
+		}
+	}
+	return nil
+}
+
+// register adds a page to the live-directory index used by AuditAll and
+// the state-dump summary.
+func (n *Manager) register(pg *Page) {
+	pg.mgr = n
+	pg.liveIdx = len(n.live)
+	n.live = append(n.live, pg)
+}
+
+// unregister removes a freed page from the live-directory index
+// (swap-remove; order is irrelevant, ids keep reports stable).
+func (n *Manager) unregister(pg *Page) {
+	i := pg.liveIdx
+	if i < 0 || i >= len(n.live) || n.live[i] != pg {
+		return
+	}
+	last := len(n.live) - 1
+	n.live[i] = n.live[last]
+	n.live[i].liveIdx = i
+	n.live = n.live[:last]
+	pg.liveIdx = -1
+}
+
+// DumpSection summarizes the directory for engine state dumps: live-page
+// counts per state, pins, replicas, per-processor residency occupancy and
+// the headline protocol counters. NewManager registers it with the
+// machine's engine, so deadlock/stall/stop dumps and repro bundles always
+// include the NUMA view.
+func (n *Manager) DumpSection() sim.DumpSection {
+	var byState [4]int
+	pinned, replicas := 0, 0
+	for _, pg := range n.live {
+		if s := int(pg.state); s >= 0 && s < len(byState) {
+			byState[s]++
+		}
+		if pg.pinned {
+			pinned++
+		}
+		replicas += pg.NCopies()
+	}
+	body := fmt.Sprintf("live pages: %d (read-only %d, local-writable %d, global-writable %d, remote %d); pinned %d; local replicas %d\n",
+		len(n.live), byState[ReadOnly], byState[LocalWritable], byState[GlobalWritable], byState[Remote],
+		pinned, replicas)
+	for p := range n.resident {
+		used := 0
+		for _, pg := range n.resident[p] {
+			if pg != nil {
+				used++
+			}
+		}
+		body += fmt.Sprintf("cpu%d local residency: %d/%d frames\n", p, used, len(n.resident[p]))
+	}
+	s := n.stats
+	body += fmt.Sprintf("requests: %d reads, %d writes; syncs %d, flushes %d, copies %d, moves %d, pins %d, evictions %d, fallbacks %d\n",
+		s.ReadRequests, s.WriteRequests, s.Syncs, s.Flushes, s.Copies, s.Moves, s.Pins,
+		s.Evictions, s.LocalFallback)
+	return sim.DumpSection{Title: "NUMA directory", Body: body}
+}

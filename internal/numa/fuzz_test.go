@@ -94,7 +94,7 @@ func fuzzScript(t *testing.T, seed int64, pressure bool) uint64 {
 	cfg.GlobalFrames = 32
 	cfg.LocalFrames = 4 // small enough that LOCAL decisions sometimes fall back
 	cfg.PageSize = 256
-	m := ace.NewMachine(cfg)
+	m := ace.MustMachine(cfg)
 
 	// Pre-generate the policy's answers so the run exercises Scripted too.
 	// PlaceRemote answers are demoted to Global by the manager unless the
@@ -125,6 +125,9 @@ func fuzzScript(t *testing.T, seed int64, pressure bool) uint64 {
 	ring := simtrace.NewRingSink(256)
 	checker := newProtocolChecker()
 	m.AttachSink(simtrace.Tee(ring, checker))
+	// Full online audit: every protocol action re-validates the directory
+	// invariants, and any violation dies with the ring contents attached.
+	n.EnableAudit(1, ring)
 
 	const npages = 6
 	pages := make([]*numa.Page, npages)

@@ -144,6 +144,14 @@ type Page struct {
 	// home is the processor named by a HintRemote pragma (§4.4); -1 when
 	// unset.
 	home int
+
+	// mgr is the owning manager (set on adoption); liveIdx is the page's
+	// slot in the manager's live-directory index, -1 after FreePage.
+	// pinSeen is the auditor's pin-monotonicity shadow: once the auditor
+	// has observed the pin bit set, it must stay set until FreePage.
+	mgr     *Manager
+	liveIdx int
+	pinSeen bool
 }
 
 // Hint is an application-supplied placement pragma (§4.3: "pragmas that
@@ -287,6 +295,10 @@ type Injector interface {
 	// RetryBackoff returns the virtual-time wait before the zero-based
 	// retry attempt.
 	RetryBackoff(attempt int) sim.Time
+	// Disrupt is consulted once per protocol request; it may panic (crash
+	// drill) or return true to make the calling thread stall without
+	// advancing virtual time, exercising the engine's stall watchdog.
+	Disrupt(now sim.Time, proc int) bool
 }
 
 // Manager is the NUMA manager: it owns the consistency protocol for all
@@ -331,14 +343,25 @@ type Manager struct {
 	// protocol action is performed ("sync&flush other", "copy to local",
 	// ...). Used to derive Tables 1 and 2 from the implementation itself.
 	onAction func(string)
+
+	// Online-auditor state (see audit.go): the sampling stride and
+	// operation counter, the forensic ring snapshot attached to
+	// violations, and the live-page index behind AuditAll and the
+	// state-dump directory summary.
+	auditStride     int
+	auditOps        uint64
+	auditSweepEvery uint64
+	ring            *simtrace.RingSink
+	live            []*Page
 }
 
 // NewManager creates a NUMA manager for machine using the given policy.
 func NewManager(machine *ace.Machine, pol Policy) *Manager {
 	if pol == nil {
-		panic("numa: nil policy")
+		panic(newViolation(nil, nil, "numa: nil policy"))
 	}
 	n := &Manager{machine: machine, policy: pol, bus: machine.Bus()}
+	machine.Engine().AddDumpSection(n.DumpSection)
 	nproc := machine.NProc()
 	n.resident = make([][]*Page, nproc)
 	n.refbit = make([][]bool, nproc)
@@ -425,6 +448,7 @@ func (n *Manager) adopt(pg *Page) {
 	pg.id = n.nextPageID
 	n.nextPageID++
 	pg.bus = n.bus
+	n.register(pg)
 	n.stats.PagesCreated++
 	if n.bus.Enabled() {
 		n.bus.Emit(simtrace.Event{
@@ -457,7 +481,7 @@ func (n *Manager) AdoptPage(global *mem.Frame) *Page {
 // It may only be applied to a quiescent page.
 func (n *Manager) MarkZeroFill(pg *Page) {
 	if pg.NCopies() != 0 || pg.state != ReadOnly {
-		panic("numa: MarkZeroFill on an active page")
+		panic(n.violation(pg, "numa: MarkZeroFill on an active page"))
 	}
 	pg.global.Zero()
 	pg.needZero = true
@@ -479,7 +503,7 @@ func (n *Manager) MarkFilled(pg *Page) {
 // All protocol costs are charged to th as system time.
 func (n *Manager) Access(th *sim.Thread, pg *Page, proc int, write bool, maxProt mmu.Prot) (*mem.Frame, mmu.Prot) {
 	if write && !maxProt.CanWrite() {
-		panic("numa: write request on non-writable page escaped the VM layer")
+		panic(n.violation(pg, "numa: write request on non-writable page escaped the VM layer"))
 	}
 	cost := n.machine.Cost()
 	th.AdvanceSys(cost.NUMAOp)
@@ -491,6 +515,14 @@ func (n *Manager) Access(th *sim.Thread, pg *Page, proc int, write bool, maxProt
 	}
 	pg.lastRequest = th.Clock()
 	n.now = th.Clock()
+	if n.chaos != nil && n.chaos.Disrupt(th.Clock(), proc) {
+		// Injected stall drill: spin without advancing virtual time until
+		// the engine's stall watchdog declares the run livelocked and
+		// tears it down (Yield panics an abort signal then).
+		for {
+			th.Yield()
+		}
+	}
 	n.MaybeSweep(th)
 
 	loc := n.policy.CachePolicy(pg, proc, write, maxProt)
@@ -536,6 +568,7 @@ func (n *Manager) Access(th *sim.Thread, pg *Page, proc int, write bool, maxProt
 	if f.Kind() == mem.Local {
 		n.refbit[f.Proc()][f.Index()] = true
 	}
+	n.maybeAudit(pg)
 	return f, prot
 }
 
@@ -580,7 +613,7 @@ func (n *Manager) demoteRemote(th *sim.Thread, pg *Page, requester int) {
 	at := pg.owner
 	src := pg.copies[at]
 	if src == nil {
-		panic("numa: remote page without a placed copy")
+		panic(n.violation(pg, "numa: remote page without a placed copy"))
 	}
 	cost := n.machine.Cost()
 	pg.global.CopyFrom(src)
@@ -630,7 +663,7 @@ func (n *Manager) readLocal(th *sim.Thread, pg *Page, proc int) (*mem.Frame, mmu
 		pg.owner = -1
 		return f, mmu.ProtRead
 	default:
-		panic("numa: readLocal on a remote page (toRemote handles placement)")
+		panic(n.violation(pg, "numa: readLocal on a remote page (toRemote handles placement)"))
 	}
 }
 
@@ -661,7 +694,7 @@ func (n *Manager) writeLocal(th *sim.Thread, pg *Page, proc int, maxProt mmu.Pro
 		n.becomeOwner(pg, proc)
 		return f, maxProt
 	default:
-		panic("numa: writeLocal on a remote page (toRemote handles placement)")
+		panic(n.violation(pg, "numa: writeLocal on a remote page (toRemote handles placement)"))
 	}
 }
 
@@ -680,7 +713,7 @@ func (n *Manager) toGlobal(th *sim.Thread, pg *Page, proc int, maxProt mmu.Prot)
 		}
 		pg.owner = -1
 	case Remote:
-		panic("numa: toGlobal on a remote page (demote it first)")
+		panic(n.violation(pg, "numa: toGlobal on a remote page (demote it first)"))
 	}
 	if pg.state != GlobalWritable {
 		pg.setState(GlobalWritable)
@@ -760,7 +793,7 @@ func (n *Manager) ensureCopy(th *sim.Thread, pg *Page, proc int) *mem.Frame {
 	f, err := n.machine.Memory().Local(proc).Alloc()
 	if err != nil {
 		// Access checked Free() before deciding LOCAL.
-		panic(fmt.Sprintf("numa: local pool %d unexpectedly empty: %v", proc, err))
+		panic(n.violation(pg, "numa: local pool %d unexpectedly empty: %v", proc, err))
 	}
 	cost := n.machine.Cost()
 	if pg.needZero {
@@ -790,7 +823,7 @@ func (n *Manager) ensureCopy(th *sim.Thread, pg *Page, proc int) *mem.Frame {
 func (n *Manager) syncFlush(th *sim.Thread, pg *Page, owner, requester int, label string) {
 	src := pg.copies[owner]
 	if src == nil {
-		panic("numa: syncFlush without a local copy")
+		panic(n.violation(pg, "numa: syncFlush without a local copy on cpu%d", owner))
 	}
 	cost := n.machine.Cost()
 	pg.global.CopyFrom(src)
@@ -875,7 +908,8 @@ func (n *Manager) MigrateOwner(th *sim.Thread, pg *Page, newProc int) {
 	src := pg.copies[pg.owner]
 	dst, err := n.machine.Memory().Local(newProc).Alloc()
 	if err != nil {
-		panic(err) // checked above
+		// Free() was checked above.
+		panic(n.violation(pg, "numa: local pool %d unexpectedly empty: %v", newProc, err))
 	}
 	cfg := n.machine
 	dst.CopyFrom(src)
@@ -887,6 +921,7 @@ func (n *Manager) MigrateOwner(th *sim.Thread, pg *Page, newProc int) {
 	n.noteCopy(pg, newProc, dst)
 	pg.owner = newProc
 	pg.lastOwner = newProc
+	n.maybeAudit(pg)
 }
 
 // PrepareEvict quiesces a page for pageout: syncs a dirty owner copy back
@@ -904,6 +939,7 @@ func (n *Manager) PrepareEvict(th *sim.Thread, pg *Page) {
 	n.flushExcept(th, pg, -1, "flush all")
 	n.unmapAll(th, pg)
 	pg.setState(ReadOnly)
+	n.maybeAudit(pg)
 }
 
 // CheckInvariants validates the structural invariants of a page's
@@ -975,7 +1011,9 @@ func (n *Manager) FreePage(th *sim.Thread, pg *Page) *FreeTag {
 	pg.setState(ReadOnly)
 	pg.owner = -1
 	pg.pinned = false
+	pg.pinSeen = false
 	pg.moves = 0
+	n.unregister(pg)
 	n.stats.PagesFreed++
 	if n.bus.Enabled() {
 		n.bus.Emit(simtrace.Event{
@@ -991,6 +1029,6 @@ func (n *Manager) FreePage(th *sim.Thread, pg *Page) *FreeTag {
 // validates the tag; the interface shape is the paper's.
 func (n *Manager) FreePageSync(tag *FreeTag) {
 	if tag == nil || !tag.done {
-		panic("numa: FreePageSync on incomplete tag")
+		panic(n.violation(nil, "numa: FreePageSync on incomplete tag"))
 	}
 }

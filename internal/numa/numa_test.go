@@ -20,7 +20,7 @@ func rig(t *testing.T, nproc int, body func(th *sim.Thread, m *ace.Machine, n *n
 	cfg.NProc = nproc
 	cfg.GlobalFrames = 64
 	cfg.LocalFrames = 16
-	m := ace.NewMachine(cfg)
+	m := ace.MustMachine(cfg)
 	forced := &policy.Forced{Answer: numa.Local}
 	n := numa.NewManager(m, forced)
 	m.Engine().Spawn("test", 0, func(th *sim.Thread) {
@@ -362,7 +362,7 @@ func TestLocalPoolExhaustionReclaims(t *testing.T) {
 	cfg.NProc = 2
 	cfg.GlobalFrames = 32
 	cfg.LocalFrames = 2 // tiny local memory
-	m := ace.NewMachine(cfg)
+	m := ace.MustMachine(cfg)
 	forced := &policy.Forced{Answer: numa.Local}
 	n := numa.NewManager(m, forced)
 	m.Engine().Spawn("test", 0, func(th *sim.Thread) {
@@ -406,7 +406,7 @@ func TestLocalPoolExhaustionFallsBack(t *testing.T) {
 	cfg.NProc = 2
 	cfg.GlobalFrames = 32
 	cfg.LocalFrames = 2
-	m := ace.NewMachine(cfg)
+	m := ace.MustMachine(cfg)
 	forced := &policy.Forced{Answer: numa.PlaceRemote}
 	n := numa.NewManager(m, forced)
 	m.Engine().Spawn("test", 0, func(th *sim.Thread) {
@@ -540,7 +540,7 @@ func TestHints(t *testing.T) {
 }
 
 func TestNilPolicyPanics(t *testing.T) {
-	m := ace.NewMachine(ace.DefaultConfig())
+	m := ace.MustMachine(ace.DefaultConfig())
 	defer func() {
 		if recover() == nil {
 			t.Fatal("want panic")
@@ -581,7 +581,7 @@ func TestCoherenceProperty(t *testing.T) {
 			cfg.NProc = 4
 			cfg.GlobalFrames = 8
 			cfg.LocalFrames = 8
-			m := ace.NewMachine(cfg)
+			m := ace.MustMachine(cfg)
 			n := numa.NewManager(m, pol)
 			rng := rand.New(rand.NewSource(12345))
 			m.Engine().Spawn("driver", 0, func(th *sim.Thread) {
@@ -632,7 +632,7 @@ func TestInvariants(t *testing.T) {
 	cfg.NProc = 4
 	cfg.GlobalFrames = 16
 	cfg.LocalFrames = 4
-	m := ace.NewMachine(cfg)
+	m := ace.MustMachine(cfg)
 	n := numa.NewManager(m, policy.NewThreshold(2))
 	rng := rand.New(rand.NewSource(99))
 	m.Engine().Spawn("driver", 0, func(th *sim.Thread) {

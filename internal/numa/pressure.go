@@ -96,6 +96,7 @@ func (n *Manager) reclaimLocal(th *sim.Thread, keep *Page, proc int) bool {
 				Arg: int64(before), Label: action,
 			})
 		}
+		n.maybeAudit(victim)
 		return true
 	}
 	return false

@@ -69,7 +69,7 @@ func TestReclaimerResidencyProperty(t *testing.T) {
 		cfg.GlobalFrames = 64
 		cfg.LocalFrames = ace.MinLocalFrames
 		cfg.PageSize = 256
-		m := ace.NewMachine(cfg)
+		m := ace.MustMachine(cfg)
 		n := NewManager(m, alwaysLocal{})
 
 		const npages = 8

@@ -19,7 +19,7 @@ func remoteRig(t *testing.T, nproc int, body func(th *sim.Thread, m *ace.Machine
 	cfg.NProc = nproc
 	cfg.GlobalFrames = 32
 	cfg.LocalFrames = 16
-	m := ace.NewMachine(cfg)
+	m := ace.MustMachine(cfg)
 	n := numa.NewManager(m, policy.NewPragma(nil))
 	m.Engine().Spawn("test", 0, func(th *sim.Thread) { body(th, m, n) })
 	if err := m.Engine().Run(); err != nil {

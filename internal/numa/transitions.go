@@ -1,8 +1,6 @@
 package numa
 
 import (
-	"fmt"
-
 	"numasim/internal/simtrace"
 )
 
@@ -53,5 +51,5 @@ func (p *Page) setState(next State) {
 			return
 		}
 	}
-	panic(fmt.Sprintf("numa: illegal page transition %v -> %v", p.state, next))
+	panic(p.mgr.violation(p, "numa: illegal page transition %v -> %v", p.state, next))
 }

@@ -18,7 +18,7 @@ func rig(t *testing.T, nproc int, pol numa.Policy, body func(th *sim.Thread, m *
 	cfg.NProc = nproc
 	cfg.GlobalFrames = 64
 	cfg.LocalFrames = 32
-	machine := ace.NewMachine(cfg)
+	machine := ace.MustMachine(cfg)
 	if pol == nil {
 		pol = policy.NewDefault()
 	}

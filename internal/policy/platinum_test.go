@@ -19,7 +19,7 @@ func TestFreezeDefrostLifecycle(t *testing.T) {
 	cfg.NProc = 2
 	cfg.GlobalFrames = 16
 	cfg.LocalFrames = 16
-	m := ace.NewMachine(cfg)
+	m := ace.MustMachine(cfg)
 	pol := policy.NewFreezeDefrost(20*sim.Millisecond, 100*sim.Millisecond)
 	n := numa.NewManager(m, pol)
 	if !strings.Contains(pol.Name(), "freeze-defrost") {
@@ -71,7 +71,7 @@ func TestFreezeDefrostAdaptsToPhases(t *testing.T) {
 		cfg.NProc = 2
 		cfg.GlobalFrames = 16
 		cfg.LocalFrames = 16
-		m := ace.NewMachine(cfg)
+		m := ace.MustMachine(cfg)
 		n := numa.NewManager(m, pol)
 		var state numa.State
 		m.Engine().Spawn("t", 0, func(th *sim.Thread) {

@@ -19,7 +19,7 @@ func mkPage(t *testing.T, moves int) (*numa.Page, *numa.Manager) {
 	cfg.NProc = 2
 	cfg.GlobalFrames = 8
 	cfg.LocalFrames = 8
-	m := ace.NewMachine(cfg)
+	m := ace.MustMachine(cfg)
 	n := numa.NewManager(m, policy.NeverPin())
 	var pg *numa.Page
 	m.Engine().Spawn("setup", 0, func(th *sim.Thread) {

@@ -15,7 +15,7 @@ func newKernel(nproc int) *vm.Kernel {
 	cfg.NProc = nproc
 	cfg.GlobalFrames = 64
 	cfg.LocalFrames = 32
-	return vm.NewKernel(ace.NewMachine(cfg), policy.NewDefault())
+	return vm.NewKernel(ace.MustMachine(cfg), policy.NewDefault())
 }
 
 func TestSequentialAssignment(t *testing.T) {

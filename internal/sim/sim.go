@@ -18,7 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"strings"
+	"sync/atomic"
 
 	"numasim/internal/simtrace"
 )
@@ -293,12 +293,34 @@ type Engine struct {
 	// Bus, if non-nil, receives structured dispatch and execution-span
 	// events. The engine only emits while a sink is attached.
 	Bus *simtrace.Bus
+	// StallLimit is the watchdog threshold: after this many consecutive
+	// dispatches without any virtual-time progress the run is declared a
+	// livelock and torn down with a StallError. NewEngine sets
+	// DefaultStallLimit; a non-positive value disables the watchdog.
+	StallLimit int
+
+	stallRun int         // consecutive no-progress dispatches
+	frontier Time        // high-water mark of dispatch virtual time
+	stop     atomic.Bool // set by Stop, checked at each dispatch boundary
+	dumpers  []func() DumpSection
 }
+
+// DefaultStallLimit bounds consecutive zero-progress dispatches. Real
+// workloads charge virtual time on almost every dispatch, so a run that
+// spins this long without the clock moving is livelocked.
+const DefaultStallLimit = 1 << 20
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
-	return &Engine{park: make(chan *Thread)}
+	return &Engine{park: make(chan *Thread), StallLimit: DefaultStallLimit}
 }
+
+// Stop asks the engine to abandon the run at the next dispatch boundary,
+// aborting every live thread and returning a StoppedError from Run. It is
+// the one engine entry point that is safe to call from another goroutine
+// (a wall-clock watchdog); everything else assumes the simulation's
+// single-threaded discipline.
+func (e *Engine) Stop() { e.stop.Store(true) }
 
 func (e *Engine) nextSeq() uint64 {
 	e.seq++
@@ -336,6 +358,12 @@ func (t *Thread) top(fn func(*Thread)) {
 		if r := recover(); r != nil {
 			if _, ok := r.(abortSignal); ok {
 				t.finish(ErrAborted)
+				return
+			}
+			// Wrap error panics so callers can unwrap typed failures
+			// (e.g. numa.ProtocolViolationError) through engine.Run.
+			if err, ok := r.(error); ok {
+				t.finish(fmt.Errorf("sim: thread %q panicked: %w", t.name, err))
 				return
 			}
 			t.finish(fmt.Errorf("sim: thread %q panicked: %v", t.name, r))
@@ -483,10 +511,15 @@ func (e *Engine) Run() error {
 	}
 	e.started = true
 	for {
+		if e.stop.Load() {
+			err := &StoppedError{Dump: e.DumpState()}
+			e.abort()
+			return err
+		}
 		t := e.pick()
 		if t == nil {
-			if stuck := e.blockedThreads(); len(stuck) > 0 {
-				err := fmt.Errorf("sim: deadlock, blocked threads: %s", stuck)
+			if stuck := e.blockedList(); len(stuck) > 0 {
+				err := &DeadlockError{Blocked: stuck, Dump: e.DumpState()}
 				e.abort()
 				return err
 			}
@@ -527,6 +560,26 @@ func (e *Engine) Run() error {
 			e.abort()
 			return err
 		}
+		// Stall watchdog: a dispatch makes progress when the thread's clock
+		// advanced or the dispatch time pushed past the frontier. A long run
+		// of zero-progress dispatches at a frozen virtual time is a livelock
+		// (threads yielding to each other without charging any time), which
+		// the deadlock check above can never catch.
+		if parked.clock > spanStart || spanStart > e.frontier {
+			e.stallRun = 0
+			if parked.clock > e.frontier {
+				e.frontier = parked.clock
+			} else if spanStart > e.frontier {
+				e.frontier = spanStart
+			}
+		} else {
+			e.stallRun++
+			if e.StallLimit > 0 && e.stallRun >= e.StallLimit {
+				err := &StallError{At: spanStart, Dispatches: e.stallRun, Dump: e.DumpState()}
+				e.abort()
+				return err
+			}
+		}
 	}
 }
 
@@ -539,8 +592,9 @@ func resourceID(r *Resource) int32 {
 	return int32(r.ID)
 }
 
-// blockedThreads describes all blocked threads for deadlock reports.
-func (e *Engine) blockedThreads() string {
+// blockedList describes all blocked threads for deadlock reports, one
+// "name(reason)" entry per thread, sorted.
+func (e *Engine) blockedList() []string {
 	var names []string
 	for _, t := range e.threads {
 		if t.state == Blocked {
@@ -548,7 +602,7 @@ func (e *Engine) blockedThreads() string {
 		}
 	}
 	sort.Strings(names)
-	return strings.Join(names, ", ")
+	return names
 }
 
 // abort tears down every live thread so their goroutines exit.

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestDeadlockErrorIsTyped: a total deadlock returns a *DeadlockError
+// carrying the sorted blocked-thread list and a full state dump, and the
+// engine still tears every thread down cleanly afterwards.
+func TestDeadlockErrorIsTyped(t *testing.T) {
+	e := NewEngine()
+	b1 := e.Spawn("writer", 0, func(th *Thread) { th.Block("page lock") })
+	b2 := e.Spawn("reader", 0, func(th *Thread) {
+		th.Advance(Microsecond)
+		th.Block("barrier")
+	})
+	err := e.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %#v, want *DeadlockError", err)
+	}
+	want := []string{"reader(barrier)", "writer(page lock)"}
+	if len(dl.Blocked) != 2 || dl.Blocked[0] != want[0] || dl.Blocked[1] != want[1] {
+		t.Errorf("Blocked = %v, want %v (sorted)", dl.Blocked, want)
+	}
+	if dl.Dump == nil {
+		t.Fatal("deadlock error carries no state dump")
+	}
+	r := dl.Dump.Render()
+	for _, frag := range []string{`blocked on "page lock"`, `blocked on "barrier"`, "threads (2)"} {
+		if !strings.Contains(r, frag) {
+			t.Errorf("dump missing %q:\n%s", frag, r)
+		}
+	}
+	// Clean teardown: both threads finished with the abort sentinel, so a
+	// -race run proves no goroutine is left parked on the engine.
+	for _, th := range []*Thread{b1, b2} {
+		if th.State() != Done || th.Err() != ErrAborted {
+			t.Errorf("thread %s state=%v err=%v, want done/ErrAborted", th.Name(), th.State(), th.Err())
+		}
+	}
+}
+
+// TestStallWatchdog: threads that keep yielding without charging virtual
+// time are a livelock the deadlock check can never see; the stall
+// watchdog must kill the run with a typed error and a dump, and abort
+// innocent blocked bystanders.
+func TestStallWatchdog(t *testing.T) {
+	e := NewEngine()
+	e.StallLimit = 64
+	e.Spawn("spinner", 0, func(th *Thread) {
+		for {
+			th.Yield()
+		}
+	})
+	bystander := e.Spawn("bystander", 0, func(th *Thread) { th.Block("forever") })
+	err := e.Run()
+	var st *StallError
+	if !errors.As(err, &st) {
+		t.Fatalf("err = %#v, want *StallError", err)
+	}
+	if st.Dispatches < 64 {
+		t.Errorf("Dispatches = %d, want >= StallLimit", st.Dispatches)
+	}
+	if st.At != 0 {
+		t.Errorf("At = %v, want the frozen virtual time 0", st.At)
+	}
+	if st.Dump == nil || !strings.Contains(st.Dump.Render(), "spinner") {
+		t.Error("stall dump missing the spinning thread")
+	}
+	if bystander.State() != Done || bystander.Err() != ErrAborted {
+		t.Errorf("bystander state=%v err=%v, want done/ErrAborted", bystander.State(), bystander.Err())
+	}
+}
+
+// TestStallWatchdogDisabled: a non-positive StallLimit turns the
+// watchdog off; a finite yield storm then completes normally.
+func TestStallWatchdogDisabled(t *testing.T) {
+	e := NewEngine()
+	e.StallLimit = 0
+	e.Spawn("spinner", 0, func(th *Thread) {
+		for i := 0; i < 3*DefaultStallLimit/2; i++ {
+			th.Yield()
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("disabled watchdog still fired: %v", err)
+	}
+}
+
+// TestProgressResetsStallCounter: real virtual-time progress between
+// yield bursts must keep the watchdog quiet.
+func TestProgressResetsStallCounter(t *testing.T) {
+	e := NewEngine()
+	e.StallLimit = 64
+	e.Spawn("bursty", 0, func(th *Thread) {
+		for burst := 0; burst < 8; burst++ {
+			for i := 0; i < 48; i++ { // under the limit per burst
+				th.Yield()
+			}
+			th.Advance(Microsecond) // progress: counter resets
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("watchdog fired despite progress: %v", err)
+	}
+}
+
+// TestStopAbandonsRun: Engine.Stop (the harness supervisor's wall-clock
+// watchdog hook) makes Run return a typed StoppedError with a dump and
+// abort every thread at the next dispatch boundary.
+func TestStopAbandonsRun(t *testing.T) {
+	e := NewEngine()
+	th := e.Spawn("worker", 0, func(th *Thread) {
+		for {
+			th.Advance(Microsecond)
+			th.Yield()
+		}
+	})
+	e.Stop() // before Run: the first dispatch boundary sees it
+	err := e.Run()
+	var stopped *StoppedError
+	if !errors.As(err, &stopped) {
+		t.Fatalf("err = %#v, want *StoppedError", err)
+	}
+	if stopped.Dump == nil || !strings.Contains(stopped.Dump.Render(), "worker") {
+		t.Error("stop dump missing thread table")
+	}
+	if th.State() != Done || th.Err() != ErrAborted {
+		t.Errorf("worker state=%v err=%v, want done/ErrAborted", th.State(), th.Err())
+	}
+}
+
+// TestDumpSections: subsystem sections registered with AddDumpSection
+// render after the engine's own tables, in registration order.
+func TestDumpSections(t *testing.T) {
+	e := NewEngine()
+	e.AddDumpSection(func() DumpSection { return DumpSection{Title: "NUMA directory", Body: "live pages: 0\n"} })
+	e.AddDumpSection(func() DumpSection { return DumpSection{Title: "second", Body: "no newline"} })
+	e.Spawn("t", 0, func(th *Thread) { th.Advance(Millisecond) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	r := e.DumpState().Render()
+	i, j := strings.Index(r, "--- NUMA directory ---"), strings.Index(r, "--- second ---")
+	if i < 0 || j < 0 || i > j {
+		t.Errorf("sections missing or out of order:\n%s", r)
+	}
+	if !strings.HasSuffix(r, "no newline\n") {
+		t.Errorf("render must terminate unterminated sections:\n%q", r)
+	}
+	if !strings.Contains(r, "=== machine state at 1.000ms ===") {
+		t.Errorf("dump header missing frontier time:\n%s", r)
+	}
+}

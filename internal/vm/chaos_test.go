@@ -27,7 +27,7 @@ func TestKernelChaos(t *testing.T) {
 			cfg.GlobalFrames = 12 // tight: constant pageout pressure
 			cfg.LocalFrames = 8
 			cfg.Quantum = 50 * sim.Microsecond
-			machine := ace.NewMachine(cfg)
+			machine := ace.MustMachine(cfg)
 			k := vm.NewKernel(machine, policy.NewPragma(policy.NewThreshold(2)))
 			task := k.NewTask("chaos")
 
@@ -109,7 +109,7 @@ func TestKernelChaosParallel(t *testing.T) {
 	cfg.GlobalFrames = 16
 	cfg.LocalFrames = 8
 	cfg.Quantum = 50 * sim.Microsecond
-	machine := ace.NewMachine(cfg)
+	machine := ace.MustMachine(cfg)
 	k := vm.NewKernel(machine, policy.NewThreshold(2))
 	task := k.NewTask("chaos")
 	const pages = 24

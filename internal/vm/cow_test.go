@@ -16,7 +16,7 @@ func cowRig(t *testing.T, body func(c *vm.Context, task *vm.Task, k *vm.Kernel))
 	cfg.NProc = 2
 	cfg.GlobalFrames = 64
 	cfg.LocalFrames = 32
-	machine := ace.NewMachine(cfg)
+	machine := ace.MustMachine(cfg)
 	k := vm.NewKernel(machine, policy.NewDefault())
 	task := k.NewTask("t")
 	machine.Engine().Spawn("main", 0, func(th *sim.Thread) {
@@ -158,7 +158,7 @@ func TestCopyRegionUnderPageout(t *testing.T) {
 	cfg.NProc = 2
 	cfg.GlobalFrames = 6
 	cfg.LocalFrames = 8
-	machine := ace.NewMachine(cfg)
+	machine := ace.MustMachine(cfg)
 	k := vm.NewKernel(machine, policy.NewDefault())
 	task := k.NewTask("t")
 	machine.Engine().Spawn("main", 0, func(th *sim.Thread) {

@@ -24,7 +24,7 @@ func smallCfg(nproc int) ace.Config {
 // run1 runs body in a single simulated thread on cpu0.
 func run1(t *testing.T, cfg ace.Config, pol numa.Policy, body func(c *vm.Context)) *vm.Kernel {
 	t.Helper()
-	machine := ace.NewMachine(cfg)
+	machine := ace.MustMachine(cfg)
 	if pol == nil {
 		pol = policy.NewDefault()
 	}
@@ -120,7 +120,7 @@ func TestVMProtectTightens(t *testing.T) {
 }
 
 func TestSharedObjectAcrossTasks(t *testing.T) {
-	machine := ace.NewMachine(smallCfg(2))
+	machine := ace.MustMachine(smallCfg(2))
 	k := vm.NewKernel(machine, policy.NewDefault())
 	ta := k.NewTask("a")
 	tb := k.NewTask("b")
@@ -146,7 +146,7 @@ func TestSharedObjectAcrossTasks(t *testing.T) {
 }
 
 func TestMigrationBetweenProcessors(t *testing.T) {
-	machine := ace.NewMachine(smallCfg(2))
+	machine := ace.MustMachine(smallCfg(2))
 	k := vm.NewKernel(machine, policy.NewDefault())
 	task := k.NewTask("t")
 	base := task.Allocate("shared", 4096, mmu.ProtReadWrite)
@@ -176,7 +176,7 @@ func TestMigrationBetweenProcessors(t *testing.T) {
 }
 
 func TestThresholdPinsViaContexts(t *testing.T) {
-	machine := ace.NewMachine(smallCfg(2))
+	machine := ace.MustMachine(smallCfg(2))
 	k := vm.NewKernel(machine, policy.NewThreshold(2))
 	task := k.NewTask("t")
 	base := task.Allocate("pingpong", 4096, mmu.ProtReadWrite)
@@ -203,7 +203,7 @@ func TestThresholdPinsViaContexts(t *testing.T) {
 }
 
 func TestDeallocateFreesFrames(t *testing.T) {
-	machine := ace.NewMachine(smallCfg(2))
+	machine := ace.MustMachine(smallCfg(2))
 	k := vm.NewKernel(machine, policy.NewDefault())
 	task := k.NewTask("t")
 	machine.Engine().Spawn("main", 0, func(th *sim.Thread) {
@@ -235,7 +235,7 @@ func TestDeallocateFreesFrames(t *testing.T) {
 func TestPageoutResetsPin(t *testing.T) {
 	cfg := smallCfg(2)
 	cfg.GlobalFrames = 4 // tiny global memory forces pageout
-	machine := ace.NewMachine(cfg)
+	machine := ace.MustMachine(cfg)
 	k := vm.NewKernel(machine, policy.NewThreshold(1))
 	task := k.NewTask("t")
 	hot := task.Allocate("hot", 4096, mmu.ProtReadWrite)
@@ -288,7 +288,7 @@ func TestPageoutResetsPin(t *testing.T) {
 }
 
 func TestPragmaHint(t *testing.T) {
-	machine := ace.NewMachine(smallCfg(2))
+	machine := ace.MustMachine(smallCfg(2))
 	k := vm.NewKernel(machine, policy.NewPragma(nil))
 	task := k.NewTask("t")
 	base := task.Allocate("noncache", 4096, mmu.ProtReadWrite)
@@ -314,7 +314,7 @@ func TestPragmaHint(t *testing.T) {
 // pages into sharing with the master processor.
 func TestUnixMasterSharing(t *testing.T) {
 	for _, master := range []bool{false, true} {
-		machine := ace.NewMachine(smallCfg(3))
+		machine := ace.MustMachine(smallCfg(3))
 		k := vm.NewKernel(machine, policy.NewThreshold(1))
 		k.UnixMaster = master
 		task := k.NewTask("t")
@@ -342,7 +342,7 @@ func TestUnixMasterSharing(t *testing.T) {
 func TestQuantumHook(t *testing.T) {
 	cfg := smallCfg(2)
 	cfg.Quantum = 10 * sim.Microsecond
-	machine := ace.NewMachine(cfg)
+	machine := ace.MustMachine(cfg)
 	k := vm.NewKernel(machine, policy.NewDefault())
 	task := k.NewTask("t")
 	var fired int
@@ -360,7 +360,7 @@ func TestQuantumHook(t *testing.T) {
 }
 
 func TestAllocationAlignmentAndGuards(t *testing.T) {
-	machine := ace.NewMachine(smallCfg(2))
+	machine := ace.MustMachine(smallCfg(2))
 	k := vm.NewKernel(machine, policy.NewDefault())
 	task := k.NewTask("t")
 	a := task.Allocate("a", 100, mmu.ProtReadWrite) // rounds to one page
@@ -384,7 +384,7 @@ func TestAllocationAlignmentAndGuards(t *testing.T) {
 }
 
 func TestBadMapsPanic(t *testing.T) {
-	machine := ace.NewMachine(smallCfg(2))
+	machine := ace.MustMachine(smallCfg(2))
 	k := vm.NewKernel(machine, policy.NewDefault())
 	task := k.NewTask("t")
 	obj := k.NewObject("o", 4096)
@@ -405,7 +405,7 @@ func TestBadMapsPanic(t *testing.T) {
 }
 
 func TestSyscallStaysOnProcWithoutMaster(t *testing.T) {
-	machine := ace.NewMachine(smallCfg(2))
+	machine := ace.MustMachine(smallCfg(2))
 	k := vm.NewKernel(machine, policy.NewDefault())
 	task := k.NewTask("t")
 	base := task.Allocate("d", 4096, mmu.ProtReadWrite)
@@ -432,7 +432,7 @@ func TestSyscallStaysOnProcWithoutMaster(t *testing.T) {
 func TestConcurrentCoherence(t *testing.T) {
 	cfg := smallCfg(4)
 	cfg.Quantum = 50 * sim.Microsecond
-	machine := ace.NewMachine(cfg)
+	machine := ace.MustMachine(cfg)
 	k := vm.NewKernel(machine, policy.NewThreshold(3))
 	task := k.NewTask("t")
 	const words = 256
@@ -477,7 +477,7 @@ func TestConcurrentCoherence(t *testing.T) {
 // must fault its way over.
 func TestMigrateWithPages(t *testing.T) {
 	run := func(withPages bool) (faults uint64, user sim.Time) {
-		machine := ace.NewMachine(smallCfg(2))
+		machine := ace.MustMachine(smallCfg(2))
 		k := vm.NewKernel(machine, policy.NewDefault())
 		task := k.NewTask("t")
 		base := task.Allocate("data", 4*4096, mmu.ProtReadWrite)

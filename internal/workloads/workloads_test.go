@@ -19,7 +19,7 @@ func newRT(nproc int, pol numa.Policy) *cthreads.Runtime {
 	cfg.NProc = nproc
 	cfg.GlobalFrames = 2048
 	cfg.LocalFrames = 1024
-	k := vm.NewKernel(ace.NewMachine(cfg), pol)
+	k := vm.NewKernel(ace.MustMachine(cfg), pol)
 	return cthreads.New(k, sched.Affinity)
 }
 

@@ -188,8 +188,8 @@ func DefaultConfig() Config { return ace.DefaultConfig() }
 // ROMP-plausible instruction costs.
 func DefaultCostModel() CostModel { return ace.DefaultCostModel() }
 
-// NewMachine builds a machine.
-func NewMachine(cfg Config) *Machine { return ace.NewMachine(cfg) }
+// NewMachine builds a machine, validating the configuration.
+func NewMachine(cfg Config) (*Machine, error) { return ace.NewMachine(cfg) }
 
 // NewKernel builds a Mach-like kernel on machine with the given NUMA
 // policy.
@@ -289,22 +289,13 @@ func NewEvaluator() *Evaluator { return metrics.NewEvaluator() }
 // Evaluate runs the paper's three-run comparison (T_numa, T_global,
 // T_local) for a workload; fresh must return a new instance per run.
 func Evaluate(ev *Evaluator, fresh func() Workload) (Eval, error) {
-	return ev.Evaluate(func() metrics.Runner { return fresh() })
+	return ev.Evaluate(func() (metrics.Runner, error) { return fresh(), nil })
 }
 
 // EvaluateByName runs the three-run comparison for a named workload at its
 // default size.
 func EvaluateByName(ev *Evaluator, name string) (Eval, error) {
-	if _, err := workloads.ByName(name); err != nil {
-		return Eval{}, err
-	}
-	return ev.Evaluate(func() metrics.Runner {
-		w, err := workloads.ByName(name)
-		if err != nil {
-			panic(err)
-		}
-		return w
-	})
+	return ev.Evaluate(func() (metrics.Runner, error) { return workloads.ByName(name) })
 }
 
 // NewTraceCollector creates a reference-trace collector for the given page
@@ -332,7 +323,7 @@ func RenderTable4(rows []harness.Table4Row) string { return harness.RenderTable4
 func ProtocolTable(write bool) (string, error) { return harness.ProtocolTable(write) }
 
 // Figure1 renders the ACE memory architecture.
-func Figure1(opts HarnessOptions) string { return harness.Figure1(opts) }
+func Figure1(opts HarnessOptions) (string, error) { return harness.Figure1(opts) }
 
 // Figure2 renders the pmap layer structure.
 func Figure2() string { return harness.Figure2() }

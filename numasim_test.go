@@ -107,7 +107,11 @@ func TestPublicProtocolTables(t *testing.T) {
 			t.Errorf("table missing protocol action:\n%s", s)
 		}
 	}
-	if !strings.Contains(numasim.Figure1(numasim.HarnessOptions{NProc: 2}), "IPC bus") {
+	f1, err := numasim.Figure1(numasim.HarnessOptions{NProc: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f1, "IPC bus") {
 		t.Error("figure 1 wrong")
 	}
 	if !strings.Contains(numasim.Figure2(), "NUMA manager") {

@@ -4,6 +4,7 @@ import (
 	"numasim/internal/ace"
 	"numasim/internal/chaos"
 	"numasim/internal/cthreads"
+	"numasim/internal/numa"
 	"numasim/internal/policy"
 	"numasim/internal/simtrace"
 	"numasim/internal/vm"
@@ -32,6 +33,7 @@ type sysOptions struct {
 	mode  SchedMode
 	chaos ChaosConfig
 	sink  TraceSink
+	audit int
 }
 
 // WithConfig replaces the whole machine configuration (default:
@@ -71,6 +73,22 @@ func WithTraceSink(s TraceSink) Option {
 	return func(o *sysOptions) { o.sink = s }
 }
 
+// WithAudit turns on the NUMA manager's online protocol auditor at the
+// given sampling stride: 1 re-validates the directory invariants after
+// every protocol action (what the tests use), larger strides sample for
+// near-free checking on long runs, 0 leaves auditing off. A violation
+// surfaces from Machine.Engine().Run() as an error wrapping a typed
+// *ProtocolViolation that carries the page, its state, and the recent
+// trace events.
+func WithAudit(stride int) Option {
+	return func(o *sysOptions) { o.audit = stride }
+}
+
+// ProtocolViolation is a broken NUMA-protocol invariant detected by the
+// online auditor or the protocol itself; recover it from a run error with
+// errors.As.
+type ProtocolViolation = numa.ProtocolViolationError
+
 // New builds a complete system — machine, kernel, C-Threads runtime —
 // from functional options, validating the configuration instead of
 // panicking:
@@ -96,13 +114,31 @@ func New(opts ...Option) (*System, error) {
 	if err := o.chaos.Validate(); err != nil {
 		return nil, err
 	}
-	m := ace.NewMachine(o.cfg)
-	if o.sink != nil {
-		m.AttachSink(o.sink)
+	m, err := ace.NewMachine(o.cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Auditing keeps a forensic ring of recent events so violations carry
+	// context; a user sink keeps receiving everything through a tee.
+	var ring *simtrace.RingSink
+	sink := o.sink
+	if o.audit > 0 {
+		ring = simtrace.NewRingSink(256)
+		if sink != nil {
+			sink = simtrace.Tee(sink, ring)
+		} else {
+			sink = ring
+		}
+	}
+	if sink != nil {
+		m.AttachSink(sink)
 	}
 	k := vm.NewKernel(m, o.pol)
 	if o.chaos.Enabled() {
 		k.NUMA().SetChaos(chaos.New(o.chaos))
+	}
+	if o.audit > 0 {
+		k.NUMA().EnableAudit(o.audit, ring)
 	}
 	return &System{Machine: m, Kernel: k, Runtime: cthreads.New(k, o.mode)}, nil
 }

@@ -19,7 +19,10 @@ func TestFacadeSurface(t *testing.T) {
 	cfg.NProc = 2
 	cfg.GlobalFrames = 64
 	cfg.LocalFrames = 32
-	m := numasim.NewMachine(cfg)
+	m, err := numasim.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	k := numasim.NewKernel(m, numasim.DefaultPolicy())
 	rt := numasim.NewRuntime(k, numasim.Affinity)
 	task := rt.Task()
