@@ -14,7 +14,16 @@
 #   make bench    - run the benchmark suite (tables, ablations, the
 #                   simulator hot-path microbenchmarks, and the simtrace
 #                   overhead check: BenchmarkTraceOverhead/off must stay
-#                   within noise of earlier runs)
+#                   within noise of earlier runs). BENCHFILTER narrows
+#                   the set (a -bench regexp) and BENCHTIME overrides
+#                   -benchtime: make bench BENCHFILTER=FaultPath BENCHTIME=10x
+#   make bench-json - run the benchmarks and record the run as
+#                   BENCH_<date>.json (the tracked perf trajectory;
+#                   compare two runs with cmd/benchdiff)
+#   make bench-ci - the CI perf gate: re-measure the reduced hot-path
+#                   set and fail if any benchmark regressed more than
+#                   BENCHDIFF_TOL (default 20%) against the committed
+#                   BENCH_baseline.json
 #   make tables   - regenerate the paper's tables and figures
 #   make pressure - smoke-run the memory-pressure sweep with seeded fault
 #                   injection (small sizes; exercises reclaim, fallback
@@ -23,7 +32,21 @@
 GO ?= go
 NUMALINT := bin/numalint
 
-.PHONY: check build vet lint numalint test bench tables pressure audit
+# Benchmark knobs: BENCHFILTER is the -bench regexp, BENCHTIME the
+# -benchtime argument (a duration like 2s or a count like 100x).
+BENCHFILTER ?= .
+BENCHTIME ?= 1s
+BENCHDATE := $(shell date +%Y-%m-%d)
+
+# The reduced hot-path set the CI perf gate re-measures. Time-based
+# -benchtime keeps ns/op out of one-shot noise on the nanosecond-scale
+# paths while bounding the gate's wall-clock on the millisecond-scale
+# ones; allocs/op is exact at any iteration count.
+BENCH_CI_FILTER := 'LocalAccess$$|PageMigration$$|FaultPath$$|PickManyThreads|TraceOverhead'
+BENCH_CI_TIME := 300ms
+BENCHDIFF_TOL ?= 0.20
+
+.PHONY: check build vet lint numalint test bench bench-json bench-ci tables pressure audit
 
 check: build vet lint test audit pressure
 
@@ -47,7 +70,22 @@ test:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' .
+	$(GO) test -bench '$(BENCHFILTER)' -benchtime $(BENCHTIME) -benchmem -run '^$$' .
+
+# bench-json records the run in the tracked JSON form. Diff two runs:
+#   go run ./cmd/benchdiff -tolerance 0.20 BENCH_old.json BENCH_new.json
+bench-json:
+	$(GO) test -bench '$(BENCHFILTER)' -benchtime $(BENCHTIME) -benchmem -run '^$$' . \
+		| $(GO) run ./cmd/benchjson -o BENCH_$(BENCHDATE).json
+	@echo wrote BENCH_$(BENCHDATE).json
+
+# bench-ci is the perf gate: re-measure the reduced hot-path set and
+# compare against the committed baseline. Exit 1 on any >$(BENCHDIFF_TOL)
+# ns/op or allocs/op regression (a zero-alloc path must stay zero).
+bench-ci:
+	$(GO) test -bench $(BENCH_CI_FILTER) -benchtime $(BENCH_CI_TIME) -benchmem -run '^$$' . \
+		| $(GO) run ./cmd/benchjson -o /tmp/bench_ci.json
+	$(GO) run ./cmd/benchdiff -tolerance $(BENCHDIFF_TOL) BENCH_baseline.json /tmp/bench_ci.json
 
 tables:
 	$(GO) run ./cmd/tables

@@ -166,6 +166,7 @@ func BenchmarkLocalAccess(b *testing.B) {
 	cfg.NProc = 1
 	sys := numasim.NewSystem(cfg, numasim.AllLocalPolicy(), numasim.Affinity)
 	va := sys.Runtime.Alloc("data", 4096)
+	b.ReportAllocs()
 	b.ResetTimer()
 	err := sys.Runtime.Run(1, func(id int, c *numasim.Context) {
 		c.Store32(va, 1)
@@ -186,6 +187,7 @@ func BenchmarkPickManyThreads(b *testing.B) {
 	for _, n := range []int{1, 64, 1024} {
 		n := n
 		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
 			e := sim.NewEngine()
 			iters := b.N/n + 1
 			for i := 0; i < n; i++ {
@@ -225,11 +227,38 @@ func BenchmarkPageMigration(b *testing.B) {
 	cfg.NProc = 2
 	sys := numasim.NewSystem(cfg, numasim.NeverPinPolicy(), numasim.Affinity)
 	va := sys.Runtime.Alloc("pingpong", 4096)
+	b.ReportAllocs()
 	b.ResetTimer()
 	err := sys.Runtime.Run(1, func(id int, c *numasim.Context) {
 		for i := 0; i < b.N; i++ {
 			c.MigrateTo(i % 2)
 			c.Store32(va, uint32(i))
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFaultPath measures a full page fault: the mappings for a
+// materialized page are torn out (unmap plus TLB shootdown on every
+// space), then one load refaults it through the kernel, the NUMA
+// manager's placement decision and the pmap enter path.
+func BenchmarkFaultPath(b *testing.B) {
+	cfg := numasim.DefaultConfig()
+	cfg.NProc = 1
+	sys := numasim.NewSystem(cfg, numasim.AllLocalPolicy(), numasim.Affinity)
+	va := sys.Runtime.Alloc("fault", 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	err := sys.Runtime.Run(1, func(id int, c *numasim.Context) {
+		c.Store32(va, 1) // materialize the page
+		pm := c.Kernel().Pmap()
+		for i := 0; i < b.N; i++ {
+			if pg := c.Task().Pmap().Resident(va); pg != nil {
+				pm.RemoveAll(c.Thread(), pg)
+			}
+			c.Load32(va)
 		}
 	})
 	if err != nil {
@@ -255,6 +284,7 @@ func BenchmarkPolicyCompare(b *testing.B) {
 func BenchmarkTraceOverhead(b *testing.B) {
 	run := func(b *testing.B, sink simtrace.Sink) {
 		b.Helper()
+		b.ReportAllocs()
 		opts := benchOpts
 		opts.TraceSink = sink
 		for i := 0; i < b.N; i++ {

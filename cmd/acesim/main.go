@@ -9,6 +9,7 @@
 //	acesim -app IMatMult [-policy threshold] [-threshold 4] [-nproc 7]
 //	       [-workers N] [-sched affinity] [-trace] [-traceout FILE]
 //	       [-trace-out FILE] [-unixmaster] [-parallel N]
+//	       [-cpuprofile FILE] [-memprofile FILE]
 //
 // -app accepts a comma-separated list (names are case-insensitive); the
 // simulations run concurrently (bounded by -parallel; results are
@@ -44,6 +45,7 @@ import (
 	"numasim/internal/harness"
 	"numasim/internal/metrics"
 	"numasim/internal/policy"
+	"numasim/internal/profiling"
 	"numasim/internal/sched"
 	"numasim/internal/sim"
 	"numasim/internal/simtrace"
@@ -253,9 +255,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	reproDir := fs.String("repro-dir", "", "write a repro bundle for each failed run into this directory (implies -keep-going)")
 	keepGoing := fs.Bool("keep-going", false, "continue past failed runs and report partial results")
 	stallLimit := fs.Int("stall-limit", 0, "engine stall-watchdog threshold in dispatches (0: default)")
+	cpuProf := fs.String("cpuprofile", "", "write a CPU profile of the whole run to `file`")
+	memProf := fs.String("memprofile", "", "write a heap profile to `file` at exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(stderr, "acesim:", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(stderr, "acesim:", err)
+		}
+	}()
 
 	mode, err := sched.ParseMode(*schedName)
 	if err != nil {

@@ -1,0 +1,65 @@
+// Command benchjson converts `go test -bench -benchmem` text output into
+// the repo's tracked benchmark JSON (the BENCH_<date>.json files that
+// cmd/benchdiff compares and CI gates on).
+//
+// Usage:
+//
+//	go test -bench . -benchmem -run '^$' . | benchjson [-date YYYY-MM-DD] [-o FILE]
+//
+// The input is read from stdin; the JSON goes to stdout unless -o names
+// a file. -date stamps the run (default: today).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"numasim/internal/benchfmt"
+)
+
+// run is the testable entry point: it parses args (without the program
+// name) and returns the process exit code.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	date := fs.String("date", "", "date stamp for the run (default: today)")
+	out := fs.String("o", "", "write JSON to `file` instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "benchjson: reads bench output from stdin; no positional arguments")
+		return 2
+	}
+	f, err := benchfmt.Parse(stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	f.Date = *date
+	if f.Date == "" {
+		f.Date = time.Now().Format("2006-01-02")
+	}
+	w := stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		defer file.Close()
+		w = file
+	}
+	if err := f.Write(w); err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

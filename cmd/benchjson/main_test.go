@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"numasim/internal/benchfmt"
+)
+
+const sample = `goos: linux
+goarch: amd64
+BenchmarkLocalAccess-8  5403738  214.6 ns/op  0 B/op  0 allocs/op
+BenchmarkTable3/FFT-8   100  9879912 ns/op  0.9921 alpha  1103 allocs/op
+PASS
+`
+
+func TestRunStdout(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-date", "2026-08-08"}, strings.NewReader(sample), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var f benchfmt.File
+	if err := json.Unmarshal(out.Bytes(), &f); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if f.Date != "2026-08-08" || len(f.Benchmarks) != 2 {
+		t.Errorf("bad file: %+v", f)
+	}
+}
+
+func TestRunOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-date", "2026-08-08", "-o", path}, strings.NewReader(sample), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "BenchmarkLocalAccess") {
+		t.Errorf("file missing benchmark: %s", data)
+	}
+}
+
+func TestRunRejectsGarbage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, strings.NewReader("no benchmarks here\n"), &out, &errb); code != 1 {
+		t.Errorf("exit %d on empty input, want 1", code)
+	}
+	if code := run([]string{"positional"}, strings.NewReader(sample), &out, &errb); code != 2 {
+		t.Errorf("exit %d on positional arg, want 2", code)
+	}
+}

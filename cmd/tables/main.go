@@ -10,6 +10,7 @@
 //	tables [-nproc N] [-workers N] [-small] [-parallel N] [-timing]
 //	       [-table N | -figure N | -exp NAME] [-csv]
 //	       [-app NAME] [-frames LIST] [-chaos-seed N] [-chaos-fail P]
+//	       [-cpuprofile FILE] [-memprofile FILE]
 //
 // Every output is an experiment in the harness registry; -exp runs one by
 // name (-exp list prints them all), and -table/-figure are shorthand for
@@ -36,6 +37,7 @@ import (
 	"numasim/internal/chaos"
 	"numasim/internal/harness"
 	"numasim/internal/metrics"
+	"numasim/internal/profiling"
 	"numasim/internal/sim"
 	"numasim/internal/simtrace"
 )
@@ -83,9 +85,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	csv := fs.Bool("csv", false, "emit tabular experiments as CSV")
 	parallel := fs.Int("parallel", 0, "simulations to run concurrently (0: one per host CPU; results are identical at every setting)")
 	timing := fs.Bool("timing", false, "report wall-clock run time and simtrace event counts on stderr (diagnostic only; never part of a table)")
+	cpuProf := fs.String("cpuprofile", "", "write a CPU profile of the whole run to `file`")
+	memProf := fs.String("memprofile", "", "write a heap profile to `file` at exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(stderr, "tables:", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(stderr, "tables:", err)
+		}
+	}()
 
 	frames, err := parseFrames(*framesFlag)
 	if err != nil {

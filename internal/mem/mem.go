@@ -211,8 +211,13 @@ func NewPool(kind Kind, proc, n, pageSize int) *Pool {
 	p := &Pool{name: name, kind: kind, proc: proc}
 	p.frames = make([]*Frame, n)
 	p.free = make([]*Frame, 0, n)
+	// One block for all frame records: machine construction used to be one
+	// allocation per frame, which dominated the harness's allocation
+	// profile (a table run builds many machines).
+	backing := make([]Frame, n)
 	for i := 0; i < n; i++ {
-		f := &Frame{kind: kind, proc: proc, index: i, pageSize: pageSize}
+		f := &backing[i]
+		*f = Frame{kind: kind, proc: proc, index: i, pageSize: pageSize}
 		p.frames[i] = f
 	}
 	// Hand out low indices first: push in reverse so the LIFO free list

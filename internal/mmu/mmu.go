@@ -90,6 +90,13 @@ type MMU struct {
 	byFrm map[*mem.Frame]*PTE // frame -> its single pte on this processor
 	stats Stats
 
+	// free recycles PTE records: Remove pushes, Enter pops, so the
+	// fault/protocol path stops allocating once the working set's PTEs
+	// exist. Recycling is safe with respect to the TLB because every
+	// removal path invalidates the slot caching the retired PTE before it
+	// can be reused.
+	free []*PTE
+
 	// direct-mapped software "TLB" to make the hot translate path cheap
 	tlb [tlbSize]tlbSlot
 }
@@ -140,11 +147,27 @@ func (m *MMU) Enter(key Key, frame *mem.Frame, prot Prot) {
 		delete(m.byFrm, frame)
 		m.stats.AliasDrops++
 		m.tlbDrop(old.Key)
+		m.free = append(m.free, old)
 	}
 	if old, ok := m.pt[key]; ok {
+		// Re-enter of a mapped key: update the record in place. The TLB
+		// caches the pointer, so a cached slot stays valid.
 		delete(m.byFrm, old.Frame)
+		old.Frame = frame
+		old.Prot = prot
+		m.byFrm[frame] = old
+		m.stats.Enters++
+		m.tlbFill(key, old)
+		return
 	}
-	pte := &PTE{Key: key, Frame: frame, Prot: prot}
+	var pte *PTE
+	if k := len(m.free); k > 0 {
+		pte = m.free[k-1]
+		m.free = m.free[:k-1]
+		*pte = PTE{Key: key, Frame: frame, Prot: prot}
+	} else {
+		pte = &PTE{Key: key, Frame: frame, Prot: prot}
+	}
 	m.pt[key] = pte
 	m.byFrm[frame] = pte
 	m.stats.Enters++
@@ -159,6 +182,7 @@ func (m *MMU) Remove(key Key) {
 		delete(m.byFrm, pte.Frame)
 		m.stats.Removes++
 		m.tlbDrop(key)
+		m.free = append(m.free, pte)
 	}
 }
 
@@ -173,6 +197,7 @@ func (m *MMU) RemoveFrame(frame *mem.Frame) bool {
 	delete(m.byFrm, frame)
 	m.stats.Removes++
 	m.tlbDrop(pte.Key)
+	m.free = append(m.free, pte)
 	return true
 }
 
@@ -239,10 +264,13 @@ func (m *MMU) Translate(key Key, write bool) *mem.Frame {
 func (m *MMU) Mappings() int { return len(m.pt) }
 
 // RemoveAll drops every translation (used when destroying an address space).
+// The maps keep their buckets; the retired PTEs are left to the collector
+// rather than recycled — pooling them would require iterating a map, and
+// this is a teardown path, not a hot one.
 func (m *MMU) RemoveAll() {
 	n := uint64(len(m.pt))
-	m.pt = make(map[Key]*PTE)
-	m.byFrm = make(map[*mem.Frame]*PTE)
+	clear(m.pt)
+	clear(m.byFrm)
 	m.stats.Removes += n
 	m.invalidateTLB()
 }

@@ -55,8 +55,11 @@ func newViolation(ring *simtrace.RingSink, pg *Page, format string, args ...any)
 }
 
 // violation builds a typed violation against this manager's forensic
-// ring; pg may be nil when no single page is implicated.
+// ring; pg may be nil when no single page is implicated. The bus is
+// flushed first so a batching ring sink has the complete event stream
+// before it is snapshotted.
 func (n *Manager) violation(pg *Page, format string, args ...any) *ProtocolViolationError {
+	n.bus.Flush()
 	return newViolation(n.ring, pg, format, args...)
 }
 
@@ -115,7 +118,7 @@ func (n *Manager) auditCheckPage(pg *Page) error {
 		if c == nil {
 			continue
 		}
-		if n.resident[p][c.Index()] != pg {
+		if n.shards[p].resident[c.Index()] != pg {
 			return fmt.Errorf("page%d copy on cpu%d frame %d is missing from the residency table",
 				pg.id, p, c.Index())
 		}
@@ -136,14 +139,12 @@ func (n *Manager) auditCheckPage(pg *Page) error {
 // or nil. The fuzz suite runs it after every operation; sampled runs
 // reach it through the sweep stride.
 func (n *Manager) AuditAll() error {
-	for _, pg := range n.live {
-		if err := n.auditCheckPage(pg); err != nil {
-			return err
-		}
+	if err := n.dir.forEach(n.auditCheckPage); err != nil {
+		return err
 	}
-	for p := range n.resident {
+	for p := range n.shards {
 		used := 0
-		for i, pg := range n.resident[p] {
+		for i, pg := range n.shards[p].resident {
 			if pg == nil {
 				continue
 			}
@@ -163,26 +164,24 @@ func (n *Manager) AuditAll() error {
 	return nil
 }
 
-// register adds a page to the live-directory index used by AuditAll and
-// the state-dump summary.
+// register adds a page to the dense live-page directory used by AuditAll
+// and the state-dump summary.
 func (n *Manager) register(pg *Page) {
 	pg.mgr = n
-	pg.liveIdx = len(n.live)
-	n.live = append(n.live, pg)
+	n.dir.add(pg)
+	if n.mir != nil {
+		n.mir.register(pg)
+	}
 }
 
-// unregister removes a freed page from the live-directory index
-// (swap-remove; order is irrelevant, ids keep reports stable).
+// unregister removes a freed page from the directory; its slot's
+// generation stamp is bumped so a stale handle cannot evict a later
+// occupant.
 func (n *Manager) unregister(pg *Page) {
-	i := pg.liveIdx
-	if i < 0 || i >= len(n.live) || n.live[i] != pg {
-		return
+	n.dir.remove(pg)
+	if n.mir != nil {
+		n.mir.unregister(pg)
 	}
-	last := len(n.live) - 1
-	n.live[i] = n.live[last]
-	n.live[i].liveIdx = i
-	n.live = n.live[:last]
-	pg.liveIdx = -1
 }
 
 // DumpSection summarizes the directory for engine state dumps: live-page
@@ -193,7 +192,7 @@ func (n *Manager) unregister(pg *Page) {
 func (n *Manager) DumpSection() sim.DumpSection {
 	var byState [4]int
 	pinned, replicas := 0, 0
-	for _, pg := range n.live {
+	_ = n.dir.forEach(func(pg *Page) error {
 		if s := int(pg.state); s >= 0 && s < len(byState) {
 			byState[s]++
 		}
@@ -201,18 +200,19 @@ func (n *Manager) DumpSection() sim.DumpSection {
 			pinned++
 		}
 		replicas += pg.NCopies()
-	}
+		return nil
+	})
 	body := fmt.Sprintf("live pages: %d (read-only %d, local-writable %d, global-writable %d, remote %d); pinned %d; local replicas %d\n",
-		len(n.live), byState[ReadOnly], byState[LocalWritable], byState[GlobalWritable], byState[Remote],
+		n.dir.len(), byState[ReadOnly], byState[LocalWritable], byState[GlobalWritable], byState[Remote],
 		pinned, replicas)
-	for p := range n.resident {
+	for p := range n.shards {
 		used := 0
-		for _, pg := range n.resident[p] {
+		for _, pg := range n.shards[p].resident {
 			if pg != nil {
 				used++
 			}
 		}
-		body += fmt.Sprintf("cpu%d local residency: %d/%d frames\n", p, used, len(n.resident[p]))
+		body += fmt.Sprintf("cpu%d local residency: %d/%d frames\n", p, used, len(n.shards[p].resident))
 	}
 	s := n.stats
 	body += fmt.Sprintf("requests: %d reads, %d writes; syncs %d, flushes %d, copies %d, moves %d, pins %d, evictions %d, fallbacks %d\n",

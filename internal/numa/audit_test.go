@@ -73,7 +73,7 @@ func TestAuditStride(t *testing.T) {
 
 func TestAuditCatchesMissingResidency(t *testing.T) {
 	n, pg, _ := auditRig(t)
-	n.resident[0][pg.copies[0].Index()] = nil // lose the residency record
+	n.shards[0].resident[pg.copies[0].Index()] = nil // lose the residency record
 	err := n.AuditAll()
 	if err == nil || !strings.Contains(err.Error(), "missing from the residency table") {
 		t.Errorf("err = %v, want missing-residency report", err)
@@ -84,7 +84,7 @@ func TestAuditCatchesStaleResidency(t *testing.T) {
 	n, pg, _ := auditRig(t)
 	// Record the page in a frame slot it does not occupy.
 	idx := pg.copies[0].Index()
-	n.resident[1][idx] = pg
+	n.shards[1].resident[idx] = pg
 	err := n.AuditAll()
 	if err == nil || !strings.Contains(err.Error(), "stale residency entry") {
 		t.Errorf("err = %v, want stale-residency report", err)
@@ -109,7 +109,7 @@ func TestMaybeAuditPanicsTyped(t *testing.T) {
 	if len(ring.Events()) == 0 {
 		t.Fatal("rig produced no trace events; the forensic ring would be empty")
 	}
-	n.resident[0][pg.copies[0].Index()] = nil
+	n.shards[0].resident[pg.copies[0].Index()] = nil
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -143,12 +143,12 @@ func TestMaybeAuditPanicsTyped(t *testing.T) {
 func TestSampledAuditSkips(t *testing.T) {
 	n, pg, _ := auditRig(t)
 	n.EnableAudit(1000, nil)
-	saved := n.resident[0][pg.copies[0].Index()]
-	n.resident[0][pg.copies[0].Index()] = nil
+	saved := n.shards[0].resident[pg.copies[0].Index()]
+	n.shards[0].resident[pg.copies[0].Index()] = nil
 	for i := 0; i < 10; i++ {
 		n.maybeAudit(pg) // ops 1..10 of 1000: no sample point reached
 	}
-	n.resident[0][pg.copies[0].Index()] = saved
+	n.shards[0].resident[pg.copies[0].Index()] = saved
 }
 
 func TestViolationWithoutPage(t *testing.T) {

@@ -128,6 +128,10 @@ func fuzzScript(t *testing.T, seed int64, pressure bool) uint64 {
 	// Full online audit: every protocol action re-validates the directory
 	// invariants, and any violation dies with the ring contents attached.
 	n.EnableAudit(1, ring)
+	// Map oracle: the pre-dense representation of the live-page directory
+	// and the residency shards runs alongside and is compared after every
+	// operation (the dense forms must stay identical to the map forms).
+	mirror := numa.InstallMapOracle(n)
 
 	const npages = 6
 	pages := make([]*numa.Page, npages)
@@ -146,6 +150,9 @@ func fuzzScript(t *testing.T, seed int64, pressure bool) uint64 {
 					pg.SetHome(rng.Intn(cfg.NProc))
 				}
 				pages[i] = pg
+			}
+			if err := mirror.Check(n); err != nil {
+				return fmt.Errorf("after page creation: dense/map divergence: %w", err)
 			}
 			for op := 0; op < nops; op++ {
 				i := rng.Intn(npages)
@@ -187,6 +194,9 @@ func fuzzScript(t *testing.T, seed int64, pressure bool) uint64 {
 						return fmt.Errorf("op %d: page%d authoritative copy holds %#x, oracle %#x",
 							op, p.ID(), got, oracle[j])
 					}
+				}
+				if err := mirror.Check(n); err != nil {
+					return fmt.Errorf("op %d: dense/map divergence: %w", op, err)
 				}
 			}
 			return nil
@@ -242,5 +252,27 @@ func TestProtocolFuzzPressure(t *testing.T) {
 	}
 	if faults == 0 {
 		t.Error("the scripted failure schedule never fired; the pressure path went unexercised")
+	}
+}
+
+// TestDenseDirectoryOracle is the dense-vs-map property test: it replays
+// seeded fuzz scripts (a fresh seed range, half of them under memory
+// pressure so eviction and reclaim churn the residency shards) while the
+// map-based oracle installed by fuzzScript shadows every directory and
+// residency mutation. fuzzScript compares the two representations after
+// every operation, so a pass means the dense, generation-stamped forms
+// stayed identical to the old map forms across create/free/reuse cycles,
+// replication, migration, eviction and remote placement.
+func TestDenseDirectoryOracle(t *testing.T) {
+	seeds := 200
+	if testing.Short() {
+		seeds = 20
+	}
+	for i := 0; i < seeds; i++ {
+		seed := int64(10_000 + i)
+		fuzzScript(t, seed, i%2 == 1)
+		if t.Failed() {
+			t.Fatalf("stopping at first failing seed")
+		}
 	}
 }

@@ -145,12 +145,15 @@ type Page struct {
 	// unset.
 	home int
 
-	// mgr is the owning manager (set on adoption); liveIdx is the page's
-	// slot in the manager's live-directory index, -1 after FreePage.
-	// pinSeen is the auditor's pin-monotonicity shadow: once the auditor
-	// has observed the pin bit set, it must stay set until FreePage.
+	// mgr is the owning manager (set on adoption); slot/gen locate the
+	// page in the manager's dense live-page directory (slot -1 after
+	// FreePage; gen guards against stale handles once the slot is
+	// reused). pinSeen is the auditor's pin-monotonicity shadow: once the
+	// auditor has observed the pin bit set, it must stay set until
+	// FreePage.
 	mgr     *Manager
-	liveIdx int
+	slot    int32
+	gen     uint32
 	pinSeen bool
 }
 
@@ -330,14 +333,12 @@ type Manager struct {
 	// and page-move delays on the pressure paths.
 	chaos Injector
 
-	// Clock-reclaimer state: which page's copy occupies each local frame
-	// (resident[proc][frameIndex]), a second-chance reference bit per
-	// frame, and the clock hand per processor. The residency table is the
-	// per-memory index that makes deterministic eviction possible without
-	// iterating any map.
-	resident [][]*Page
-	refbit   [][]bool
-	hand     []int
+	// Clock-reclaimer state, sharded by processor: which page's copy
+	// occupies each local frame (shards[proc].resident[frameIndex]), a
+	// second-chance reference bit per frame, and the clock hand. The
+	// residency shard is the per-memory index that makes deterministic
+	// eviction possible without iterating any map.
+	shards []procShard
 
 	// onAction, when set, receives the paper's action vocabulary as each
 	// protocol action is performed ("sync&flush other", "copy to local",
@@ -346,13 +347,25 @@ type Manager struct {
 
 	// Online-auditor state (see audit.go): the sampling stride and
 	// operation counter, the forensic ring snapshot attached to
-	// violations, and the live-page index behind AuditAll and the
-	// state-dump directory summary.
+	// violations, and the dense live-page directory behind AuditAll and
+	// the state-dump directory summary.
 	auditStride     int
 	auditOps        uint64
 	auditSweepEvery uint64
 	ring            *simtrace.RingSink
-	live            []*Page
+	dir             directory
+
+	// mir, when non-nil, mirrors directory and residency mutations into a
+	// test oracle (see the mirror interface in directory.go).
+	mir mirror
+
+	// freePages recycles Page records: FreePage pushes the retired record
+	// and NewPage/AdoptPage pop one instead of allocating, so steady-state
+	// page churn (pageout/pagein cycles, task teardown) allocates nothing.
+	// freeTag is the single reusable FreePage completion token — cleanup
+	// is eager, so at most one tag is ever outstanding per free.
+	freePages []*Page
+	freeTag   FreeTag
 }
 
 // NewManager creates a NUMA manager for machine using the given policy.
@@ -363,13 +376,11 @@ func NewManager(machine *ace.Machine, pol Policy) *Manager {
 	n := &Manager{machine: machine, policy: pol, bus: machine.Bus()}
 	machine.Engine().AddDumpSection(n.DumpSection)
 	nproc := machine.NProc()
-	n.resident = make([][]*Page, nproc)
-	n.refbit = make([][]bool, nproc)
-	n.hand = make([]int, nproc)
+	n.shards = make([]procShard, nproc)
 	for p := 0; p < nproc; p++ {
 		size := machine.Memory().Local(p).Size()
-		n.resident[p] = make([]*Page, size)
-		n.refbit[p] = make([]bool, size)
+		n.shards[p].resident = make([]*Page, size)
+		n.shards[p].refbit = make([]bool, size)
 	}
 	return n
 }
@@ -415,6 +426,29 @@ func (n *Manager) emitAction(th *sim.Thread, pg *Page, proc int, label string) {
 	}
 }
 
+// newPageRecord returns a blank Page record, recycling one retired by
+// FreePage when available. Every field is at its adoption default: state
+// read-only, no owner, no copies, no pragmas.
+func (n *Manager) newPageRecord() *Page {
+	if k := len(n.freePages); k > 0 {
+		pg := n.freePages[k-1]
+		n.freePages = n.freePages[:k-1]
+		copies := pg.copies
+		for i := range copies {
+			copies[i] = nil
+		}
+		*pg = Page{copies: copies, owner: -1, lastOwner: -1, home: -1, slot: -1}
+		return pg
+	}
+	return &Page{
+		owner:     -1,
+		lastOwner: -1,
+		home:      -1,
+		slot:      -1,
+		copies:    make([]*mem.Frame, n.machine.NProc()),
+	}
+}
+
 // NewPage allocates a fresh logical page backed by a newly allocated global
 // frame. The page starts in the read-only state with no copies and a lazy
 // zero-fill pending. It returns mem.ErrNoFrames when global memory is
@@ -428,15 +462,9 @@ func (n *Manager) NewPage() (*Page, error) {
 	// the previous page's bytes into the zero-fill semantics. The charged
 	// zero-fill happens lazily at first touch (§2.3.1).
 	f.Zero()
-	pg := &Page{
-		global:    f,
-		state:     ReadOnly,
-		owner:     -1,
-		lastOwner: -1,
-		home:      -1,
-		copies:    make([]*mem.Frame, n.machine.NProc()),
-		needZero:  true,
-	}
+	pg := n.newPageRecord()
+	pg.global = f
+	pg.needZero = true
 	n.adopt(pg)
 	return pg, nil
 }
@@ -464,14 +492,8 @@ func (n *Manager) adopt(pg *Page) {
 // system reconsiders pinning decisions only across a pageout/pagein cycle
 // (§4.3 footnote 4).
 func (n *Manager) AdoptPage(global *mem.Frame) *Page {
-	pg := &Page{
-		global:    global,
-		state:     ReadOnly,
-		owner:     -1,
-		lastOwner: -1,
-		home:      -1,
-		copies:    make([]*mem.Frame, n.machine.NProc()),
-	}
+	pg := n.newPageRecord()
+	pg.global = global
 	n.adopt(pg)
 	return pg
 }
@@ -566,7 +588,7 @@ func (n *Manager) Access(th *sim.Thread, pg *Page, proc int, write bool, maxProt
 	// Give the frame a second chance against the clock reclaimer: it was
 	// just used.
 	if f.Kind() == mem.Local {
-		n.refbit[f.Proc()][f.Index()] = true
+		n.shards[f.Proc()].refbit[f.Index()] = true
 	}
 	n.maybeAudit(pg)
 	return f, prot
@@ -1021,7 +1043,25 @@ func (n *Manager) FreePage(th *sim.Thread, pg *Page) *FreeTag {
 			Time: int64(th.Clock()), Page: pg.id,
 		})
 	}
-	return &FreeTag{pg: pg, done: true}
+	// Purge the page from the defrost list before the record can be
+	// recycled: a stale entry aliasing a future page would be swept
+	// twice. The old lazy drop (state no longer global-writable) acted on
+	// nothing either, so this is observably identical.
+	if len(n.gwPages) > 0 {
+		live := n.gwPages[:0]
+		for _, g := range n.gwPages {
+			if g != pg {
+				live = append(live, g)
+			}
+		}
+		n.gwPages = live
+	}
+	// Retire the record into the pool; the next NewPage/AdoptPage reuses
+	// it (with a fresh id). Cleanup is eager, so the reusable tag is
+	// always complete.
+	n.freePages = append(n.freePages, pg)
+	n.freeTag = FreeTag{pg: pg, done: true}
+	return &n.freeTag
 }
 
 // FreePageSync waits for the lazy cleanup started by FreePage to complete.

@@ -61,17 +61,18 @@ func (n *Manager) admitLocal(th *sim.Thread, pg *Page, proc int) bool {
 // sticky (§4.4) and are skipped, as is keep — the page being placed.
 // Reports false when nothing was evictable.
 func (n *Manager) reclaimLocal(th *sim.Thread, keep *Page, proc int) bool {
-	size := len(n.resident[proc])
+	shard := &n.shards[proc]
+	size := len(shard.resident)
 	// Two revolutions bound the scan: the first may only clear bits.
 	for step := 0; step < 2*size; step++ {
-		i := n.hand[proc]
-		n.hand[proc] = (i + 1) % size
-		victim := n.resident[proc][i]
+		i := shard.hand
+		shard.hand = (i + 1) % size
+		victim := shard.resident[i]
 		if victim == nil || victim == keep || victim.state == Remote {
 			continue
 		}
-		if n.refbit[proc][i] {
-			n.refbit[proc][i] = false
+		if shard.refbit[i] {
+			shard.refbit[i] = false
 			continue
 		}
 		before := victim.state
@@ -105,14 +106,22 @@ func (n *Manager) reclaimLocal(th *sim.Thread, keep *Page, proc int) bool {
 // noteCopy records that frame f of proc's local memory now holds a copy
 // of pg, and gives it a fresh reference bit.
 func (n *Manager) noteCopy(pg *Page, proc int, f *mem.Frame) {
-	n.resident[proc][f.Index()] = pg
-	n.refbit[proc][f.Index()] = true
+	shard := &n.shards[proc]
+	shard.resident[f.Index()] = pg
+	shard.refbit[f.Index()] = true
+	if n.mir != nil {
+		n.mir.noteCopy(pg, proc, f.Index())
+	}
 }
 
 // noteDrop clears the residency record for frame f of proc's pool.
 func (n *Manager) noteDrop(proc int, f *mem.Frame) {
-	n.resident[proc][f.Index()] = nil
-	n.refbit[proc][f.Index()] = false
+	shard := &n.shards[proc]
+	shard.resident[f.Index()] = nil
+	shard.refbit[f.Index()] = false
+	if n.mir != nil {
+		n.mir.noteDrop(proc, f.Index())
+	}
 }
 
 // chargeMoveDelay charges any injected delay for a page move performed by

@@ -27,9 +27,9 @@ func (alwaysLocal) Name() string { return "always-local" }
 // residency table and the pages' copy records, and the frame budget.
 func checkResidency(t *testing.T, n *Manager, pages []*Page, budget int) {
 	t.Helper()
-	for proc := range n.resident {
+	for proc := range n.shards {
 		count := 0
-		for idx, pg := range n.resident[proc] {
+		for idx, pg := range n.shards[proc].resident {
 			if pg == nil {
 				continue
 			}
@@ -48,7 +48,7 @@ func checkResidency(t *testing.T, n *Manager, pages []*Page, budget int) {
 			t.Fatalf("cpu%d: %d resident local pages exceed the %d-frame budget", proc, count, budget)
 		}
 		for _, pg := range pages {
-			if f := pg.copies[proc]; f != nil && n.resident[proc][f.Index()] != pg {
+			if f := pg.copies[proc]; f != nil && n.shards[proc].resident[f.Index()] != pg {
 				t.Fatalf("cpu%d: page%d has a copy in frame %d but the resident table disagrees",
 					proc, pg.id, f.Index())
 			}

@@ -16,7 +16,6 @@ package pmap
 
 import (
 	"fmt"
-	"sort"
 
 	"numasim/internal/ace"
 	"numasim/internal/mmu"
@@ -33,16 +32,20 @@ type Pmap struct {
 	mgr     *Manager
 	space   uint32 // address-space id, packed into MMU keys
 	shift   uint   // page shift
-	res     map[uint32]*numa.Page
+	res     resTable
 	destroy bool
 }
 
 // Manager is the pmap manager: one per machine, coordinating all pmaps.
+// Live pmaps are held in a dense slice indexed by address-space id (ids
+// are monotonic and never reused), so whole-machine sweeps like RemoveAll
+// walk spaces in creation order with no map iteration.
 type Manager struct {
 	machine   *ace.Machine
 	numa      *numa.Manager
 	nextSpace uint32
-	pmaps     map[uint32]*Pmap
+	pmaps     []*Pmap // indexed by space id; nil after Destroy
+	nlive     int
 }
 
 // NewManager creates the pmap manager for machine, placing pages through
@@ -51,7 +54,6 @@ func NewManager(machine *ace.Machine, nm *numa.Manager) *Manager {
 	return &Manager{
 		machine: machine,
 		numa:    nm,
-		pmaps:   make(map[uint32]*Pmap),
 	}
 }
 
@@ -67,28 +69,27 @@ func (m *Manager) Create() *Pmap {
 		mgr:   m,
 		space: m.nextSpace,
 		shift: m.machine.PageShift(),
-		res:   make(map[uint32]*numa.Page),
 	}
 	m.nextSpace++
-	m.pmaps[p.space] = p
+	m.pmaps = append(m.pmaps, p)
+	m.nlive++
 	return p
 }
 
-// Destroy removes every mapping of the pmap and retires it. Mappings are
-// torn down in VPN order: removal releases frames back to the allocators,
-// so map-iteration order here would reorder free lists and leak host
-// nondeterminism into later placements.
+// Destroy removes every mapping of the pmap and retires it. The dense
+// residency table is walked in VPN order: removal releases frames back to
+// the allocators, so any other order would reorder free lists and leak
+// nondeterminism into later placements (the old map form needed an
+// explicit sort here).
 func (m *Manager) Destroy(th *sim.Thread, p *Pmap) {
-	vpns := make([]uint32, 0, len(p.res))
-	for vpn := range p.res {
-		vpns = append(vpns, vpn)
-	}
-	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
-	for _, vpn := range vpns {
-		p.removeVPN(th, vpn)
+	for vpn := range p.res.pages {
+		if p.res.pages[vpn] != nil {
+			p.removeVPN(th, uint32(vpn))
+		}
 	}
 	p.destroy = true
-	delete(m.pmaps, p.space)
+	m.pmaps[p.space] = nil
+	m.nlive--
 }
 
 // Space returns the pmap's address-space id.
@@ -106,7 +107,7 @@ func (p *Pmap) keyOfVPN(vpn uint32) mmu.Key {
 // Resident returns the logical page resident at va, or nil. The pmap is a
 // cache; absence means only that no mapping was entered through this pmap.
 func (p *Pmap) Resident(va uint32) *numa.Page {
-	return p.res[va>>p.shift]
+	return p.res.get(va >> p.shift)
 }
 
 // Enter resolves a fault: it establishes a translation for va on processor
@@ -133,7 +134,7 @@ func (p *Pmap) Enter(th *sim.Thread, proc int, va uint32, pg *numa.Page, maxProt
 	}
 	hw.Enter(key, frame, prot)
 	th.AdvanceSys(p.mgr.machine.Cost().MMUOp)
-	p.res[va>>p.shift] = pg
+	p.res.set(va>>p.shift, pg)
 	if bus := p.mgr.machine.Bus(); bus.Enabled() {
 		bus.Emit(simtrace.Event{
 			Kind: simtrace.KindMapEnter, Proc: int32(proc), Thread: int32(th.ID()),
@@ -150,7 +151,7 @@ func (p *Pmap) Protect(th *sim.Thread, va, length uint32, prot mmu.Prot) {
 	first := va >> p.shift
 	last := (va + length - 1) >> p.shift
 	for vpn := first; vpn <= last; vpn++ {
-		if _, ok := p.res[vpn]; !ok {
+		if p.res.get(vpn) == nil {
 			continue
 		}
 		key := p.keyOfVPN(vpn)
@@ -159,7 +160,7 @@ func (p *Pmap) Protect(th *sim.Thread, va, length uint32, prot mmu.Prot) {
 			th.AdvanceSys(cost.MMUOp)
 		}
 		if prot == mmu.ProtNone {
-			delete(p.res, vpn)
+			p.res.del(vpn)
 		}
 	}
 }
@@ -169,7 +170,7 @@ func (p *Pmap) Remove(th *sim.Thread, va, length uint32) {
 	first := va >> p.shift
 	last := (va + length - 1) >> p.shift
 	for vpn := first; vpn <= last; vpn++ {
-		if _, ok := p.res[vpn]; ok {
+		if p.res.get(vpn) != nil {
 			p.removeVPN(th, vpn)
 		}
 	}
@@ -182,7 +183,7 @@ func (p *Pmap) removeVPN(th *sim.Thread, vpn uint32) {
 		p.mgr.machine.MMU(i).Remove(key)
 		th.AdvanceSys(cost.MMUOp)
 	}
-	delete(p.res, vpn)
+	p.res.del(vpn)
 }
 
 // RemoveAll removes a single logical page from every pmap on every
@@ -191,10 +192,20 @@ func (p *Pmap) removeVPN(th *sim.Thread, vpn uint32) {
 // global memory.
 func (m *Manager) RemoveAll(th *sim.Thread, pg *numa.Page) {
 	m.numa.PrepareEvict(th, pg)
+	m.dropResidency(pg)
+}
+
+// dropResidency clears every pmap's residency record of pg, walking
+// spaces and VPNs in ascending order (deterministic by construction; no
+// map iteration).
+func (m *Manager) dropResidency(pg *numa.Page) {
 	for _, p := range m.pmaps {
-		for vpn, rpg := range p.res {
+		if p == nil {
+			continue
+		}
+		for vpn, rpg := range p.res.pages {
 			if rpg == pg {
-				delete(p.res, vpn)
+				p.res.del(uint32(vpn))
 			}
 		}
 	}
@@ -221,13 +232,7 @@ func (m *Manager) CopyPage(th *sim.Thread, src, dst *numa.Page, proc int) {
 // FreePage starts lazy cleanup of a freed logical page and returns a tag
 // (the paper's pmap_free_page).
 func (m *Manager) FreePage(th *sim.Thread, pg *numa.Page) *numa.FreeTag {
-	for _, p := range m.pmaps {
-		for vpn, rpg := range p.res {
-			if rpg == pg {
-				delete(p.res, vpn)
-			}
-		}
-	}
+	m.dropResidency(pg)
 	return m.numa.FreePage(th, pg)
 }
 

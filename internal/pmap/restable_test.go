@@ -1,0 +1,141 @@
+package pmap
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"numasim/internal/ace"
+	"numasim/internal/mmu"
+	"numasim/internal/numa"
+	"numasim/internal/policy"
+	"numasim/internal/sim"
+)
+
+// TestResidencyTableOracle drives the dense VPN-indexed residency table
+// and its map oracle through seeded scripts of pmap operations — enter,
+// protect (including the removing ProtNone form), remove, whole-page
+// removal, page free and address-space destruction — and asserts the two
+// representations hold identical contents after every step. White-box:
+// the oracle mirror lives inside resTable and only tests can enable it.
+func TestResidencyTableOracle(t *testing.T) {
+	seeds := 50
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := 0; seed < seeds; seed++ {
+		resOracleScript(t, int64(seed))
+		if t.Failed() {
+			t.Fatalf("stopping at first failing seed")
+		}
+	}
+}
+
+func resOracleScript(t *testing.T, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+
+	cfg := ace.DefaultConfig()
+	cfg.NProc = 3
+	cfg.GlobalFrames = 64
+	cfg.LocalFrames = 8
+	cfg.PageSize = 256
+	machine := ace.MustMachine(cfg)
+	nm := numa.NewManager(machine, policy.NewDefault())
+	pm := NewManager(machine, nm)
+
+	const npmaps = 3
+	const npages = 8
+	const nops = 150
+
+	newSpace := func() *Pmap {
+		p := pm.Create()
+		p.res.enableOracle()
+		return p
+	}
+
+	var scriptErr error
+	machine.Engine().Spawn("oracle", 0, func(th *sim.Thread) {
+		scriptErr = func() error {
+			pmaps := make([]*Pmap, npmaps)
+			for i := range pmaps {
+				pmaps[i] = newSpace()
+			}
+			pages := make([]*numa.Page, npages)
+			for i := range pages {
+				pg, err := nm.NewPage()
+				if err != nil {
+					return err
+				}
+				pages[i] = pg
+			}
+			checkAll := func(op int) error {
+				for i, p := range pmaps {
+					if err := p.res.check(); err != nil {
+						return fmt.Errorf("op %d pmap %d: %w", op, i, err)
+					}
+				}
+				return nil
+			}
+			shift := machine.PageShift()
+			vaOf := func(vpn uint32) uint32 { return vpn << shift }
+			for op := 0; op < nops; op++ {
+				p := pmaps[rng.Intn(npmaps)]
+				pi := rng.Intn(npages)
+				pg := pages[pi]
+				vpn := uint32(16 + rng.Intn(32))
+				proc := rng.Intn(cfg.NProc)
+				switch r := rng.Intn(100); {
+				case r < 55:
+					minProt := mmu.ProtRead
+					if rng.Intn(2) == 0 {
+						minProt = mmu.ProtWrite
+					}
+					p.Enter(th, proc, vaOf(vpn), pg, mmu.ProtReadWrite, minProt)
+				case r < 65:
+					prot := mmu.ProtRead
+					if rng.Intn(3) == 0 {
+						prot = mmu.ProtNone // the removing form
+					}
+					length := uint32(1+rng.Intn(4)) << shift
+					p.Protect(th, vaOf(vpn), length, prot)
+				case r < 75:
+					length := uint32(1+rng.Intn(4)) << shift
+					p.Remove(th, vaOf(vpn), length)
+				case r < 85:
+					pm.RemoveAll(th, pg)
+				case r < 93:
+					pm.FreePageSync(pm.FreePage(th, pg))
+					fresh, err := nm.NewPage()
+					if err != nil {
+						return err
+					}
+					pages[pi] = fresh
+				default:
+					// Tear down one address space and open a fresh one; its
+					// dense table must drain to empty in lockstep with the
+					// oracle.
+					di := rng.Intn(npmaps)
+					pm.Destroy(th, pmaps[di])
+					if err := pmaps[di].res.check(); err != nil {
+						return fmt.Errorf("op %d: destroyed pmap: %w", op, err)
+					}
+					if pmaps[di].res.len() != 0 {
+						return fmt.Errorf("op %d: destroyed pmap still has %d resident entries", op, pmaps[di].res.len())
+					}
+					pmaps[di] = newSpace()
+				}
+				if err := checkAll(op); err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+	})
+	if err := machine.Engine().Run(); err != nil {
+		t.Fatalf("seed %d: engine: %v", seed, err)
+	}
+	if scriptErr != nil {
+		t.Errorf("seed %d: %v", seed, scriptErr)
+	}
+}

@@ -510,6 +510,9 @@ func (e *Engine) Run() error {
 		return errors.New("sim: engine already run")
 	}
 	e.started = true
+	// A batching sink may hold buffered events; deliver them however the
+	// loop exits so post-run readers always see the complete stream.
+	defer e.Bus.Flush()
 	for {
 		if e.stop.Load() {
 			err := &StoppedError{Dump: e.DumpState()}

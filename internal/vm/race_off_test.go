@@ -1,0 +1,8 @@
+//go:build !race
+
+package vm_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// zero-allocation guards skip under it (the race runtime allocates on
+// paths the guards measure).
+const raceEnabled = false

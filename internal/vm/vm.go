@@ -169,6 +169,10 @@ type Kernel struct {
 	// FIFO pageout queue of resident pages.
 	fifo []fifoRef
 
+	// bufPool recycles backing-store buffers across pageout/pagein
+	// cycles, so steady-state paging allocates nothing.
+	bufPool [][]byte
+
 	// UnixMaster, when true, models the Mach Unix compatibility code that
 	// funnels system calls onto processor 0 (§4.6).
 	UnixMaster bool
@@ -597,7 +601,13 @@ func (k *Kernel) pageoutOne(th *sim.Thread) bool {
 		// Quiesce: sync dirty copies, drop all replicas and mappings.
 		k.pm.RemoveAll(th, pg)
 		// Write the page to backing store at global-memory read speed.
-		data := make([]byte, k.machine.PageSize())
+		var data []byte
+		if n := len(k.bufPool); n > 0 {
+			data = k.bufPool[n-1]
+			k.bufPool = k.bufPool[:n-1]
+		} else {
+			data = make([]byte, k.machine.PageSize())
+		}
 		copy(data, pg.GlobalFrame().Data())
 		th.AdvanceSys(sim.Time(k.machine.PageSize()/4) * k.machine.Cost().GlobalFetch)
 		s.backing = data
@@ -635,6 +645,7 @@ func (k *Kernel) pagein(th *sim.Thread, obj *Object, idx int) {
 	}
 	copy(frame.Data(), s.backing)
 	th.AdvanceSys(sim.Time(k.machine.PageSize()/4) * k.machine.Cost().GlobalStore)
+	k.bufPool = append(k.bufPool, s.backing)
 	s.backing = nil
 	s.pg = k.nm.AdoptPage(frame)
 	k.fifo = append(k.fifo, fifoRef{obj, idx})
