@@ -2,8 +2,13 @@
 // (no wall clocks or ambient entropy in the simulator core), maporder (no
 // ordered output from randomized map iteration), statemachine (exhaustive
 // switches and guarded Table 1/2 transitions), units (no mixing of
-// simulated-time and wall-clock scales) and violation (protocol panics in
-// internal/numa must carry a typed ProtocolViolationError).
+// simulated-time and wall-clock scales), violation (protocol panics in
+// internal/numa must carry a typed ProtocolViolationError), hotpath
+// (//numalint:hotpath functions are transitively allocation-free over the
+// package call graph), atomicmix (no field accessed both through
+// sync/atomic and plain loads/stores) and oracleparity (every mutation of
+// oracle-guarded dense state routes through a function that feeds the
+// shadow oracle).
 //
 // Two modes share one binary:
 //
@@ -23,8 +28,11 @@ import (
 
 	"numasim/internal/analysis"
 	"numasim/internal/analysis/load"
+	"numasim/internal/analysis/passes/atomicmix"
 	"numasim/internal/analysis/passes/determinism"
+	"numasim/internal/analysis/passes/hotpath"
 	"numasim/internal/analysis/passes/maporder"
+	"numasim/internal/analysis/passes/oracleparity"
 	"numasim/internal/analysis/passes/statemachine"
 	"numasim/internal/analysis/passes/units"
 	"numasim/internal/analysis/passes/violation"
@@ -37,6 +45,9 @@ var analyzers = []*analysis.Analyzer{
 	statemachine.Analyzer,
 	units.Analyzer,
 	violation.Analyzer,
+	hotpath.Analyzer,
+	atomicmix.Analyzer,
+	oracleparity.Analyzer,
 }
 
 func main() {

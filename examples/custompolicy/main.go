@@ -17,6 +17,9 @@ import (
 // pages local forever. It exists to show the interface, not to win.
 type writeBiased struct{}
 
+// CachePolicy implements the placement decision.
+//
+//numalint:hotpath
 func (writeBiased) CachePolicy(pg *numasim.Page, proc int, write bool, maxProt numasim.Prot) numasim.Location {
 	if pg.EverWritten() && pg.Moves() >= 2 {
 		return numasim.Global
@@ -24,6 +27,9 @@ func (writeBiased) CachePolicy(pg *numasim.Page, proc int, write bool, maxProt n
 	return numasim.Local
 }
 
+// Name identifies the policy in reports.
+//
+//numalint:hotpath
 func (writeBiased) Name() string { return "write-biased(2)" }
 
 func run(pol numasim.Policy) {

@@ -74,6 +74,8 @@ func DefaultCostModel() CostModel {
 
 // FetchCost returns the cost of one 32-bit fetch from a frame of the given
 // kind by processor proc.
+//
+//numalint:hotpath
 func (c *CostModel) FetchCost(f *mem.Frame, proc int) sim.Time {
 	if f.Kind() == mem.Global {
 		return c.GlobalFetch
@@ -86,6 +88,8 @@ func (c *CostModel) FetchCost(f *mem.Frame, proc int) sim.Time {
 
 // StoreCost returns the cost of one 32-bit store to a frame of the given
 // kind by processor proc.
+//
+//numalint:hotpath
 func (c *CostModel) StoreCost(f *mem.Frame, proc int) sim.Time {
 	if f.Kind() == mem.Global {
 		return c.GlobalStore
@@ -99,12 +103,16 @@ func (c *CostModel) StoreCost(f *mem.Frame, proc int) sim.Time {
 // CopyCost returns the cost for processor proc to copy a full page from src
 // to dst, word by word, at memory speed. This is what makes page movement
 // expensive and is the dominant term in the paper's system times (§3.3).
+//
+//numalint:hotpath
 func (c *CostModel) CopyCost(src, dst *mem.Frame, proc, pageSize int) sim.Time {
 	words := sim.Time(pageSize / 4)
 	return words * (c.FetchCost(src, proc) + c.StoreCost(dst, proc))
 }
 
 // ZeroCost returns the cost for processor proc to zero-fill a page.
+//
+//numalint:hotpath
 func (c *CostModel) ZeroCost(dst *mem.Frame, proc, pageSize int) sim.Time {
 	words := sim.Time(pageSize / 4)
 	return words * c.StoreCost(dst, proc)
@@ -217,6 +225,8 @@ type Processor struct {
 func (p *Processor) ID() int { return p.id }
 
 // Resource returns the sim resource representing the CPU's execution unit.
+//
+//numalint:hotpath
 func (p *Processor) Resource() *sim.Resource { return p.res }
 
 // Refs returns the processor's reference counters.
@@ -268,6 +278,8 @@ func MustMachine(cfg Config) *Machine {
 
 // Bus returns the machine's trace-event bus. The bus always exists; it is
 // inert (and nearly free) until a sink is attached.
+//
+//numalint:hotpath
 func (m *Machine) Bus() *simtrace.Bus { return m.bus }
 
 // AttachSink connects a trace sink to the machine's bus; every
@@ -279,27 +291,41 @@ func (m *Machine) AttachSink(s simtrace.Sink) { m.bus.Attach(s) }
 func (m *Machine) Config() Config { return m.cfg }
 
 // Cost returns the machine's cost model.
+//
+//numalint:hotpath
 func (m *Machine) Cost() *CostModel { return &m.cfg.Cost }
 
 // PageSize reports the machine page size in bytes.
+//
+//numalint:hotpath
 func (m *Machine) PageSize() int { return m.cfg.PageSize }
 
 // Engine returns the machine's simulation engine.
 func (m *Machine) Engine() *sim.Engine { return m.engine }
 
 // NProc reports the number of processors.
+//
+//numalint:hotpath
 func (m *Machine) NProc() int { return len(m.procs) }
 
 // Proc returns processor i.
+//
+//numalint:hotpath
 func (m *Machine) Proc(i int) *Processor { return m.procs[i] }
 
 // Memory returns the machine's physical memory.
+//
+//numalint:hotpath
 func (m *Machine) Memory() *mem.Memory { return m.memory }
 
 // MMU returns processor i's MMU.
+//
+//numalint:hotpath
 func (m *Machine) MMU(i int) *mmu.MMU { return m.mmus[i] }
 
 // PageShift returns log2 of the page size.
+//
+//numalint:hotpath
 func (m *Machine) PageShift() uint {
 	s := uint(0)
 	for 1<<s < m.cfg.PageSize {
@@ -309,13 +335,19 @@ func (m *Machine) PageShift() uint {
 }
 
 // VPN returns the virtual page number of va.
+//
+//numalint:hotpath
 func (m *Machine) VPN(va uint32) uint32 { return va >> m.PageShift() }
 
 // PageOff returns va's offset within its page.
+//
+//numalint:hotpath
 func (m *Machine) PageOff(va uint32) int { return int(va) & (m.cfg.PageSize - 1) }
 
 // ChargeFetch charges th for a 32-bit fetch from frame f by processor proc
 // and counts it.
+//
+//numalint:hotpath
 func (m *Machine) ChargeFetch(th *sim.Thread, proc int, f *mem.Frame) {
 	c := &m.cfg.Cost
 	th.Advance(c.FetchCost(f, proc))
@@ -332,6 +364,8 @@ func (m *Machine) ChargeFetch(th *sim.Thread, proc int, f *mem.Frame) {
 
 // ChargeStore charges th for a 32-bit store to frame f by processor proc and
 // counts it.
+//
+//numalint:hotpath
 func (m *Machine) ChargeStore(th *sim.Thread, proc int, f *mem.Frame) {
 	c := &m.cfg.Cost
 	th.Advance(c.StoreCost(f, proc))

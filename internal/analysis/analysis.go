@@ -65,6 +65,9 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 type Directive struct {
 	Pos  token.Pos
 	Name string // e.g. "ordered", "deterministic", "stateenum"
+	// Arg is the rest of the comment line after the name — free text that
+	// escape directives use to carry a justification.
+	Arg string
 	// Node is the declaration the directive is attached to, when it heads
 	// a declaration's doc comment (nil for free-standing directives).
 	Node ast.Node
@@ -104,10 +107,12 @@ func Directives(file *ast.File) []Directive {
 				continue
 			}
 			name := strings.TrimPrefix(c.Text, directivePrefix)
+			var arg string
 			if i := strings.IndexAny(name, " \t"); i >= 0 {
+				arg = strings.TrimSpace(name[i:])
 				name = name[:i]
 			}
-			out = append(out, Directive{Pos: c.Pos(), Name: name, Node: byPos[c.Pos()]})
+			out = append(out, Directive{Pos: c.Pos(), Name: name, Arg: arg, Node: byPos[c.Pos()]})
 		}
 	}
 	return out

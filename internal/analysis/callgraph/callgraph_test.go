@@ -1,0 +1,173 @@
+package callgraph_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"numasim/internal/analysis/callgraph"
+	"numasim/internal/analysis/load"
+)
+
+// check type-checks src as a single-file, import-free package and returns
+// its syntax and type information.
+func check(t *testing.T, src string) ([]*ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := load.NewInfo()
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return []*ast.File{file}, info
+}
+
+// node finds the graph node for the function or method named name.
+func node(t *testing.T, g *callgraph.Graph, name string) *callgraph.Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Func.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node for %s", name)
+	return nil
+}
+
+// key renders an edge compactly for set membership checks.
+func key(e callgraph.Edge) string {
+	target := e.Dynamic
+	if e.Callee != nil {
+		target = e.Callee.Name()
+		if e.Interface {
+			target += "/iface"
+		}
+	}
+	return fmt.Sprintf("%s %s", e.Kind, target)
+}
+
+func edgeSet(n *callgraph.Node) map[string]int {
+	out := make(map[string]int)
+	for _, e := range n.Out {
+		out[key(e)]++
+	}
+	return out
+}
+
+func TestBuildEdgeKinds(t *testing.T) {
+	files, info := check(t, `
+package p
+
+type T struct{ F func() }
+
+func leaf() {}
+
+func (t *T) M() {}
+
+type I interface{ Do() }
+
+func root(t *T, i I, fn func()) {
+	leaf()
+	defer leaf()
+	go leaf()
+	t.M()
+	i.Do()
+	fn()
+	t.F()
+}
+`)
+	g := callgraph.Build(files, info)
+	edges := edgeSet(node(t, g, "root"))
+	for _, want := range []string{
+		"call leaf",
+		"defer leaf",
+		"go leaf",
+		"call M",
+		"call Do/iface",
+		"call function value fn",
+		"call function-typed field F",
+	} {
+		if edges[want] != 1 {
+			t.Errorf("edge %q: got %d, want 1 (all: %v)", want, edges[want], edges)
+		}
+	}
+	if len(node(t, g, "root").Out) != 7 {
+		t.Errorf("root has %d edges, want 7: %v", len(node(t, g, "root").Out), edges)
+	}
+	if len(node(t, g, "leaf").Out) != 0 {
+		t.Errorf("leaf should have no out-edges")
+	}
+}
+
+func TestBuildMethodValues(t *testing.T) {
+	files, info := check(t, `
+package p
+
+type T struct{}
+
+func (t *T) M() {}
+
+func sink(func()) {}
+
+func take(t *T) {
+	g := t.M
+	_ = g
+	sink(t.M)
+	sink(g)
+}
+`)
+	g := callgraph.Build(files, info)
+	edges := edgeSet(node(t, g, "take"))
+	// Each method value mention outside call position is one Ref edge; the
+	// two sink calls are direct calls.
+	if edges["reference M"] != 2 {
+		t.Errorf("want 2 method-value references to M, got %d (all: %v)", edges["reference M"], edges)
+	}
+	if edges["call sink"] != 2 {
+		t.Errorf("want 2 calls of sink, got %d (all: %v)", edges["call sink"], edges)
+	}
+}
+
+func TestBuildDeferredAndLiteralBodies(t *testing.T) {
+	files, info := check(t, `
+package p
+
+func leaf() {}
+
+func cleanup() {}
+
+func root() {
+	defer cleanup()
+	func() {
+		leaf()
+	}()
+	defer func() {
+		leaf()
+	}()
+}
+`)
+	g := callgraph.Build(files, info)
+	edges := edgeSet(node(t, g, "root"))
+	if edges["defer cleanup"] != 1 {
+		t.Errorf("want deferred call of cleanup, got: %v", edges)
+	}
+	// Function-literal bodies are attributed to the enclosing declaration:
+	// both leaf() calls belong to root, and the invoked literals themselves
+	// add no dynamic edge.
+	if edges["call leaf"] != 2 {
+		t.Errorf("want 2 calls of leaf via literal bodies, got %d (all: %v)", edges["call leaf"], edges)
+	}
+	for k := range edges {
+		if k == "defer cleanup" || k == "call leaf" {
+			continue
+		}
+		t.Errorf("unexpected edge %q (immediately invoked literals must not produce dynamic edges)", k)
+	}
+}

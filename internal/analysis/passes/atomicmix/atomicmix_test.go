@@ -1,0 +1,13 @@
+package atomicmix_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"numasim/internal/analysis/analysistest"
+	"numasim/internal/analysis/passes/atomicmix"
+)
+
+func TestMixedAccess(t *testing.T) {
+	analysistest.Run(t, filepath.Join(analysistest.TestData(), "mixed"), atomicmix.Analyzer)
+}

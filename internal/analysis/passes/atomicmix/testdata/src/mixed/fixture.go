@@ -1,0 +1,44 @@
+// Package mixed exercises the atomic/plain mixed-access check.
+package mixed
+
+import "sync/atomic"
+
+type counters struct {
+	// mixed is touched both ways: flagged at the declaration.
+	mixed uint64 // want `field mixed is accessed both atomically .* and with plain loads/stores .*; all accesses must agree`
+
+	// atomicOnly and plainOnly each keep one discipline: clean.
+	atomicOnly uint64
+	plainOnly  uint64
+
+	// typed uses an atomic type, so plain access is impossible anyway.
+	typed atomic.Uint64
+
+	// sampled intentionally mixes: written before the goroutine starts,
+	// read atomically after.
+	//
+	//numalint:unsynchronized seeded once before the workers start
+	sampled uint64
+
+	// lanes is an array accessed through &x.lanes[i].
+	lanes [4]uint64 // want `field lanes is accessed both atomically .* and with plain loads/stores`
+}
+
+func (c *counters) work(i int) uint64 {
+	atomic.AddUint64(&c.mixed, 1)
+	c.mixed++ // the plain side of the mix
+
+	atomic.AddUint64(&c.atomicOnly, 1)
+	atomic.StoreUint64(&c.atomicOnly, 0)
+
+	c.plainOnly++
+	c.plainOnly = c.plainOnly + 2
+
+	c.typed.Add(1)
+
+	c.sampled = 7
+	atomic.AddUint64(&c.sampled, 1)
+
+	atomic.AddUint64(&c.lanes[i], 1)
+	return c.lanes[i] + atomic.LoadUint64(&c.mixed)
+}

@@ -1,0 +1,31 @@
+// Package coldpath exercises the three //numalint:coldpath escape forms.
+package coldpath
+
+import "fmt"
+
+// slowInit is sanctioned wholesale by a doc-level directive: hot code may
+// call it and its body is never checked.
+//
+//numalint:coldpath setup: runs once before the simulation starts
+func slowInit(n int) []int {
+	return make([]int, n)
+}
+
+// Root mixes escaped and checked operations; only the unescaped make is
+// reported.
+//
+//numalint:hotpath
+func Root(xs []int, n int) []int {
+	if len(xs) == 0 {
+		//numalint:coldpath first fill: the steady state reuses the slice
+		xs = make([]int, 8)
+		xs = append(xs, slowInit(n)...)
+	}
+	xs = append(xs, n) //numalint:coldpath bounded: capacity preallocated by the caller
+	_ = slowInit(n)
+	if n < 0 {
+		panic(fmt.Sprintf("coldpath: bad n %d", n))
+	}
+	_ = make([]int, n) // want `make allocates`
+	return xs
+}

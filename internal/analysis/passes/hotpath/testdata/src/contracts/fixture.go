@@ -1,0 +1,15 @@
+// Package contracts exercises contract enforcement in the defining
+// package: the test registers (fixture/contracts.T).Hot and a key naming
+// no declared function before running the analyzer.
+package contracts // want `stale hotpath contract: fixture/contracts\.Missing names no function declared in fixture/contracts`
+
+// T carries the contract method.
+type T struct{ n int }
+
+// Hot is named by a Contracts entry but lacks the required annotation.
+func (t T) Hot() int { return t.n } // want `\(fixture/contracts\.T\)\.Hot is a cross-package hotpath contract but is not annotated //numalint:hotpath`
+
+// Vetted is named by a Contracts entry and properly annotated.
+//
+//numalint:hotpath
+func (t T) Vetted() int { return t.n }

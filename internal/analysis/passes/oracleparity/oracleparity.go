@@ -1,0 +1,384 @@
+// Package oracleparity keeps the dense hot-path state and its map-shadow
+// test oracles from drifting apart.
+//
+// PR 6 replaced the NUMA manager's live-page map and the pmap residency
+// map with dense structures (generation-stamped directory slots,
+// VPN-indexed tables) and kept the old maps as shadow oracles that tests
+// replay every mutation into. That scheme is only sound if every mutation
+// of the dense state routes through a function that also feeds the
+// oracle; one direct write added in a refactor and the oracle silently
+// diverges from the code it checks.
+//
+// Three field/function directives express the design and the analyzer
+// enforces it package-wide:
+//
+//	//numalint:oracle        on a field: the guarded dense state
+//	//numalint:oraclehook    on a field: the shadow oracle hook
+//	//numalint:oraclechannel on a function: a sanctioned mutator
+//
+// The rules:
+//
+//  1. Any mutation reached through an oracle-guarded field — an
+//     assignment, ++/--, explicit address-taking, append/copy/delete/
+//     clear, or a call of a mutating method on the field — must occur
+//     inside an oraclechannel function or be a call to one.
+//  2. Every oraclechannel must reference an oraclehook field somewhere in
+//     its body, or say why not in the directive itself
+//     (//numalint:oraclechannel constructor: mirror attached later).
+//
+// Whether a same-package method mutates its receiver is computed to a
+// fixpoint over the package; methods the analyzer cannot see are assumed
+// mutating.
+package oracleparity
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"numasim/internal/analysis"
+)
+
+// Analyzer is the oracle-parity check.
+var Analyzer = &analysis.Analyzer{
+	Name: "oracleparity",
+	Doc:  "route every mutation of oracle-guarded state through an oracle channel",
+	Run:  run,
+}
+
+type config struct {
+	guarded  map[*types.Var]bool
+	hooks    map[*types.Var]bool
+	channels map[*types.Func]string // func -> directive arg
+}
+
+func run(pass *analysis.Pass) error {
+	cfg := collect(pass)
+	if len(cfg.guarded) == 0 && len(cfg.channels) == 0 {
+		return nil
+	}
+	mutating := mutatingMethods(pass)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			_, isChannel := cfg.channels[obj]
+			if !isChannel {
+				checkMutations(pass, cfg, mutating, fd)
+			}
+		}
+	}
+
+	checkChannels(pass, cfg)
+	return nil
+}
+
+// collect gathers the directive-marked fields and functions.
+func collect(pass *analysis.Pass) config {
+	cfg := config{
+		guarded:  make(map[*types.Var]bool),
+		hooks:    make(map[*types.Var]bool),
+		channels: make(map[*types.Func]string),
+	}
+	fieldObjs := func(d analysis.Directive, name string) []*types.Var {
+		field, ok := d.Node.(*ast.Field)
+		if !ok {
+			pass.Reportf(d.Pos, "//numalint:%s must be on a struct field's doc comment", name)
+			return nil
+		}
+		var out []*types.Var
+		for _, n := range field.Names {
+			if obj, ok := pass.TypesInfo.Defs[n].(*types.Var); ok {
+				out = append(out, obj)
+			}
+		}
+		return out
+	}
+	for _, f := range pass.Files {
+		for _, d := range analysis.Directives(f) {
+			switch d.Name {
+			case "oracle":
+				for _, obj := range fieldObjs(d, "oracle") {
+					cfg.guarded[obj] = true
+				}
+			case "oraclehook":
+				for _, obj := range fieldObjs(d, "oraclehook") {
+					cfg.hooks[obj] = true
+				}
+			case "oraclechannel":
+				fd, ok := d.Node.(*ast.FuncDecl)
+				if !ok {
+					pass.Reportf(d.Pos, "//numalint:oraclechannel must be on a function's doc comment")
+					continue
+				}
+				if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					cfg.channels[obj] = d.Arg
+				}
+			}
+		}
+	}
+	return cfg
+}
+
+// checkMutations reports every mutation of guarded state inside fd, which
+// is not an oracle channel.
+func checkMutations(pass *analysis.Pass, cfg config, mutating map[*types.Func]bool, fd *ast.FuncDecl) {
+	report := func(pos token.Pos, via *types.Var, what string) {
+		pass.Reportf(pos,
+			"%s oracle-guarded field %s outside an //numalint:oraclechannel function; route it through a channel so the shadow oracle stays in sync",
+			what, via.Name())
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range x.Lhs {
+				if via := guardedIn(pass, cfg, lhs); via != nil {
+					report(lhs.Pos(), via, "write to")
+				}
+			}
+		case *ast.IncDecStmt:
+			if via := guardedIn(pass, cfg, x.X); via != nil {
+				report(x.Pos(), via, "write to")
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if via := guardedIn(pass, cfg, x.X); via != nil {
+					report(x.Pos(), via, "address taken of")
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, cfg, mutating, x, report)
+		}
+		return true
+	})
+}
+
+// checkCall flags builtin mutations (append/copy/delete/clear on guarded
+// state) and calls of mutating methods on guarded receivers that do not
+// target an oracle channel.
+func checkCall(pass *analysis.Pass, cfg config, mutating map[*types.Func]bool, call *ast.CallExpr, report func(token.Pos, *types.Var, string)) {
+	fun := ast.Unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append", "copy", "delete", "clear":
+				if len(call.Args) > 0 {
+					if via := guardedIn(pass, cfg, call.Args[0]); via != nil {
+						report(call.Pos(), via, b.Name()+" on")
+					}
+				}
+			}
+			return
+		}
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	via := guardedIn(pass, cfg, sel.X)
+	if via == nil {
+		return
+	}
+	callee, ok := s.Obj().(*types.Func)
+	if !ok {
+		return
+	}
+	if _, isChannel := cfg.channels[callee]; isChannel {
+		return // sanctioned mutator: the channel itself keeps the oracle in sync
+	}
+	if isMutating(pass, mutating, callee) {
+		report(call.Pos(), via, "call of mutating method "+callee.Name()+" on")
+	}
+}
+
+// guardedIn walks expr's selector/index chain and returns the first
+// oracle-guarded field it passes through, or nil.
+func guardedIn(pass *analysis.Pass, cfg config, expr ast.Expr) *types.Var {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			if s, ok := pass.TypesInfo.Selections[e]; ok && s.Kind() == types.FieldVal {
+				if obj, ok := s.Obj().(*types.Var); ok && cfg.guarded[obj] {
+					return obj
+				}
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// checkChannels enforces rule 2: a channel must touch a hook or carry a
+// justification in its directive.
+func checkChannels(pass *analysis.Pass, cfg config) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			arg, isChannel := cfg.channels[obj]
+			if !isChannel || arg != "" {
+				continue
+			}
+			if fd.Body == nil || !referencesHook(pass, cfg, fd.Body) {
+				pass.Reportf(fd.Pos(),
+					"oraclechannel %s never references an //numalint:oraclehook field; invoke the oracle hook or justify its absence in the directive",
+					obj.Name())
+			}
+		}
+	}
+}
+
+// referencesHook reports whether body mentions any oraclehook field.
+func referencesHook(pass *analysis.Pass, cfg config, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			if obj, ok := s.Obj().(*types.Var); ok && cfg.hooks[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mutatingMethods computes, to a fixpoint, which same-package methods
+// write through their receiver (directly, or by calling another mutating
+// method on it).
+func mutatingMethods(pass *analysis.Pass) map[*types.Func]bool {
+	type method struct {
+		fn   *types.Func
+		recv *types.Var
+		body *ast.BlockStmt
+	}
+	var methods []method
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			var recv *types.Var
+			if len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				recv, _ = pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+			}
+			methods = append(methods, method{fn, recv, fd.Body})
+		}
+	}
+
+	mutating := make(map[*types.Func]bool)
+	// throughRecv reports whether expr's base chain ends at the receiver.
+	throughRecv := func(recv *types.Var, expr ast.Expr) bool {
+		for {
+			switch e := ast.Unparen(expr).(type) {
+			case *ast.SelectorExpr:
+				expr = e.X
+			case *ast.IndexExpr:
+				expr = e.X
+			case *ast.StarExpr:
+				expr = e.X
+			case *ast.Ident:
+				return pass.TypesInfo.Uses[e] == recv
+			default:
+				return false
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, m := range methods {
+			if mutating[m.fn] || m.recv == nil {
+				continue
+			}
+			writes := false
+			ast.Inspect(m.body, func(n ast.Node) bool {
+				if writes {
+					return false
+				}
+				switch x := n.(type) {
+				case *ast.AssignStmt:
+					if x.Tok == token.DEFINE {
+						return true
+					}
+					for _, lhs := range x.Lhs {
+						// A write to a bare `recv = ...` rebinds the local
+						// copy; only writes through a selector/index count.
+						if _, bare := ast.Unparen(lhs).(*ast.Ident); !bare && throughRecv(m.recv, lhs) {
+							writes = true
+						}
+					}
+				case *ast.IncDecStmt:
+					if _, bare := ast.Unparen(x.X).(*ast.Ident); !bare && throughRecv(m.recv, x.X) {
+						writes = true
+					}
+				case *ast.CallExpr:
+					fun := ast.Unparen(x.Fun)
+					if id, ok := fun.(*ast.Ident); ok {
+						if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+							switch b.Name() {
+							case "append", "copy", "delete", "clear":
+								if len(x.Args) > 0 && throughRecv(m.recv, x.Args[0]) {
+									writes = true
+								}
+							}
+							return true
+						}
+					}
+					if sel, ok := fun.(*ast.SelectorExpr); ok {
+						if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal && throughRecv(m.recv, sel.X) {
+							if callee, ok := s.Obj().(*types.Func); ok && isMutating(pass, mutating, callee) {
+								writes = true
+							}
+						}
+					}
+				}
+				return true
+			})
+			if writes {
+				mutating[m.fn] = true
+				changed = true
+			}
+		}
+	}
+	return mutating
+}
+
+// isMutating resolves a callee against the fixpoint, assuming the worst
+// for methods declared outside the package (their bodies are invisible).
+func isMutating(pass *analysis.Pass, mutating map[*types.Func]bool, callee *types.Func) bool {
+	if callee.Pkg() == pass.Pkg {
+		return mutating[callee]
+	}
+	return true
+}

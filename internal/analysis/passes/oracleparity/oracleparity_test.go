@@ -1,0 +1,13 @@
+package oracleparity_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"numasim/internal/analysis/analysistest"
+	"numasim/internal/analysis/passes/oracleparity"
+)
+
+func TestParity(t *testing.T) {
+	analysistest.Run(t, filepath.Join(analysistest.TestData(), "parity"), oracleparity.Analyzer)
+}

@@ -1,0 +1,79 @@
+// Package parity exercises the oracle-parity rules: guarded mutations
+// must route through channels, and channels must feed the hook.
+package parity
+
+// page is a stand-in for the dense state's element type.
+type page struct{ id int }
+
+type table struct {
+	//numalint:oracle
+	slots []*page
+	//numalint:oracle
+	n int
+
+	//numalint:oraclehook
+	mirror map[int]*page
+
+	hand int // unguarded: free to touch anywhere
+}
+
+// set is a sanctioned mutator that feeds the hook.
+//
+//numalint:oraclechannel
+func (t *table) set(i int, pg *page) {
+	t.slots[i] = pg
+	t.n++
+	if t.mirror != nil {
+		t.mirror[i] = pg
+	}
+}
+
+// reset is a channel justified by its directive argument instead of a
+// hook reference.
+//
+//numalint:oraclechannel constructor: the mirror attaches after reset
+func (t *table) reset(size int) {
+	t.slots = make([]*page, size)
+	t.n = 0
+}
+
+// silent mutates guarded state but never touches the hook and gives no
+// reason: rule 2.
+//
+//numalint:oraclechannel
+func (t *table) silent(i int) { // want `oraclechannel silent never references an //numalint:oraclehook field`
+	t.slots[i] = nil
+}
+
+// rogue bypasses the channels in every way rule 1 catches.
+func (t *table) rogue(i int, pg *page) {
+	t.slots[i] = pg               // want `write to oracle-guarded field slots outside an //numalint:oraclechannel function`
+	t.n++                         // want `write to oracle-guarded field n outside an //numalint:oraclechannel function`
+	t.slots = append(t.slots, pg) // want `write to oracle-guarded field slots` `append on oracle-guarded field slots`
+	_ = &t.slots[i]               // want `address taken of oracle-guarded field slots`
+	t.hand = i                    // unguarded: clean
+}
+
+// grow calls a mutating method on the guarded state outside a channel.
+type inner struct{ xs []int }
+
+func (s *inner) push(x int) { s.xs = append(s.xs, x) }
+
+type holder struct {
+	//numalint:oracle
+	in inner
+}
+
+func (h *holder) bad(x int) {
+	h.in.push(x) // want `call of mutating method push on oracle-guarded field in`
+}
+
+// ok routes the same mutation through a channel call.
+//
+//numalint:oraclechannel pushes are mirrored by the caller
+func (h *holder) channelPush(x int) { h.in.push(x) }
+
+func (h *holder) good(x int) {
+	h.channelPush(x)
+	_ = h.in.xs // reads stay free
+}

@@ -45,15 +45,23 @@ type Frame struct {
 }
 
 // Kind reports which level of the hierarchy the frame belongs to.
+//
+//numalint:hotpath
 func (f *Frame) Kind() Kind { return f.kind }
 
 // Proc reports the processor owning a local frame, or -1 for global frames.
+//
+//numalint:hotpath
 func (f *Frame) Proc() int { return f.proc }
 
 // Index reports the frame's position within its pool.
+//
+//numalint:hotpath
 func (f *Frame) Index() int { return f.index }
 
 // PageSize reports the frame's size in bytes.
+//
+//numalint:hotpath
 func (f *Frame) PageSize() int { return f.pageSize }
 
 // InUse reports whether the frame is currently allocated.
@@ -69,14 +77,19 @@ func (f *Frame) String() string {
 
 // Data returns the frame's backing bytes, allocating them zeroed on first
 // use.
+//
+//numalint:hotpath
 func (f *Frame) Data() []byte {
 	if f.data == nil {
+		//numalint:coldpath lazy first touch: each frame's backing bytes are allocated once
 		f.data = make([]byte, f.pageSize)
 	}
 	return f.data
 }
 
 // Zero clears the frame's contents.
+//
+//numalint:hotpath
 func (f *Frame) Zero() {
 	if f.data == nil {
 		// Never touched; already logically zero.
@@ -86,6 +99,8 @@ func (f *Frame) Zero() {
 }
 
 // CopyFrom copies the full page contents of src into f.
+//
+//numalint:hotpath
 func (f *Frame) CopyFrom(src *Frame) {
 	if src.pageSize != f.pageSize {
 		panic(fmt.Sprintf("mem: copy between mismatched page sizes %d and %d", src.pageSize, f.pageSize))
@@ -128,6 +143,8 @@ func (f *Frame) checkOff(off, size int) {
 }
 
 // Load32 reads the 32-bit word at byte offset off.
+//
+//numalint:hotpath
 func (f *Frame) Load32(off int) uint32 {
 	f.checkOff(off, 4)
 	if f.data == nil {
@@ -137,12 +154,16 @@ func (f *Frame) Load32(off int) uint32 {
 }
 
 // Store32 writes the 32-bit word at byte offset off.
+//
+//numalint:hotpath
 func (f *Frame) Store32(off int, v uint32) {
 	f.checkOff(off, 4)
 	binary.LittleEndian.PutUint32(f.Data()[off:], v)
 }
 
 // Load64 reads the 64-bit word at byte offset off.
+//
+//numalint:hotpath
 func (f *Frame) Load64(off int) uint64 {
 	f.checkOff(off, 8)
 	if f.data == nil {
@@ -152,12 +173,16 @@ func (f *Frame) Load64(off int) uint64 {
 }
 
 // Store64 writes the 64-bit word at byte offset off.
+//
+//numalint:hotpath
 func (f *Frame) Store64(off int, v uint64) {
 	f.checkOff(off, 8)
 	binary.LittleEndian.PutUint64(f.Data()[off:], v)
 }
 
 // Load8 reads the byte at offset off.
+//
+//numalint:hotpath
 func (f *Frame) Load8(off int) byte {
 	f.checkOff(off, 1)
 	if f.data == nil {
@@ -167,6 +192,8 @@ func (f *Frame) Load8(off int) byte {
 }
 
 // Store8 writes the byte at offset off.
+//
+//numalint:hotpath
 func (f *Frame) Store8(off int, v byte) {
 	f.checkOff(off, 1)
 	f.Data()[off] = v
@@ -232,9 +259,13 @@ func NewPool(kind Kind, proc, n, pageSize int) *Pool {
 func (p *Pool) Name() string { return p.name }
 
 // Size reports the total number of frames.
+//
+//numalint:hotpath
 func (p *Pool) Size() int { return len(p.frames) }
 
 // Free reports the number of unallocated frames.
+//
+//numalint:hotpath
 func (p *Pool) Free() int { return len(p.free) }
 
 // InUse reports the number of allocated frames.
@@ -251,8 +282,11 @@ func (p *Pool) Exhausted() uint64 { return p.exhausted }
 // Alloc takes a frame from the pool. The frame's previous contents are
 // undefined; callers that need zeroed memory must call Zero (the pmap layer
 // does this lazily, per §2.3.1).
+//
+//numalint:hotpath
 func (p *Pool) Alloc() (*Frame, error) {
 	if len(p.free) == 0 {
+		//numalint:coldpath exhaustion: the caller falls back to reclaim or global memory
 		p.exhausted++
 		return nil, &ErrNoFrames{Pool: p.name}
 	}
@@ -266,6 +300,8 @@ func (p *Pool) Alloc() (*Frame, error) {
 }
 
 // Release returns a frame to the pool.
+//
+//numalint:hotpath
 func (p *Pool) Release(f *Frame) {
 	if f.kind != p.kind || f.proc != p.proc {
 		panic(fmt.Sprintf("mem: frame %s released to wrong pool %s", f, p.name))
@@ -274,7 +310,7 @@ func (p *Pool) Release(f *Frame) {
 		panic(fmt.Sprintf("mem: double free of frame %s", f))
 	}
 	f.inUse = false
-	p.free = append(p.free, f)
+	p.free = append(p.free, f) //numalint:coldpath bounded: free-list capacity is preallocated to the pool size
 }
 
 // Frame returns the i'th frame of the pool (allocated or not).
@@ -305,9 +341,13 @@ func NewMemory(nproc, globalFrames, localFrames, pageSize int) *Memory {
 func (m *Memory) PageSize() int { return m.pageSize }
 
 // Global returns the global memory pool.
+//
+//numalint:hotpath
 func (m *Memory) Global() *Pool { return m.global }
 
 // Local returns processor p's local memory pool.
+//
+//numalint:hotpath
 func (m *Memory) Local(p int) *Pool { return m.local[p] }
 
 // NProc reports the number of processors (number of local pools).

@@ -28,9 +28,13 @@ const (
 )
 
 // CanRead reports whether the protection permits loads.
+//
+//numalint:hotpath
 func (p Prot) CanRead() bool { return p&ProtRead != 0 }
 
 // CanWrite reports whether the protection permits stores.
+//
+//numalint:hotpath
 func (p Prot) CanWrite() bool { return p&ProtWrite != 0 }
 
 func (p Prot) String() string {
@@ -135,6 +139,8 @@ func (m *MMU) invalidateTLB() { m.tlb = [tlbSize]tlbSlot{} }
 // replacing any previous translation for vpn. If frame is already mapped at
 // a different virtual address on this processor, that mapping is dropped
 // first (the Rosetta single-VA restriction) and counted in Stats.AliasDrops.
+//
+//numalint:hotpath
 func (m *MMU) Enter(key Key, frame *mem.Frame, prot Prot) {
 	if frame == nil {
 		panic("mmu: Enter with nil frame")
@@ -147,7 +153,7 @@ func (m *MMU) Enter(key Key, frame *mem.Frame, prot Prot) {
 		delete(m.byFrm, frame)
 		m.stats.AliasDrops++
 		m.tlbDrop(old.Key)
-		m.free = append(m.free, old)
+		m.free = append(m.free, old) //numalint:coldpath bounded: capacity tracks the PTE working-set high water
 	}
 	if old, ok := m.pt[key]; ok {
 		// Re-enter of a mapped key: update the record in place. The TLB
@@ -166,6 +172,7 @@ func (m *MMU) Enter(key Key, frame *mem.Frame, prot Prot) {
 		m.free = m.free[:k-1]
 		*pte = PTE{Key: key, Frame: frame, Prot: prot}
 	} else {
+		//numalint:coldpath pool miss: first fault on a fresh key; the steady state pops the free list
 		pte = &PTE{Key: key, Frame: frame, Prot: prot}
 	}
 	m.pt[key] = pte
@@ -176,18 +183,22 @@ func (m *MMU) Enter(key Key, frame *mem.Frame, prot Prot) {
 }
 
 // Remove drops the translation for vpn, if any.
+//
+//numalint:hotpath
 func (m *MMU) Remove(key Key) {
 	if pte, ok := m.pt[key]; ok {
 		delete(m.pt, key)
 		delete(m.byFrm, pte.Frame)
 		m.stats.Removes++
 		m.tlbDrop(key)
-		m.free = append(m.free, pte)
+		m.free = append(m.free, pte) //numalint:coldpath bounded: capacity tracks the PTE working-set high water
 	}
 }
 
 // RemoveFrame drops the translation (there is at most one) mapping frame on
 // this processor. It reports whether a translation existed.
+//
+//numalint:hotpath
 func (m *MMU) RemoveFrame(frame *mem.Frame) bool {
 	pte, ok := m.byFrm[frame]
 	if !ok {
@@ -197,13 +208,15 @@ func (m *MMU) RemoveFrame(frame *mem.Frame) bool {
 	delete(m.byFrm, frame)
 	m.stats.Removes++
 	m.tlbDrop(pte.Key)
-	m.free = append(m.free, pte)
+	m.free = append(m.free, pte) //numalint:coldpath bounded: capacity tracks the PTE working-set high water
 	return true
 }
 
 // Protect changes the protection of the translation for vpn, if present.
 // Raising as well as lowering is permitted; the pmap layer uses lowering to
 // provoke the faults that drive the NUMA protocol.
+//
+//numalint:hotpath
 func (m *MMU) Protect(key Key, prot Prot) {
 	if pte, ok := m.pt[key]; ok {
 		if prot == ProtNone {
@@ -219,6 +232,8 @@ func (m *MMU) Protect(key Key, prot Prot) {
 
 // ProtectFrame changes the protection of the translation mapping frame, if
 // present.
+//
+//numalint:hotpath
 func (m *MMU) ProtectFrame(frame *mem.Frame, prot Prot) {
 	if pte, ok := m.byFrm[frame]; ok {
 		m.Protect(pte.Key, prot)
@@ -226,11 +241,15 @@ func (m *MMU) ProtectFrame(frame *mem.Frame, prot Prot) {
 }
 
 // Lookup returns the translation for vpn, or nil.
+//
+//numalint:hotpath
 func (m *MMU) Lookup(key Key) *PTE {
 	return m.pt[key]
 }
 
 // LookupFrame returns this processor's translation mapping frame, or nil.
+//
+//numalint:hotpath
 func (m *MMU) LookupFrame(frame *mem.Frame) *PTE {
 	return m.byFrm[frame]
 }
@@ -238,6 +257,8 @@ func (m *MMU) LookupFrame(frame *mem.Frame) *PTE {
 // Translate resolves an access. It returns the frame to access if the
 // translation exists with sufficient permission, or nil to signal a fault.
 // This is the hot path: it goes through the direct-mapped TLB first.
+//
+//numalint:hotpath
 func (m *MMU) Translate(key Key, write bool) *mem.Frame {
 	s := &m.tlb[int(key)&(tlbSize-1)]
 	pte := s.pte

@@ -88,6 +88,8 @@ func (n *Manager) AuditStride() int { return n.auditStride }
 
 // maybeAudit runs the incremental audit according to the sampling stride.
 // pg is the page the protocol just acted on.
+//
+//numalint:coldpath diagnostics: sampled invariant checking is opt-in via EnableAudit
 func (n *Manager) maybeAudit(pg *Page) {
 	if n.auditStride <= 0 {
 		return
@@ -166,6 +168,8 @@ func (n *Manager) AuditAll() error {
 
 // register adds a page to the dense live-page directory used by AuditAll
 // and the state-dump summary.
+//
+//numalint:oraclechannel
 func (n *Manager) register(pg *Page) {
 	pg.mgr = n
 	n.dir.add(pg)
@@ -177,6 +181,8 @@ func (n *Manager) register(pg *Page) {
 // unregister removes a freed page from the directory; its slot's
 // generation stamp is bumped so a stale handle cannot evict a later
 // occupant.
+//
+//numalint:oraclechannel
 func (n *Manager) unregister(pg *Page) {
 	n.dir.remove(pg)
 	if n.mir != nil {

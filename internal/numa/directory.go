@@ -87,6 +87,7 @@ func (d *directory) forEach(fn func(*Page) error) error {
 // whole machines concurrently, and within a machine each processor's
 // sweep touches only its own shard.
 type procShard struct {
+	//numalint:oracle
 	resident []*Page // frame index -> page holding a copy there
 	refbit   []bool  // second-chance reference bits
 	hand     int     // clock hand position

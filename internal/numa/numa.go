@@ -58,6 +58,7 @@ func (s State) String() string {
 	case Remote:
 		return "remote"
 	default:
+		//numalint:coldpath diagnostic formatting for an out-of-range state value
 		return fmt.Sprintf("state(%d)", int(s))
 	}
 }
@@ -188,30 +189,46 @@ func (h Hint) String() string {
 }
 
 // ID returns the page's manager-unique id, as carried by trace events.
+//
+//numalint:hotpath
 func (p *Page) ID() int64 { return p.id }
 
 // Hint returns the page's placement pragma.
+//
+//numalint:hotpath
 func (p *Page) Hint() Hint { return p.hint }
 
 // SetHint sets the page's placement pragma.
+//
+//numalint:hotpath
 func (p *Page) SetHint(h Hint) { p.hint = h }
 
 // Home returns the processor named by a remote-placement pragma, or -1.
+//
+//numalint:hotpath
 func (p *Page) Home() int { return p.home }
 
 // SetHome names the page's home processor for remote placement (§4.4).
+//
+//numalint:hotpath
 func (p *Page) SetHome(proc int) { p.home = proc }
 
 // GlobalFrame returns the page's permanent global-memory frame.
+//
+//numalint:hotpath
 func (p *Page) GlobalFrame() *mem.Frame { return p.global }
 
 // State returns the page's consistency state.
+//
+//numalint:hotpath
 func (p *Page) State() State { return p.state }
 
 // Owner returns the processor holding the local-writable copy, or -1.
 func (p *Page) Owner() int { return p.owner }
 
 // Copy returns processor proc's local replica, or nil.
+//
+//numalint:hotpath
 func (p *Page) Copy(proc int) *mem.Frame { return p.copies[proc] }
 
 // NCopies reports how many local replicas exist.
@@ -227,27 +244,39 @@ func (p *Page) NCopies() int {
 
 // Moves reports how many times the consistency protocol has moved the page
 // between processors in response to writes.
+//
+//numalint:hotpath
 func (p *Page) Moves() int { return p.moves }
 
 // LastMoveAt reports the virtual time of the page's most recent ownership
 // transfer (zero if it has never moved).
+//
+//numalint:hotpath
 func (p *Page) LastMoveAt() sim.Time { return p.lastMove }
 
 // LastRequestAt reports the virtual time of the request currently being
 // (or most recently) handled for this page. Policies may compare it with
 // LastMoveAt to reason about recency.
+//
+//numalint:hotpath
 func (p *Page) LastRequestAt() sim.Time { return p.lastRequest }
 
 // Pinned reports whether the page has been placed permanently in global
 // memory.
+//
+//numalint:hotpath
 func (p *Page) Pinned() bool { return p.pinned }
 
 // EverWritten reports whether any processor has ever written the page.
+//
+//numalint:hotpath
 func (p *Page) EverWritten() bool { return p.everWritten }
 
 // Authoritative returns the frame currently holding the true contents of
 // the page: the owner's local copy for local-writable pages, otherwise the
 // global frame.
+//
+//numalint:hotpath
 func (p *Page) Authoritative() *mem.Frame {
 	switch p.state {
 	case LocalWritable:
@@ -353,10 +382,12 @@ type Manager struct {
 	auditOps        uint64
 	auditSweepEvery uint64
 	ring            *simtrace.RingSink
-	dir             directory
+	//numalint:oracle
+	dir directory
 
 	// mir, when non-nil, mirrors directory and residency mutations into a
 	// test oracle (see the mirror interface in directory.go).
+	//numalint:oraclehook
 	mir mirror
 
 	// freePages recycles Page records: FreePage pushes the retired record
@@ -369,6 +400,8 @@ type Manager struct {
 }
 
 // NewManager creates a NUMA manager for machine using the given policy.
+//
+//numalint:oraclechannel constructor: the residency shards are built before any mirror can attach
 func NewManager(machine *ace.Machine, pol Policy) *Manager {
 	if pol == nil {
 		panic(newViolation(nil, nil, "numa: nil policy"))
@@ -416,6 +449,7 @@ func (n *Manager) SetReplication(enabled bool) { n.noReplication = !enabled }
 // proc is the processor the action serves, or -1 for whole-page sweeps.
 func (n *Manager) emitAction(th *sim.Thread, pg *Page, proc int, label string) {
 	if n.onAction != nil {
+		//numalint:coldpath observer hook: table derivation and protocol tests only
 		n.onAction(label)
 	}
 	if n.bus.Enabled() {
@@ -501,6 +535,8 @@ func (n *Manager) AdoptPage(global *mem.Frame) *Page {
 // MarkZeroFill records that the page must read as zeros on its next
 // materialization (the Mach pmap_zero_page, lazily evaluated per §2.3.1).
 // It may only be applied to a quiescent page.
+//
+//numalint:hotpath
 func (n *Manager) MarkZeroFill(pg *Page) {
 	if pg.NCopies() != 0 || pg.state != ReadOnly {
 		panic(n.violation(pg, "numa: MarkZeroFill on an active page"))
@@ -512,6 +548,8 @@ func (n *Manager) MarkZeroFill(pg *Page) {
 // MarkFilled records that the page's global frame already holds valid data
 // (e.g. after pmap_copy_page or pagein), cancelling any pending lazy
 // zero-fill.
+//
+//numalint:hotpath
 func (n *Manager) MarkFilled(pg *Page) {
 	pg.needZero = false
 }
@@ -523,6 +561,8 @@ func (n *Manager) MarkFilled(pg *Page) {
 // resolves the fault (the paper's min-protection, §2.3.3).
 //
 // All protocol costs are charged to th as system time.
+//
+//numalint:hotpath
 func (n *Manager) Access(th *sim.Thread, pg *Page, proc int, write bool, maxProt mmu.Prot) (*mem.Frame, mmu.Prot) {
 	if write && !maxProt.CanWrite() {
 		panic(n.violation(pg, "numa: write request on non-writable page escaped the VM layer"))
@@ -538,6 +578,7 @@ func (n *Manager) Access(th *sim.Thread, pg *Page, proc int, write bool, maxProt
 	pg.lastRequest = th.Clock()
 	n.now = th.Clock()
 	if n.chaos != nil && n.chaos.Disrupt(th.Clock(), proc) {
+		//numalint:coldpath fault injection: a stall drill deliberately wedges the thread
 		// Injected stall drill: spin without advancing virtual time until
 		// the engine's stall watchdog declares the run livelocked and
 		// tears it down (Yield panics an abort signal then).
@@ -750,7 +791,7 @@ func (n *Manager) toGlobal(th *sim.Thread, pg *Page, proc int, maxProt mmu.Prot)
 			}
 		}
 		if _, ok := n.policy.(ReconsideringPolicy); ok {
-			n.gwPages = append(n.gwPages, pg)
+			n.gwPages = append(n.gwPages, pg) //numalint:coldpath bounded: one slot per pinned page, reclaimed by the sweep
 		}
 	}
 	if pg.needZero {
@@ -768,6 +809,8 @@ func (n *Manager) toGlobal(th *sim.Thread, pg *Page, proc int, maxProt mmu.Prot)
 // fault path and from the scheduler's clock tick (pinned pages do not
 // fault on their own); the sweep's cost is charged to the thread that
 // triggered it, as daemon work billed to system time.
+//
+//numalint:hotpath
 func (n *Manager) MaybeSweep(th *sim.Thread) {
 	rp, ok := n.policy.(ReconsideringPolicy)
 	if !ok || len(n.gwPages) == 0 {
@@ -785,7 +828,7 @@ func (n *Manager) MaybeSweep(th *sim.Thread) {
 		}
 		n.unmapAll(th, pg)
 		th.AdvanceSys(n.machine.Cost().NUMAOp)
-		live = append(live, pg)
+		live = append(live, pg) //numalint:coldpath in-place filter: live reuses gwPages' backing array and cannot grow
 	}
 	n.gwPages = live
 }

@@ -21,6 +21,7 @@ import (
 // caller demotes the placement to global for this request only.
 func (n *Manager) admitLocal(th *sim.Thread, pg *Page, proc int) bool {
 	if n.chaos != nil {
+		//numalint:coldpath fault injection: the retry loop runs only with an Injector installed
 		for attempt := 0; n.chaos.FailLocalAlloc(th.Clock(), proc); attempt++ {
 			n.stats.ChaosFaults++
 			if attempt >= n.chaos.MaxRetries() {
@@ -105,27 +106,35 @@ func (n *Manager) reclaimLocal(th *sim.Thread, keep *Page, proc int) bool {
 
 // noteCopy records that frame f of proc's local memory now holds a copy
 // of pg, and gives it a fresh reference bit.
+//
+//numalint:oraclechannel
 func (n *Manager) noteCopy(pg *Page, proc int, f *mem.Frame) {
 	shard := &n.shards[proc]
 	shard.resident[f.Index()] = pg
 	shard.refbit[f.Index()] = true
 	if n.mir != nil {
+		//numalint:coldpath test-only: the mirror oracle is attached by the fuzz/parity suites
 		n.mir.noteCopy(pg, proc, f.Index())
 	}
 }
 
 // noteDrop clears the residency record for frame f of proc's pool.
+//
+//numalint:oraclechannel
 func (n *Manager) noteDrop(proc int, f *mem.Frame) {
 	shard := &n.shards[proc]
 	shard.resident[f.Index()] = nil
 	shard.refbit[f.Index()] = false
 	if n.mir != nil {
+		//numalint:coldpath test-only: the mirror oracle is attached by the fuzz/parity suites
 		n.mir.noteDrop(proc, f.Index())
 	}
 }
 
 // chargeMoveDelay charges any injected delay for a page move performed by
 // proc (chaos models bus contention and slow paths on copies).
+//
+//numalint:coldpath fault injection: no-op unless an Injector is installed
 func (n *Manager) chargeMoveDelay(th *sim.Thread, proc int) {
 	if n.chaos == nil {
 		return

@@ -96,6 +96,8 @@ func (m *Manager) Destroy(th *sim.Thread, p *Pmap) {
 func (p *Pmap) Space() uint32 { return p.space }
 
 // Key composes the MMU key for virtual address va in this address space.
+//
+//numalint:hotpath
 func (p *Pmap) Key(va uint32) mmu.Key {
 	return mmu.Key(p.space)<<32 | mmu.Key(va>>p.shift)
 }
@@ -106,6 +108,8 @@ func (p *Pmap) keyOfVPN(vpn uint32) mmu.Key {
 
 // Resident returns the logical page resident at va, or nil. The pmap is a
 // cache; absence means only that no mapping was entered through this pmap.
+//
+//numalint:hotpath
 func (p *Pmap) Resident(va uint32) *numa.Page {
 	return p.res.get(va >> p.shift)
 }
@@ -114,6 +118,8 @@ func (p *Pmap) Resident(va uint32) *numa.Page {
 // proc, placing the page through the NUMA policy. maxProt is the loosest
 // protection machine-independent code permits; minProt the strictest that
 // resolves the faulting access. Costs are charged to th as system time.
+//
+//numalint:hotpath
 func (p *Pmap) Enter(th *sim.Thread, proc int, va uint32, pg *numa.Page, maxProt, minProt mmu.Prot) {
 	if p.destroy {
 		panic("pmap: Enter on destroyed pmap")
@@ -215,12 +221,16 @@ func (m *Manager) dropResidency(pg *numa.Page) {
 // evaluated: the zeros are written at pmap_enter time, once the target
 // processor is known, "to avoid writing zeros into global memory and
 // immediately copying them" (§2.3.1).
+//
+//numalint:hotpath
 func (m *Manager) ZeroPage(pg *numa.Page) {
 	m.numa.MarkZeroFill(pg)
 }
 
 // CopyPage copies the current contents of src into dst's global frame on
 // behalf of processor proc (the Mach pmap_copy_page).
+//
+//numalint:hotpath
 func (m *Manager) CopyPage(th *sim.Thread, src, dst *numa.Page, proc int) {
 	from := src.Authoritative()
 	to := dst.GlobalFrame()

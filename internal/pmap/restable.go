@@ -17,9 +17,12 @@ import (
 // (white-box tests), every mutation is mirrored into it and check
 // compares the two representations entry by entry.
 type resTable struct {
+	//numalint:oracle
 	pages []*numa.Page // indexed by VPN; nil = no mapping entered
-	n     int          // number of non-nil entries
+	//numalint:oracle
+	n int // number of non-nil entries
 
+	//numalint:oraclehook
 	oracle map[uint32]*numa.Page // test-only mirror; nil in production
 }
 
@@ -32,8 +35,12 @@ func (t *resTable) get(vpn uint32) *numa.Page {
 }
 
 // set records pg as resident at vpn, growing the table as needed.
+//
+//numalint:oraclechannel
+//numalint:hotpath
 func (t *resTable) set(vpn uint32, pg *numa.Page) {
 	if int(vpn) >= len(t.pages) {
+		//numalint:coldpath table growth: once per address-space high-water VPN
 		grown := make([]*numa.Page, int(vpn)+1)
 		copy(grown, t.pages)
 		t.pages = grown
@@ -49,6 +56,8 @@ func (t *resTable) set(vpn uint32, pg *numa.Page) {
 
 // del clears vpn's entry. Deleting an absent entry is a no-op, matching
 // the map form.
+//
+//numalint:oraclechannel
 func (t *resTable) del(vpn uint32) {
 	if int(vpn) >= len(t.pages) || t.pages[vpn] == nil {
 		return

@@ -43,6 +43,8 @@ func NewFreezeDefrost(freeze, defrost sim.Time) *FreezeDefrost {
 }
 
 // CachePolicy implements numa.Policy.
+//
+//numalint:hotpath
 func (p *FreezeDefrost) CachePolicy(pg *numa.Page, proc int, write bool, maxProt mmu.Prot) numa.Location {
 	if pg.Moves() == 0 {
 		return numa.Local
@@ -61,6 +63,8 @@ func (p *FreezeDefrost) CachePolicy(pg *numa.Page, proc int, write bool, maxProt
 }
 
 // Name implements numa.Policy.
+//
+//numalint:coldpath formats a report label; the manager only calls Name when tracing is on
 func (p *FreezeDefrost) Name() string {
 	return fmt.Sprintf("freeze-defrost(%v,%v)", p.FreezeWindow, p.DefrostAfter)
 }
@@ -68,6 +72,8 @@ func (p *FreezeDefrost) Name() string {
 // ReconsiderInterval implements numa.ReconsideringPolicy: the manager's
 // defrost daemon drops pinned pages' mappings once per defrost period so
 // they fault back into this policy.
+//
+//numalint:hotpath
 func (p *FreezeDefrost) ReconsiderInterval() sim.Time { return p.DefrostAfter }
 
 var (

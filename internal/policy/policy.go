@@ -44,6 +44,8 @@ func NewThreshold(limit int) *Threshold {
 func NewDefault() *Threshold { return NewThreshold(DefaultThreshold) }
 
 // CachePolicy implements numa.Policy.
+//
+//numalint:hotpath
 func (t *Threshold) CachePolicy(pg *numa.Page, proc int, write bool, maxProt mmu.Prot) numa.Location {
 	if pg.Moves() >= t.Limit {
 		return numa.Global
@@ -52,6 +54,8 @@ func (t *Threshold) CachePolicy(pg *numa.Page, proc int, write bool, maxProt mmu
 }
 
 // Name implements numa.Policy.
+//
+//numalint:coldpath formats a report label; the manager only calls Name when tracing is on
 func (t *Threshold) Name() string {
 	if t.Limit == math.MaxInt {
 		return "never-pin"
@@ -71,6 +75,8 @@ func NeverPin() *Threshold { return &Threshold{Limit: math.MaxInt} }
 type AllGlobal struct{}
 
 // CachePolicy implements numa.Policy.
+//
+//numalint:hotpath
 func (AllGlobal) CachePolicy(pg *numa.Page, proc int, write bool, maxProt mmu.Prot) numa.Location {
 	if maxProt.CanWrite() {
 		return numa.Global
@@ -79,6 +85,8 @@ func (AllGlobal) CachePolicy(pg *numa.Page, proc int, write bool, maxProt mmu.Pr
 }
 
 // Name implements numa.Policy.
+//
+//numalint:hotpath
 func (AllGlobal) Name() string { return "all-global" }
 
 // AllLocal is the baseline policy used for the paper's T_local runs on a
@@ -86,11 +94,15 @@ func (AllGlobal) Name() string { return "all-global" }
 type AllLocal struct{}
 
 // CachePolicy implements numa.Policy.
+//
+//numalint:hotpath
 func (AllLocal) CachePolicy(pg *numa.Page, proc int, write bool, maxProt mmu.Prot) numa.Location {
 	return numa.Local
 }
 
 // Name implements numa.Policy.
+//
+//numalint:hotpath
 func (AllLocal) Name() string { return "all-local" }
 
 // Pragma honours application placement pragmas (§4.3, §4.4): pages hinted
@@ -111,6 +123,8 @@ func NewPragma(fallback numa.Policy) *Pragma {
 }
 
 // CachePolicy implements numa.Policy.
+//
+//numalint:hotpath
 func (p *Pragma) CachePolicy(pg *numa.Page, proc int, write bool, maxProt mmu.Prot) numa.Location {
 	switch pg.Hint() {
 	case numa.HintCacheable:
@@ -125,6 +139,8 @@ func (p *Pragma) CachePolicy(pg *numa.Page, proc int, write bool, maxProt mmu.Pr
 }
 
 // Name implements numa.Policy.
+//
+//numalint:coldpath formats a report label; the manager only calls Name when tracing is on
 func (p *Pragma) Name() string { return "pragma+" + p.Fallback.Name() }
 
 // Reconsider is the §5 extension: like Threshold, but every Period requests
@@ -158,6 +174,8 @@ func NewReconsider(limit, period int) *Reconsider {
 }
 
 // CachePolicy implements numa.Policy.
+//
+//numalint:hotpath
 func (r *Reconsider) CachePolicy(pg *numa.Page, proc int, write bool, maxProt mmu.Prot) numa.Location {
 	effective := pg.Moves() - r.forgiven[pg]
 	if effective < r.Limit {
@@ -173,11 +191,15 @@ func (r *Reconsider) CachePolicy(pg *numa.Page, proc int, write bool, maxProt mm
 }
 
 // Name implements numa.Policy.
+//
+//numalint:coldpath formats a report label; the manager only calls Name when tracing is on
 func (r *Reconsider) Name() string {
 	return fmt.Sprintf("reconsider(%d,%d)", r.Limit, r.Period)
 }
 
 // ReconsiderInterval implements numa.ReconsideringPolicy.
+//
+//numalint:hotpath
 func (r *Reconsider) ReconsiderInterval() sim.Time { return r.Interval }
 
 // Forced answers a fixed location for every request. It exists for protocol
@@ -188,11 +210,15 @@ type Forced struct {
 }
 
 // CachePolicy implements numa.Policy.
+//
+//numalint:hotpath
 func (f *Forced) CachePolicy(pg *numa.Page, proc int, write bool, maxProt mmu.Prot) numa.Location {
 	return f.Answer
 }
 
 // Name implements numa.Policy.
+//
+//numalint:coldpath formats a report label; the manager only calls Name when tracing is on
 func (f *Forced) Name() string { return "forced-" + f.Answer.String() }
 
 // Scripted replays a pre-generated sequence of answers, one per request,
@@ -206,6 +232,8 @@ type Scripted struct {
 }
 
 // CachePolicy implements numa.Policy.
+//
+//numalint:hotpath
 func (s *Scripted) CachePolicy(pg *numa.Page, proc int, write bool, maxProt mmu.Prot) numa.Location {
 	if len(s.Answers) == 0 {
 		return numa.Local
@@ -222,6 +250,8 @@ func (s *Scripted) CachePolicy(pg *numa.Page, proc int, write bool, maxProt mmu.
 func (s *Scripted) Consumed() int { return s.pos }
 
 // Name implements numa.Policy.
+//
+//numalint:hotpath
 func (s *Scripted) Name() string { return "scripted" }
 
 // ByName builds a fresh policy instance from its command-line name

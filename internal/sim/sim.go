@@ -141,6 +141,8 @@ type Thread struct {
 }
 
 // ID returns the thread's engine-unique id.
+//
+//numalint:hotpath
 func (t *Thread) ID() int { return t.id }
 
 // Name returns the thread's diagnostic name.
@@ -150,6 +152,8 @@ func (t *Thread) Name() string { return t.name }
 func (t *Thread) State() State { return t.state }
 
 // Clock returns the thread's current virtual time.
+//
+//numalint:hotpath
 func (t *Thread) Clock() Time { return t.clock }
 
 // UserTime returns the accumulated user-mode virtual time.
@@ -178,6 +182,8 @@ func (t *Thread) Bind(r *Resource) {
 }
 
 // Advance moves the thread's clock forward by d and accounts it as user time.
+//
+//numalint:hotpath
 func (t *Thread) Advance(d Time) {
 	if d < 0 {
 		panic("sim: negative Advance")
@@ -188,6 +194,8 @@ func (t *Thread) Advance(d Time) {
 
 // AdvanceSys moves the thread's clock forward by d and accounts it as system
 // time (kernel overhead such as fault handling and page copying).
+//
+//numalint:hotpath
 func (t *Thread) AdvanceSys(d Time) {
 	if d < 0 {
 		panic("sim: negative AdvanceSys")

@@ -220,21 +220,27 @@ func (b *Bus) Sink() Sink {
 // Enabled reports whether events are being consumed. Emission sites check
 // it before constructing an Event — this is the whole zero-cost-when-off
 // contract.
+//
+//numalint:hotpath
 func (b *Bus) Enabled() bool { return b != nil && b.sink != nil }
 
 // Emit delivers the event to the attached sink, if any. With a batching
 // sink attached the event is buffered; see Flush.
+//
+//numalint:hotpath
 func (b *Bus) Emit(ev Event) {
 	if b == nil || b.sink == nil {
 		return
 	}
 	if b.batch == nil {
+		//numalint:coldpath unbatched sink: a host-side observer chose per-event dispatch
 		b.sink.Emit(ev)
 		return
 	}
 	b.buf[b.n] = ev
 	b.n++
 	if b.n == len(b.buf) {
+		//numalint:coldpath amortized: one host-side batch dispatch per 256 events
 		b.batch.EmitBatch(b.buf[:b.n])
 		b.n = 0
 	}

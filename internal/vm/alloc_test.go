@@ -45,3 +45,59 @@ func TestHotPathZeroAlloc(t *testing.T) {
 		t.Errorf("local-reference path allocates %.1f objects per access, want 0", localRef)
 	}
 }
+
+// TestHotPathRootsZeroAlloc extends the guard to every remaining
+// //numalint:hotpath root on Context and Kernel: the sized and atomic
+// access paths, and the steady-state fault path (refault of an already
+// materialized page). Together with TestHotPathZeroAlloc this pins the
+// full set of annotated entry points, so the static hotpath pass and the
+// runtime allocation counter agree about what "allocation-free" covers.
+func TestHotPathRootsZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates on the hot path; guard runs in non-race CI")
+	}
+	counts := map[string]float64{}
+	run1(t, smallCfg(2), nil, func(c *vm.Context) {
+		base := c.Task().Allocate("data", 8192, mmu.ProtReadWrite)
+		// Warm up both pages with every access width so ownership and
+		// protection are settled before measuring.
+		c.Store32(base, 1)
+		c.Store64(base+4096, 2)
+		_ = c.Load32(base)
+
+		counts["Load8/Store8"] = testing.AllocsPerRun(200, func() {
+			c.Store8(base+8, 0x5a)
+			_ = c.Load8(base + 8)
+		})
+		counts["Load64/Store64"] = testing.AllocsPerRun(200, func() {
+			c.Store64(base+16, 0x0123456789abcdef)
+			_ = c.Load64(base + 16)
+		})
+		counts["LoadF64/StoreF64"] = testing.AllocsPerRun(200, func() {
+			c.StoreF64(base+24, 3.5)
+			_ = c.LoadF64(base + 24)
+		})
+		counts["TestAndSet"] = testing.AllocsPerRun(200, func() {
+			_ = c.TestAndSet(base + 32)
+		})
+		counts["FetchOr32"] = testing.AllocsPerRun(200, func() {
+			_ = c.FetchOr32(base+36, 0x10)
+		})
+		// Steady-state fault path: tear out the mappings for a materialized
+		// page, then refault it through Kernel.Fault, placement and the
+		// pmap enter path (mirrors BenchmarkFaultPath, which reports
+		// 0 allocs/op).
+		pm := c.Kernel().Pmap()
+		counts["Fault"] = testing.AllocsPerRun(50, func() {
+			if pg := c.Task().Pmap().Resident(base); pg != nil {
+				pm.RemoveAll(c.Thread(), pg)
+			}
+			_ = c.Load32(base)
+		})
+	})
+	for path, n := range counts {
+		if n != 0 {
+			t.Errorf("%s path allocates %.1f objects per access, want 0", path, n)
+		}
+	}
+}

@@ -438,11 +438,21 @@ func (t *Task) eachResident(e *Entry, fn func(*numa.Page)) {
 	}
 }
 
-// find locates the entry containing va, or nil.
+// find locates the entry containing va, or nil. The binary search over
+// entries (sorted by end address) is open-coded: a sort.Search closure
+// would escape and allocate on every fault.
 func (t *Task) find(va uint32) *Entry {
-	i := sort.Search(len(t.entries), func(i int) bool { return t.entries[i].End() > va })
-	if i < len(t.entries) && va >= t.entries[i].start {
-		return t.entries[i]
+	lo, hi := 0, len(t.entries)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.entries[mid].End() > va {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo < len(t.entries) && va >= t.entries[lo].start {
+		return t.entries[lo]
 	}
 	return nil
 }
@@ -455,6 +465,8 @@ func (t *Task) EntryAt(va uint32) *Entry { return t.find(va) }
 // trace sink attached it brackets the handling in fault-enter/fault-exit
 // events; the exit event's duration is the virtual time the fault
 // consumed.
+//
+//numalint:hotpath
 func (k *Kernel) Fault(th *sim.Thread, task *Task, proc int, va uint32, write bool) error {
 	bus := k.machine.Bus()
 	if !bus.Enabled() {
@@ -515,6 +527,7 @@ func (k *Kernel) faultCOW(th *sim.Thread, task *Task, e *Entry, proc int, va uin
 	originIdx := idx - int(e.objOff/uint32(k.machine.PageSize())) + int(e.originOff/uint32(k.machine.PageSize()))
 	s := &e.obj.slots[idx]
 	if s.pg == nil && s.backing == nil {
+		//numalint:coldpath first touch: COW read-through or copy break, once per shadow page
 		if !write {
 			// Read through the origin; cap the mapping at read-only so the
 			// first write still faults.
@@ -555,6 +568,7 @@ func (k *Kernel) faultCOW(th *sim.Thread, task *Task, e *Entry, proc int, va uin
 func (k *Kernel) materialize(th *sim.Thread, e *Entry, obj *Object, idx int) *numa.Page {
 	s := &obj.slots[idx]
 	if s.pg == nil {
+		//numalint:coldpath first touch: pagein or zero-fill materialization, once per resident page
 		if s.backing != nil {
 			k.pagein(th, obj, idx)
 		} else {
@@ -758,13 +772,21 @@ func (c *Context) MigrateWithPages(proc int) int {
 	return moved
 }
 
-// tick yields the processor when the scheduling quantum has expired. The
-// clock tick also drives kernel daemons (the NUMA manager's reconsider
-// sweep), as a timer interrupt would.
+// tick yields the processor when the scheduling quantum has expired.
 func (c *Context) tick() {
 	if c.th.Clock() < c.sliceEnd {
 		return
 	}
+	c.quantumExpired()
+}
+
+// quantumExpired handles the end of a scheduling slice: the clock tick
+// drives kernel daemons (the NUMA manager's reconsider sweep) as a timer
+// interrupt would, then yields (or runs the scheduler's OnQuantum hook)
+// and starts the next slice.
+//
+//numalint:coldpath quantum rollover: runs once per scheduling slice, not per reference
+func (c *Context) quantumExpired() {
 	c.kernel.nm.MaybeSweep(c.th)
 	if c.OnQuantum != nil {
 		c.OnQuantum(c)
@@ -806,6 +828,7 @@ func (c *Context) refFetch(va uint32) *mem.Frame {
 		f = c.translateSlow(va, false)
 	}
 	if c.kernel.RefTrace != nil {
+		//numalint:coldpath instrumentation: the reference-trace hook is nil outside trace captures
 		c.kernel.RefTrace(c.proc, va, false)
 	}
 	c.mach.ChargeFetch(c.th, c.proc, f)
@@ -819,6 +842,7 @@ func (c *Context) refStore(va uint32) *mem.Frame {
 		f = c.translateSlow(va, true)
 	}
 	if c.kernel.RefTrace != nil {
+		//numalint:coldpath instrumentation: the reference-trace hook is nil outside trace captures
 		c.kernel.RefTrace(c.proc, va, true)
 	}
 	c.mach.ChargeStore(c.th, c.proc, f)
@@ -826,6 +850,8 @@ func (c *Context) refStore(va uint32) *mem.Frame {
 }
 
 // Load32 loads the 32-bit word at va.
+//
+//numalint:hotpath
 func (c *Context) Load32(va uint32) uint32 {
 	f := c.refFetch(va)
 	v := f.Load32(int(va & c.pageMask))
@@ -834,6 +860,8 @@ func (c *Context) Load32(va uint32) uint32 {
 }
 
 // Store32 stores a 32-bit word at va.
+//
+//numalint:hotpath
 func (c *Context) Store32(va uint32, v uint32) {
 	f := c.refStore(va)
 	f.Store32(int(va&c.pageMask), v)
@@ -841,6 +869,8 @@ func (c *Context) Store32(va uint32, v uint32) {
 }
 
 // Load8 loads the byte at va (charged as one reference, as on the ROMP).
+//
+//numalint:hotpath
 func (c *Context) Load8(va uint32) byte {
 	f := c.refFetch(va)
 	v := f.Load8(int(va & c.pageMask))
@@ -849,6 +879,8 @@ func (c *Context) Load8(va uint32) byte {
 }
 
 // Store8 stores the byte at va.
+//
+//numalint:hotpath
 func (c *Context) Store8(va uint32, v byte) {
 	f := c.refStore(va)
 	f.Store8(int(va&c.pageMask), v)
@@ -857,10 +889,13 @@ func (c *Context) Store8(va uint32, v byte) {
 
 // Load64 loads the 64-bit word at va, charged as two 32-bit references.
 // The address must not cross a page boundary.
+//
+//numalint:hotpath
 func (c *Context) Load64(va uint32) uint64 {
 	c.checkSpan(va, 8)
 	f := c.refFetch(va)
 	if c.kernel.RefTrace != nil {
+		//numalint:coldpath instrumentation: the reference-trace hook is nil outside trace captures
 		c.kernel.RefTrace(c.proc, va+4, false)
 	}
 	c.mach.ChargeFetch(c.th, c.proc, f)
@@ -870,10 +905,13 @@ func (c *Context) Load64(va uint32) uint64 {
 }
 
 // Store64 stores a 64-bit word at va, charged as two 32-bit references.
+//
+//numalint:hotpath
 func (c *Context) Store64(va uint32, v uint64) {
 	c.checkSpan(va, 8)
 	f := c.refStore(va)
 	if c.kernel.RefTrace != nil {
+		//numalint:coldpath instrumentation: the reference-trace hook is nil outside trace captures
 		c.kernel.RefTrace(c.proc, va+4, true)
 	}
 	c.mach.ChargeStore(c.th, c.proc, f)
@@ -882,11 +920,15 @@ func (c *Context) Store64(va uint32, v uint64) {
 }
 
 // LoadF64 loads the float64 at va.
+//
+//numalint:hotpath
 func (c *Context) LoadF64(va uint32) float64 {
 	return math.Float64frombits(c.Load64(va))
 }
 
 // StoreF64 stores a float64 at va.
+//
+//numalint:hotpath
 func (c *Context) StoreF64(va uint32, v float64) {
 	c.Store64(va, math.Float64bits(v))
 }
@@ -901,9 +943,12 @@ func (c *Context) checkSpan(va uint32, n int) {
 // returning the old value. It charges one fetch and one store and, unlike
 // a Load32/Store32 pair, cannot be preempted between them — the primitive
 // spin locks are built from.
+//
+//numalint:hotpath
 func (c *Context) TestAndSet(va uint32) uint32 {
 	f := c.translate(va, true)
 	if c.kernel.RefTrace != nil {
+		//numalint:coldpath instrumentation: the reference-trace hook is nil outside trace captures
 		c.kernel.RefTrace(c.proc, va, true)
 	}
 	m := c.mach
@@ -919,9 +964,12 @@ func (c *Context) TestAndSet(va uint32) uint32 {
 // FetchOr32 atomically ORs bits into the word at va and returns the old
 // value, charged as one fetch plus one store (the sieve's
 // "fetching and storing as it masks off bits").
+//
+//numalint:hotpath
 func (c *Context) FetchOr32(va uint32, bits uint32) uint32 {
 	f := c.translate(va, true)
 	if c.kernel.RefTrace != nil {
+		//numalint:coldpath instrumentation: the reference-trace hook is nil outside trace captures
 		c.kernel.RefTrace(c.proc, va, true)
 	}
 	m := c.mach
