@@ -28,6 +28,9 @@
 #   make pressure - smoke-run the memory-pressure sweep with seeded fault
 #                   injection (small sizes; exercises reclaim, fallback
 #                   and retry end to end)
+#   make topo     - the topology gate: ACE byte-identity goldens through
+#                   the generalized path, the multi-node protocol fuzz,
+#                   and the link-contention property tests, under -race
 
 GO ?= go
 NUMALINT := bin/numalint
@@ -46,9 +49,9 @@ BENCH_CI_FILTER := 'LocalAccess$$|PageMigration$$|FaultPath$$|PickManyThreads|Tr
 BENCH_CI_TIME := 300ms
 BENCHDIFF_TOL ?= 0.20
 
-.PHONY: check build vet lint numalint test bench bench-json bench-ci tables pressure audit
+.PHONY: check build vet lint numalint test bench bench-json bench-ci tables pressure audit topo
 
-check: build vet lint test audit pressure
+check: build vet lint test audit pressure topo
 
 build:
 	$(GO) build ./...
@@ -100,3 +103,12 @@ pressure:
 # any violation dies with the page, its state and the event-ring trace.
 audit:
 	$(GO) test -run 'TestProtocolFuzz' -count=1 ./internal/numa/
+
+# topo is the topology gate: the ACE goldens must stay byte-identical
+# through the generalized topology path, the protocol fuzz must hold on
+# random multi-node machines, and the link model's conservation,
+# monotonicity and determinism properties must pass — all under -race.
+topo:
+	$(GO) test -race -count=1 -run 'TestTable3GoldenACE|TestFigure1Golden|TestTable3ACEExplicitTopology|TestTopologyParallelDeterminism' ./internal/harness/
+	$(GO) test -race -count=1 -run 'TestProtocolFuzzTopology' ./internal/numa/
+	$(GO) test -race -count=1 ./internal/topology/

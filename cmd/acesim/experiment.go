@@ -17,6 +17,7 @@ import (
 type experimentOptions struct {
 	app        string
 	appSet     bool // whether -app was given explicitly
+	topology   string
 	nproc      int
 	workers    int
 	threshold  int
@@ -82,6 +83,7 @@ func runExperiment(name string, eo experimentOptions, stdout, stderr io.Writer) 
 	}
 	opts := harness.Options{
 		NProc: eo.nproc, Workers: eo.workers, Threshold: eo.threshold,
+		Topology:    eo.topology,
 		Parallelism: eo.parallel, PressureFrames: frames, Chaos: eo.chaos,
 		Audit: eo.audit, Timeout: eo.timeout, Retries: eo.retries,
 		ReproDir: eo.reproDir, KeepGoing: eo.keepGoing,

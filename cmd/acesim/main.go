@@ -7,6 +7,7 @@
 // Usage:
 //
 //	acesim -app IMatMult [-policy threshold] [-threshold 4] [-nproc 7]
+//	       [-topology ace|4socket|mesh8]
 //	       [-workers N] [-sched affinity] [-trace] [-traceout FILE]
 //	       [-trace-out FILE] [-unixmaster] [-parallel N]
 //	       [-cpuprofile FILE] [-memprofile FILE]
@@ -49,6 +50,7 @@ import (
 	"numasim/internal/sched"
 	"numasim/internal/sim"
 	"numasim/internal/simtrace"
+	"numasim/internal/topology"
 	"numasim/internal/trace"
 	"numasim/internal/vm"
 	"numasim/internal/workloads"
@@ -58,6 +60,7 @@ import (
 type runOpts struct {
 	polName     string
 	threshold   int
+	topology    string
 	nproc       int
 	workers     int
 	mode        sched.Mode
@@ -97,6 +100,7 @@ func runOne(app string, o runOpts, observe func(*ace.Machine)) (string, error) {
 	cfg := ace.DefaultConfig()
 	cfg.NProc = o.nproc
 	cfg.PageSize = o.pageSize
+	cfg.Topology = o.topology
 	machine, err := ace.NewMachine(cfg)
 	if err != nil {
 		return "", err
@@ -176,6 +180,13 @@ func runOne(app string, o runOpts, observe func(*ace.Machine)) (string, error) {
 	vs := kernel.Stats()
 	fmt.Fprintf(&b, "  paging:      %d zero-fills, %d pageouts, %d pageins, %d COW copies\n",
 		vs.ZeroFillFaults, vs.Pageouts, vs.Pageins, vs.COWCopies)
+	if ls := machine.Topo().LinkStats(); ls != nil {
+		fmt.Fprintf(&b, "  interconnect (%s):\n", machine.Spec().Name())
+		for _, l := range ls {
+			fmt.Fprintf(&b, "    %-8s %8d xfers %12d bytes  busy %v  queued %v\n",
+				l.Name, l.Xfers, l.Bytes, l.Service, l.Waited)
+		}
+	}
 	if o.perProc {
 		fmt.Fprintln(&b, "  per processor:")
 		for i := 0; i < machine.NProc(); i++ {
@@ -231,6 +242,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	polName := fs.String("policy", "threshold", "placement policy")
 	threshold := fs.Int("threshold", policy.DefaultThreshold, "move limit for the threshold policy")
 	nproc := fs.Int("nproc", 7, "number of processors")
+	topo := fs.String("topology", "", "machine topology: ace (default), "+strings.Join(topology.Names()[1:], ", "))
 	workers := fs.Int("workers", 0, "worker threads (default: one per processor)")
 	schedName := fs.String("sched", "affinity", "scheduler: affinity or noaffinity")
 	doTrace := fs.Bool("trace", false, "collect a reference trace and report sharing classes")
@@ -287,7 +299,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *exp != "" {
 		return runExperiment(*exp, experimentOptions{
-			app: *app, appSet: flagWasSet(fs, "app"), nproc: *nproc,
+			app: *app, appSet: flagWasSet(fs, "app"), nproc: *nproc, topology: *topo,
 			workers: *workers, threshold: *threshold, parallel: *parallel,
 			frames: *framesFlag, chaos: cc,
 			audit: *audit, timeout: *timeout, retries: *retries,
@@ -314,13 +326,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// simulation directly.
 	sup := harness.Options{
 		NProc: *nproc, Workers: *workers, Threshold: *threshold, App: *app,
-		Chaos: cc, Audit: *audit, Timeout: *timeout, Retries: *retries,
+		Topology: *topo,
+		Chaos:    cc, Audit: *audit, Timeout: *timeout, Retries: *retries,
 		ReproDir: *reproDir, KeepGoing: *keepGoing, StallLimit: *stallLimit,
 		Command: command,
 	}
 	o := runOpts{
 		polName:   *polName,
 		threshold: *threshold,
+		topology:  *topo,
 		nproc:     *nproc,
 		workers:   *workers,
 		mode:      mode,

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	tables [-nproc N] [-workers N] [-small] [-parallel N] [-timing]
+//	tables [-nproc N] [-topology NAME] [-workers N] [-small] [-parallel N] [-timing]
 //	       [-table N | -figure N | -exp NAME] [-csv]
 //	       [-app NAME] [-frames LIST] [-chaos-seed N] [-chaos-fail P]
 //	       [-cpuprofile FILE] [-memprofile FILE]
@@ -40,6 +40,7 @@ import (
 	"numasim/internal/profiling"
 	"numasim/internal/sim"
 	"numasim/internal/simtrace"
+	"numasim/internal/topology"
 )
 
 // parseFrames parses a comma-separated list of local-frame budgets.
@@ -64,6 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	nproc := fs.Int("nproc", 7, "number of processors for parallel runs")
+	topo := fs.String("topology", "", "machine topology: ace (default), "+strings.Join(topology.Names()[1:], ", "))
 	workers := fs.Int("workers", 0, "worker threads (default: one per processor)")
 	smallFlag := fs.Bool("small", false, "use reduced problem sizes")
 	table := fs.Int("table", 0, "print only table N (1-4)")
@@ -109,7 +111,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	opts := harness.Options{
 		NProc: *nproc, Workers: *workers, Small: *smallFlag, Parallelism: *parallel,
-		App: *app, PressureFrames: frames,
+		App: *app, PressureFrames: frames, Topology: *topo,
 		Audit: *audit, Timeout: *timeout, Retries: *retries,
 		ReproDir: *reproDir, KeepGoing: *keepGoing, StallLimit: *stallLimit,
 		Command: "tables " + strings.Join(args, " "),

@@ -17,9 +17,18 @@ import (
 	"numasim/internal/mmu"
 	"numasim/internal/sim"
 	"numasim/internal/simtrace"
+	"numasim/internal/topology"
 )
 
 // CostModel gives the virtual-time cost of every charged operation.
+//
+// The six memory-latency constants are the ACE's published measurements;
+// they seed the ACE topology's latency matrix. Once a model is bound to a
+// topology spec (Bind, done by NewMachine), every per-reference cost is
+// read from the spec's distance-derived matrix — the two-level ACE case
+// is then *derived* from the matrix rather than special-cased, and the
+// constants remain only as matrix seed values and as the fallback for
+// unbound models (zero-value CostModel in unit tests).
 type CostModel struct {
 	// 32-bit memory reference latencies (§2.2).
 	LocalFetch  sim.Time
@@ -46,7 +55,20 @@ type CostModel struct {
 	FaultBase sim.Time // trap entry + machine-independent VM fault handling
 	NUMAOp    sim.Time // one NUMA-manager decision/bookkeeping step
 	MMUOp     sim.Time // dropping or changing one translation, possibly cross-CPU
+
+	// topo, when non-nil, supplies the per-(processor, node) latency
+	// matrix that replaces the Local/Global/Remote constants above.
+	topo *topology.Spec
 }
+
+// Bind routes the model's per-reference costs through spec's latency
+// matrix. NewMachine binds the machine's cost model automatically;
+// standalone consumers (the metrics evaluator's model arithmetic) bind a
+// copy explicitly.
+func (c *CostModel) Bind(spec *topology.Spec) { c.topo = spec }
+
+// Topo returns the bound topology spec, or nil for an unbound model.
+func (c *CostModel) Topo() *topology.Spec { return c.topo }
 
 // DefaultCostModel returns the paper's measured memory latencies and
 // ROMP-plausible instruction costs.
@@ -73,10 +95,14 @@ func DefaultCostModel() CostModel {
 }
 
 // FetchCost returns the cost of one 32-bit fetch from a frame of the given
-// kind by processor proc.
+// kind by processor proc. Bound models read the topology's latency matrix;
+// unbound models fall back to the two-level constants.
 //
 //numalint:hotpath
 func (c *CostModel) FetchCost(f *mem.Frame, proc int) sim.Time {
+	if t := c.topo; t != nil {
+		return t.FetchLatency(proc, t.Col(f.Proc()))
+	}
 	if f.Kind() == mem.Global {
 		return c.GlobalFetch
 	}
@@ -87,10 +113,14 @@ func (c *CostModel) FetchCost(f *mem.Frame, proc int) sim.Time {
 }
 
 // StoreCost returns the cost of one 32-bit store to a frame of the given
-// kind by processor proc.
+// kind by processor proc. Bound models read the topology's latency matrix;
+// unbound models fall back to the two-level constants.
 //
 //numalint:hotpath
 func (c *CostModel) StoreCost(f *mem.Frame, proc int) sim.Time {
+	if t := c.topo; t != nil {
+		return t.StoreLatency(proc, t.Col(f.Proc()))
+	}
 	if f.Kind() == mem.Global {
 		return c.GlobalStore
 	}
@@ -118,12 +148,48 @@ func (c *CostModel) ZeroCost(dst *mem.Frame, proc, pageSize int) sim.Time {
 	return words * c.StoreCost(dst, proc)
 }
 
+// EstimateMix returns the mean per-reference latency for processor proc
+// against memory column col (a node index, or any negative value for the
+// interleaved global memory), for a reference mix with the given store
+// fraction. Bound models read the topology's latency matrix; unbound
+// models fall back to the two-level constants, treating col == proc as
+// local and any other non-negative column as remote.
+func (c *CostModel) EstimateMix(proc, col int, storeFrac float64) sim.Time {
+	var fetch, store sim.Time
+	if t := c.topo; t != nil {
+		fetch = t.FetchLatency(proc, t.Col(col))
+		store = t.StoreLatency(proc, t.Col(col))
+	} else {
+		switch {
+		case col < 0:
+			fetch, store = c.GlobalFetch, c.GlobalStore
+		case col == proc:
+			fetch, store = c.LocalFetch, c.LocalStore
+		default:
+			fetch, store = c.RemoteFetch, c.RemoteStore
+		}
+	}
+	return sim.Time(float64(fetch)*(1-storeFrac) + float64(store)*storeFrac)
+}
+
 // GOverL returns the paper's G/L ratio for the given store fraction of the
 // reference mix: §2.2 reports 2.3 for pure fetches and about 2 for a mix
-// with 45% stores.
+// with 45% stores. On a bound model the ratio is read from the topology's
+// latency matrix (processor 0's interleave column over its home column),
+// so the ACE value is derived from the same matrix the simulation charges.
 func (c *CostModel) GOverL(storeFrac float64) float64 {
-	g := float64(c.GlobalFetch)*(1-storeFrac) + float64(c.GlobalStore)*storeFrac
-	l := float64(c.LocalFetch)*(1-storeFrac) + float64(c.LocalStore)*storeFrac
+	var gf, gs, lf, ls sim.Time
+	if t := c.topo; t != nil {
+		home := t.Home(0)
+		gf = t.FetchLatency(0, t.NNodes())
+		gs = t.StoreLatency(0, t.NNodes())
+		lf = t.FetchLatency(0, home)
+		ls = t.StoreLatency(0, home)
+	} else {
+		gf, gs, lf, ls = c.GlobalFetch, c.GlobalStore, c.LocalFetch, c.LocalStore
+	}
+	g := float64(gf)*(1-storeFrac) + float64(gs)*storeFrac
+	l := float64(lf)*(1-storeFrac) + float64(ls)*storeFrac
 	return g / l
 }
 
@@ -131,10 +197,39 @@ func (c *CostModel) GOverL(storeFrac float64) float64 {
 type Config struct {
 	NProc        int      // processor modules (the ACE backplane allows up to 8)
 	GlobalFrames int      // frames of global memory
-	LocalFrames  int      // frames of local memory per processor
+	LocalFrames  int      // frames of local memory per node
 	PageSize     int      // bytes; power of two
 	Quantum      sim.Time // scheduling time slice between involuntary yields
 	Cost         CostModel
+
+	// Topology selects a registered machine shape by name ("4socket",
+	// "mesh8", ...). Empty or "ace" builds the paper's two-level ACE from
+	// the cost model's measured constants: one node per processor,
+	// uncontended.
+	Topology string
+	// Topo, when non-nil, overrides Topology with an explicit spec (tests
+	// and the fuzz suite build random machines this way).
+	Topo *topology.Spec
+}
+
+// SpecForConfig resolves the configuration's topology spec: the Topo
+// override if set, the registered shape named by Topology, or the ACE
+// two-level spec built from the cost model's measured constants.
+func SpecForConfig(cfg Config) (*topology.Spec, error) {
+	if cfg.Topo != nil {
+		return cfg.Topo, nil
+	}
+	if cfg.Topology == "" || cfg.Topology == "ace" {
+		return topology.ACE(cfg.NProc, topology.ACELatencies{
+			LocalFetch:  cfg.Cost.LocalFetch,
+			LocalStore:  cfg.Cost.LocalStore,
+			GlobalFetch: cfg.Cost.GlobalFetch,
+			GlobalStore: cfg.Cost.GlobalStore,
+			RemoteFetch: cfg.Cost.RemoteFetch,
+			RemoteStore: cfg.Cost.RemoteStore,
+		})
+	}
+	return topology.ByName(cfg.Topology, cfg.NProc)
 }
 
 // DefaultConfig returns a machine comparable to the paper's measurement
@@ -232,9 +327,12 @@ func (p *Processor) Resource() *sim.Resource { return p.res }
 // Refs returns the processor's reference counters.
 func (p *Processor) Refs() RefStats { return p.refs }
 
-// Machine is an assembled ACE: engine, processors, memories and MMUs.
+// Machine is an assembled machine: engine, processors, memories and MMUs,
+// shaped by a topology spec (the ACE by default).
 type Machine struct {
 	cfg    Config
+	spec   *topology.Spec
+	topo   *topology.Topology
 	engine *sim.Engine
 	procs  []*Processor
 	memory *mem.Memory
@@ -249,12 +347,22 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	spec, err := SpecForConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if spec.NProcs() != cfg.NProc {
+		return nil, fmt.Errorf("ace: topology %s has %d processors, config has %d", spec.Name(), spec.NProcs(), cfg.NProc)
+	}
 	m := &Machine{
 		cfg:    cfg,
+		spec:   spec,
+		topo:   topology.New(spec),
 		engine: sim.NewEngine(),
-		memory: mem.NewMemory(cfg.NProc, cfg.GlobalFrames, cfg.LocalFrames, cfg.PageSize),
+		memory: mem.NewMemory(spec.NNodes(), cfg.GlobalFrames, cfg.LocalFrames, cfg.PageSize),
 		bus:    simtrace.NewBus(),
 	}
+	m.cfg.Cost.Bind(spec)
 	m.engine.Bus = m.bus
 	m.procs = make([]*Processor, cfg.NProc)
 	m.mmus = make([]*mmu.MMU, cfg.NProc)
@@ -308,6 +416,32 @@ func (m *Machine) Engine() *sim.Engine { return m.engine }
 //numalint:hotpath
 func (m *Machine) NProc() int { return len(m.procs) }
 
+// NNodes reports the number of memory nodes. On the ACE every processor
+// is its own node; other topologies home several processors per node.
+//
+//numalint:hotpath
+func (m *Machine) NNodes() int { return m.spec.NNodes() }
+
+// Home reports the node processor proc's local memory lives on.
+//
+//numalint:hotpath
+func (m *Machine) Home(proc int) int { return m.spec.Home(proc) }
+
+// NodeProcs returns the processors homed on node (the spec's own slice;
+// do not mutate).
+//
+//numalint:hotpath
+func (m *Machine) NodeProcs(node int) []int { return m.spec.NodeProcs(node) }
+
+// Spec returns the machine's immutable topology spec.
+func (m *Machine) Spec() *topology.Spec { return m.spec }
+
+// Topo returns the machine's runtime topology state (link token buckets
+// and contention counters).
+//
+//numalint:hotpath
+func (m *Machine) Topo() *topology.Topology { return m.topo }
+
 // Proc returns processor i.
 //
 //numalint:hotpath
@@ -345,17 +479,19 @@ func (m *Machine) VPN(va uint32) uint32 { return va >> m.PageShift() }
 func (m *Machine) PageOff(va uint32) int { return int(va) & (m.cfg.PageSize - 1) }
 
 // ChargeFetch charges th for a 32-bit fetch from frame f by processor proc
-// and counts it.
+// and counts it. On contended topologies the fetch also pays any queueing
+// delay on the interconnect route to f's node.
 //
 //numalint:hotpath
 func (m *Machine) ChargeFetch(th *sim.Thread, proc int, f *mem.Frame) {
 	c := &m.cfg.Cost
 	th.Advance(c.FetchCost(f, proc))
+	m.chargeLink(th, proc, f, 4, false)
 	r := &m.procs[proc].refs
 	switch {
 	case f.Kind() == mem.Global:
 		r.GlobalFetch++
-	case f.Proc() == proc:
+	case f.Proc() == m.spec.Home(proc):
 		r.LocalFetch++
 	default:
 		r.RemoteFetch++
@@ -363,26 +499,78 @@ func (m *Machine) ChargeFetch(th *sim.Thread, proc int, f *mem.Frame) {
 }
 
 // ChargeStore charges th for a 32-bit store to frame f by processor proc and
-// counts it.
+// counts it. On contended topologies the store also pays any queueing
+// delay on the interconnect route to f's node.
 //
 //numalint:hotpath
 func (m *Machine) ChargeStore(th *sim.Thread, proc int, f *mem.Frame) {
 	c := &m.cfg.Cost
 	th.Advance(c.StoreCost(f, proc))
+	m.chargeLink(th, proc, f, 4, false)
 	r := &m.procs[proc].refs
 	switch {
 	case f.Kind() == mem.Global:
 		r.GlobalStore++
-	case f.Proc() == proc:
+	case f.Proc() == m.spec.Home(proc):
 		r.LocalStore++
 	default:
 		r.RemoteStore++
 	}
 }
 
-// PoolPressure is one local memory's frame accounting: capacity, the
+// chargeLink routes a transfer touching frame f over the interconnect and
+// charges th for any queueing delay the busy links imposed — as system
+// time for kernel page operations (sys true), user time otherwise. On
+// uncontended topologies (the ACE) this is a single branch and no charge.
+//
+//numalint:hotpath
+func (m *Machine) chargeLink(th *sim.Thread, proc int, f *mem.Frame, bytes int, sys bool) {
+	t := m.topo
+	if !t.Contended() {
+		return
+	}
+	wait := t.ChargeTransfer(th.Clock(), proc, m.spec.Col(f.Proc()), bytes)
+	if wait == 0 {
+		return
+	}
+	if sys {
+		th.AdvanceSys(wait)
+	} else {
+		th.Advance(wait)
+	}
+	if m.bus.Enabled() {
+		m.bus.Emit(simtrace.Event{
+			Kind: simtrace.KindLinkWait, Proc: int32(proc), Thread: int32(th.ID()),
+			Time: int64(th.Clock()), Dur: int64(wait), Page: -1, Arg: int64(f.Proc()),
+		})
+	}
+}
+
+// ChargeCopySys charges th, as system time, for processor proc copying a
+// full page from src to dst plus any interconnect queueing delay on the
+// two transfers. All kernel page-copy sites (NUMA protocol moves, pmap's
+// physical copy) charge through here so contention applies uniformly.
+//
+//numalint:hotpath
+func (m *Machine) ChargeCopySys(th *sim.Thread, src, dst *mem.Frame, proc int) {
+	th.AdvanceSys(m.cfg.Cost.CopyCost(src, dst, proc, m.cfg.PageSize))
+	m.chargeLink(th, proc, src, m.cfg.PageSize, true)
+	m.chargeLink(th, proc, dst, m.cfg.PageSize, true)
+}
+
+// ChargeZeroSys charges th, as system time, for processor proc
+// zero-filling a page plus any interconnect queueing delay.
+//
+//numalint:hotpath
+func (m *Machine) ChargeZeroSys(th *sim.Thread, dst *mem.Frame, proc int) {
+	th.AdvanceSys(m.cfg.Cost.ZeroCost(dst, proc, m.cfg.PageSize))
+	m.chargeLink(th, proc, dst, m.cfg.PageSize, true)
+}
+
+// PoolPressure is one node's local-memory frame accounting: capacity, the
 // most frames ever simultaneously in use, and how many allocation
-// attempts found the pool empty.
+// attempts found the pool empty. Proc is the node index (on the ACE the
+// two coincide).
 type PoolPressure struct {
 	Proc      int
 	Frames    int
@@ -390,10 +578,10 @@ type PoolPressure struct {
 	Exhausted uint64
 }
 
-// LocalPressure reports per-processor local-memory frame accounting, in
-// processor order.
+// LocalPressure reports per-node local-memory frame accounting, in node
+// order.
 func (m *Machine) LocalPressure() []PoolPressure {
-	out := make([]PoolPressure, m.NProc())
+	out := make([]PoolPressure, m.NNodes())
 	for i := range out {
 		p := m.memory.Local(i)
 		out[i] = PoolPressure{Proc: i, Frames: p.Size(), HighWater: p.HighWater(), Exhausted: p.Exhausted()}
@@ -419,9 +607,15 @@ func (m *Machine) TotalFaults() uint64 {
 	return sum
 }
 
-// Topology renders the machine's memory architecture in the style of the
-// paper's Figure 1.
+// Topology renders the machine's memory architecture: the paper's
+// Figure 1 for the ACE, the spec's generic diagram for other shapes.
 func (m *Machine) Topology() string {
+	if m.spec.Name() != "ace" {
+		s := m.spec.Describe()
+		s += fmt.Sprintf("\n  memory: %d KB global (interleaved), %d KB local per node\n",
+			m.cfg.GlobalFrames*m.cfg.PageSize/1024, m.cfg.LocalFrames*m.cfg.PageSize/1024)
+		return s
+	}
 	s := "ACE memory architecture (paper Figure 1)\n\n"
 	for i := range m.procs {
 		s += fmt.Sprintf("  cpu%-2d [ROMP-C + Rosetta-C MMU] -- local memory (%d KB)\n",

@@ -62,6 +62,7 @@ var RestrictedPrefixes = []string{
 	"numasim/internal/simtrace",
 	"numasim/internal/chaos",
 	"numasim/internal/harness",
+	"numasim/internal/topology",
 }
 
 // forbiddenImports are packages whose mere presence defeats determinism.

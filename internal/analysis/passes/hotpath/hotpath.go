@@ -105,24 +105,43 @@ var Contracts = map[string]bool{
 	"(*numasim/internal/sim.Thread).Clock":      true,
 	"(*numasim/internal/sim.Thread).ID":         true,
 
+	// topology: latency-matrix lookups and link charging.
+	"(*numasim/internal/topology.Spec).NNodes":             true,
+	"(*numasim/internal/topology.Spec).NProcs":             true,
+	"(*numasim/internal/topology.Spec).Home":               true,
+	"(*numasim/internal/topology.Spec).NodeProcs":          true,
+	"(*numasim/internal/topology.Spec).Col":                true,
+	"(*numasim/internal/topology.Spec).FetchLatency":       true,
+	"(*numasim/internal/topology.Spec).StoreLatency":       true,
+	"(*numasim/internal/topology.Spec).Contended":          true,
+	"(*numasim/internal/topology.Topology).Spec":           true,
+	"(*numasim/internal/topology.Topology).Contended":      true,
+	"(*numasim/internal/topology.Topology).ChargeTransfer": true,
+
 	// ace: per-reference cost charging and machine accessors.
-	"(*numasim/internal/ace.Machine).ChargeFetch": true,
-	"(*numasim/internal/ace.Machine).ChargeStore": true,
-	"(*numasim/internal/ace.Machine).MMU":         true,
-	"(*numasim/internal/ace.Machine).Cost":        true,
-	"(*numasim/internal/ace.Machine).Proc":        true,
-	"(*numasim/internal/ace.Machine).Bus":         true,
-	"(*numasim/internal/ace.Machine).PageSize":    true,
-	"(*numasim/internal/ace.Machine).PageShift":   true,
-	"(*numasim/internal/ace.Machine).VPN":         true,
-	"(*numasim/internal/ace.Machine).PageOff":     true,
-	"(*numasim/internal/ace.Machine).NProc":       true,
-	"(*numasim/internal/ace.Machine).Memory":      true,
-	"(*numasim/internal/ace.CostModel).FetchCost": true,
-	"(*numasim/internal/ace.CostModel).StoreCost": true,
-	"(*numasim/internal/ace.CostModel).CopyCost":  true,
-	"(*numasim/internal/ace.CostModel).ZeroCost":  true,
-	"(*numasim/internal/ace.Processor).Resource":  true,
+	"(*numasim/internal/ace.Machine).ChargeFetch":   true,
+	"(*numasim/internal/ace.Machine).ChargeStore":   true,
+	"(*numasim/internal/ace.Machine).ChargeCopySys": true,
+	"(*numasim/internal/ace.Machine).ChargeZeroSys": true,
+	"(*numasim/internal/ace.Machine).NNodes":        true,
+	"(*numasim/internal/ace.Machine).Home":          true,
+	"(*numasim/internal/ace.Machine).NodeProcs":     true,
+	"(*numasim/internal/ace.Machine).Topo":          true,
+	"(*numasim/internal/ace.Machine).MMU":           true,
+	"(*numasim/internal/ace.Machine).Cost":          true,
+	"(*numasim/internal/ace.Machine).Proc":          true,
+	"(*numasim/internal/ace.Machine).Bus":           true,
+	"(*numasim/internal/ace.Machine).PageSize":      true,
+	"(*numasim/internal/ace.Machine).PageShift":     true,
+	"(*numasim/internal/ace.Machine).VPN":           true,
+	"(*numasim/internal/ace.Machine).PageOff":       true,
+	"(*numasim/internal/ace.Machine).NProc":         true,
+	"(*numasim/internal/ace.Machine).Memory":        true,
+	"(*numasim/internal/ace.CostModel).FetchCost":   true,
+	"(*numasim/internal/ace.CostModel).StoreCost":   true,
+	"(*numasim/internal/ace.CostModel).CopyCost":    true,
+	"(*numasim/internal/ace.CostModel).ZeroCost":    true,
+	"(*numasim/internal/ace.Processor).Resource":    true,
 
 	// numa: the per-reference protocol entry point and page accessors.
 	"(*numasim/internal/numa.Manager).Access":       true,

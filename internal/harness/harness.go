@@ -51,10 +51,14 @@ type Options struct {
 	// PressureFrames are the local-frame budgets the pressure sweep
 	// measures (empty: DefaultPressureFrames).
 	PressureFrames []int
-	// LocalFrames, when positive, overrides the per-processor local memory
+	// LocalFrames, when positive, overrides the per-node local memory
 	// size. Zero keeps the effectively-unbounded default, under which the
 	// pressure machinery never engages.
 	LocalFrames int
+	// Topology selects the machine topology by name ("" or "ace" is the
+	// paper's two-level ACE; see topology.Names for the others). Every
+	// machine an experiment builds uses it.
+	Topology string
 	// Chaos configures fault injection (transient local-allocation
 	// failures, delayed page moves, panic/stall crash drills) for every
 	// run an experiment performs. The zero value is chaos off. Each run
@@ -122,6 +126,7 @@ func (o Options) config() ace.Config {
 	if o.LocalFrames > 0 {
 		cfg.LocalFrames = o.LocalFrames
 	}
+	cfg.Topology = o.Topology
 	return cfg
 }
 

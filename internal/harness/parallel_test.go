@@ -1,7 +1,10 @@
 package harness
 
 import (
+	"reflect"
 	"testing"
+
+	"numasim/internal/sim"
 )
 
 // TestPoolOrderAndErrors: the pool runs every index exactly once and
@@ -78,6 +81,45 @@ func TestTable3ParallelDeterminism(t *testing.T) {
 		}
 		if s.NumaRun.Faults != p.NumaRun.Faults || s.NumaRun.NUMA != p.NumaRun.NUMA {
 			t.Errorf("%s: T_numa protocol activity differs between parallel and sequential runs", seq[i].App)
+		}
+	}
+}
+
+// TestTopologyParallelDeterminism: the determinism guarantee extends to
+// the contended multi-node topologies — the token-bucket link clocks and
+// round-robin interleave cursor are per-machine state, so Table 3 on the
+// 4-socket and mesh machines is byte-identical at every -parallel,
+// link-contention statistics included.
+func TestTopologyParallelDeterminism(t *testing.T) {
+	for _, topo := range []string{"4socket", "mesh8"} {
+		seq, err := Table3Single(Options{NProc: 4, Small: true, Parallelism: 1, Topology: topo}, "Gfetch")
+		if err != nil {
+			t.Fatalf("%s: %v", topo, err)
+		}
+		par, err := Table3Single(Options{NProc: 4, Small: true, Parallelism: 8, Topology: topo}, "Gfetch")
+		if err != nil {
+			t.Fatalf("%s: %v", topo, err)
+		}
+		if got, want := RenderTable3([]Table3Row{par}), RenderTable3([]Table3Row{seq}); got != want {
+			t.Errorf("%s: rendered row differs between parallel and sequential runs:\nsequential:\n%s\nparallel:\n%s", topo, want, got)
+		}
+		s, p := seq.Eval, par.Eval
+		if s.Tglobal != p.Tglobal || s.Tnuma != p.Tnuma || s.Tlocal != p.Tlocal ||
+			s.NumaRun.Refs != p.NumaRun.Refs || s.NumaRun.NUMA != p.NumaRun.NUMA {
+			t.Errorf("%s: per-run measurements differ between parallel and sequential runs", topo)
+		}
+		if len(s.NumaRun.Links) == 0 {
+			t.Errorf("%s: contended topology reported no link stats", topo)
+		}
+		if !reflect.DeepEqual(s.NumaRun.Links, p.NumaRun.Links) {
+			t.Errorf("%s: link stats differ:\nsequential %+v\nparallel   %+v", topo, s.NumaRun.Links, p.NumaRun.Links)
+		}
+		var waited sim.Time
+		for _, l := range s.NumaRun.Links {
+			waited += l.Waited
+		}
+		if waited == 0 {
+			t.Logf("%s: note: no queueing delay observed at this problem size", topo)
 		}
 	}
 }

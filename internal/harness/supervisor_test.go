@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -284,7 +285,7 @@ func TestAuditDoesNotChangeResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if plain.Eval != withAudit.Eval {
+	if !reflect.DeepEqual(plain.Eval, withAudit.Eval) {
 		t.Errorf("auditing changed results:\nplain  %+v\naudited %+v", plain.Eval, withAudit.Eval)
 	}
 }

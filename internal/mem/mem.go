@@ -49,7 +49,8 @@ type Frame struct {
 //numalint:hotpath
 func (f *Frame) Kind() Kind { return f.kind }
 
-// Proc reports the processor owning a local frame, or -1 for global frames.
+// Proc reports the node owning a local frame, or -1 for global frames.
+// (On the ACE node == processor, hence the name.)
 //
 //numalint:hotpath
 func (f *Frame) Proc() int { return f.proc }
@@ -316,21 +317,22 @@ func (p *Pool) Release(f *Frame) {
 // Frame returns the i'th frame of the pool (allocated or not).
 func (p *Pool) Frame(i int) *Frame { return p.frames[i] }
 
-// Memory aggregates the global pool and the per-processor local pools of a
-// machine.
+// Memory aggregates the global pool and the per-node local pools of a
+// machine. On the two-level ACE every processor is its own node; multi-node
+// topologies home several processors on one pool.
 type Memory struct {
 	pageSize int
 	global   *Pool
 	local    []*Pool
 }
 
-// NewMemory builds the physical memory of a machine with nproc processors,
-// globalFrames frames of global memory and localFrames frames of local
-// memory per processor.
-func NewMemory(nproc, globalFrames, localFrames, pageSize int) *Memory {
+// NewMemory builds the physical memory of a machine with nnodes memory
+// nodes, globalFrames frames of global memory and localFrames frames of
+// local memory per node.
+func NewMemory(nnodes, globalFrames, localFrames, pageSize int) *Memory {
 	m := &Memory{pageSize: pageSize}
 	m.global = NewPool(Global, -1, globalFrames, pageSize)
-	m.local = make([]*Pool, nproc)
+	m.local = make([]*Pool, nnodes)
 	for i := range m.local {
 		m.local[i] = NewPool(Local, i, localFrames, pageSize)
 	}
@@ -345,10 +347,11 @@ func (m *Memory) PageSize() int { return m.pageSize }
 //numalint:hotpath
 func (m *Memory) Global() *Pool { return m.global }
 
-// Local returns processor p's local memory pool.
+// Local returns node p's local memory pool.
 //
 //numalint:hotpath
 func (m *Memory) Local(p int) *Pool { return m.local[p] }
 
-// NProc reports the number of processors (number of local pools).
+// NProc reports the number of local pools (nodes; historical name from the
+// one-node-per-processor ACE).
 func (m *Memory) NProc() int { return len(m.local) }

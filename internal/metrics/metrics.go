@@ -31,6 +31,7 @@ import (
 	"numasim/internal/sched"
 	"numasim/internal/sim"
 	"numasim/internal/simtrace"
+	"numasim/internal/topology"
 	"numasim/internal/vm"
 )
 
@@ -113,6 +114,9 @@ type RunResult struct {
 	VM        vm.Stats
 	Faults    uint64
 	MMUEnters uint64
+	// Links holds per-interconnect-link contention counters for topologies
+	// with a bandwidth model; nil on uncontended machines (the ACE).
+	Links []topology.LinkStats
 }
 
 // Run executes one workload on a freshly built machine per spec.
@@ -184,6 +188,7 @@ func Run(w Runner, spec RunSpec) (RunResult, error) {
 		VM:        kernel.Stats(),
 		Faults:    machine.TotalFaults(),
 		MMUEnters: enters,
+		Links:     machine.Topo().LinkStats(),
 	}, nil
 }
 
@@ -328,9 +333,16 @@ func (e *Evaluator) Evaluate(fresh func() (Runner, error)) (Eval, error) {
 	}
 	numaRun, globalRun, localRun := results[0], results[1], results[2]
 
-	gl := cfg.Cost.GOverL(0.45)
+	// Bind a copy of the cost model to the run's topology so the G/L ratio
+	// reflects the machine actually simulated (the ACE binding reproduces
+	// the published constants exactly).
+	bc := cfg.Cost
+	if spec, err := ace.SpecForConfig(cfg); err == nil {
+		bc.Bind(spec)
+	}
+	gl := bc.GOverL(0.45)
 	if wNuma.FetchHeavy() {
-		gl = cfg.Cost.GOverL(0)
+		gl = bc.GOverL(0)
 	}
 	ev := Eval{
 		Workload:  wNuma.Name(),

@@ -80,12 +80,13 @@ func (d *directory) forEach(fn func(*Page) error) error {
 	return nil
 }
 
-// procShard is one processor's share of the reclaimer's hot state: which
+// procShard is one node's share of the reclaimer's hot state: which
 // page's copy occupies each local frame, a second-chance reference bit
-// per frame, and the clock hand. Sharding by processor keeps each pool's
+// per frame, and the clock hand. Sharding by node keeps each pool's
 // working set contiguous and independent — the parallel harness runs
-// whole machines concurrently, and within a machine each processor's
-// sweep touches only its own shard.
+// whole machines concurrently, and within a machine each node's sweep
+// touches only its own shard. (On the ACE, node == processor, hence the
+// historical name.)
 type procShard struct {
 	//numalint:oracle
 	resident []*Page // frame index -> page holding a copy there
@@ -101,6 +102,6 @@ type procShard struct {
 type mirror interface {
 	register(pg *Page)
 	unregister(pg *Page)
-	noteCopy(pg *Page, proc, frame int)
-	noteDrop(proc, frame int)
+	noteCopy(pg *Page, node, frame int)
+	noteDrop(node, frame int)
 }

@@ -12,6 +12,7 @@ import (
 	"numasim/internal/policy"
 	"numasim/internal/sim"
 	"numasim/internal/simtrace"
+	"numasim/internal/topology"
 )
 
 // protocolChecker is a simtrace sink that validates protocol invariants
@@ -87,13 +88,19 @@ func (c *protocolChecker) Emit(ev simtrace.Event) {
 // pressure test can assert the failure schedule really fired.
 func fuzzScript(t *testing.T, seed int64, pressure bool) uint64 {
 	t.Helper()
-	rng := rand.New(rand.NewSource(seed))
-
 	cfg := ace.DefaultConfig()
 	cfg.NProc = 3
 	cfg.GlobalFrames = 32
 	cfg.LocalFrames = 4 // small enough that LOCAL decisions sometimes fall back
 	cfg.PageSize = 256
+	return fuzzConfig(t, seed, pressure, cfg)
+}
+
+// fuzzConfig is fuzzScript against an arbitrary machine configuration; the
+// multi-node topology fuzz feeds it random Custom specs via cfg.Topo.
+func fuzzConfig(t *testing.T, seed int64, pressure bool, cfg ace.Config) uint64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
 	m := ace.MustMachine(cfg)
 
 	// Pre-generate the policy's answers so the run exercises Scripted too.
@@ -252,6 +259,55 @@ func TestProtocolFuzzPressure(t *testing.T) {
 	}
 	if faults == 0 {
 		t.Error("the scripted failure schedule never fired; the pressure path went unexercised")
+	}
+}
+
+// TestProtocolFuzzTopology replays the fuzz scripts on seeded random
+// multi-node machines: 2..8 nodes with random symmetric SLIT matrices,
+// more processors than nodes (so node pools and their copies are shared
+// between processors), and link contention on half the machines. The full
+// protocol apparatus rides along — online audit at stride 1 with its
+// per-node residency bounds, the dense/map oracle, the last-write-wins
+// content oracle, and the event-stream transition checker — so a pass
+// means the node-indexed protocol holds the same invariants the two-level
+// ACE does.
+func TestProtocolFuzzTopology(t *testing.T) {
+	seeds := 300
+	if testing.Short() {
+		seeds = 20
+	}
+	for i := 0; i < seeds; i++ {
+		seed := int64(50_000 + i)
+		rng := rand.New(rand.NewSource(seed))
+		nnodes := 2 + rng.Intn(7) // 2..8 nodes
+		dist := make([][]int, nnodes)
+		for a := range dist {
+			dist[a] = make([]int, nnodes)
+			dist[a][a] = 10
+		}
+		for a := 0; a < nnodes; a++ {
+			for b := a + 1; b < nnodes; b++ {
+				d := 11 + rng.Intn(40)
+				dist[a][b], dist[b][a] = d, d
+			}
+		}
+		nprocs := nnodes + rng.Intn(nnodes+1) // N..2N processors
+		contended := i%2 == 0
+		spec, err := topology.Custom("fuzz", nprocs, dist,
+			650*sim.Nanosecond, 840*sim.Nanosecond, contended, 12*sim.Nanosecond)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cfg := ace.DefaultConfig()
+		cfg.NProc = nprocs
+		cfg.GlobalFrames = 32
+		cfg.LocalFrames = 4
+		cfg.PageSize = 256
+		cfg.Topo = spec
+		fuzzConfig(t, seed, i%4 == 3, cfg)
+		if t.Failed() {
+			t.Fatalf("stopping at first failing seed (%d nodes, %d procs, contended=%v)", nnodes, nprocs, contended)
+		}
 	}
 }
 

@@ -6,7 +6,9 @@
 //
 // Every logical page is permanently backed by one frame of global memory
 // and may additionally be cached in at most one frame of local memory per
-// processor. A logical page is in one of three states:
+// node (on the paper's ACE every processor is its own node; other
+// topologies home several processors on one node and those processors
+// share the node's copy). A logical page is in one of three states:
 //
 //   - read-only: replicated in zero or more local memories, all mappings
 //     read-only; the global frame holds the authoritative contents.
@@ -122,12 +124,12 @@ type Page struct {
 	bus    *simtrace.Bus
 	global *mem.Frame
 	state  State
-	owner  int          // processor holding the local-writable copy, else -1
-	copies []*mem.Frame // per-processor local replica, nil when absent
+	owner  int          // node holding the local-writable copy, else -1
+	copies []*mem.Frame // per-node local replica, nil when absent
 
 	moves     int  // ownership transfers in response to writes (§2.3.2)
 	pinned    bool // placed permanently in global memory by the policy
-	lastOwner int  // last processor to hold the page local-writable
+	lastOwner int  // last node to hold the page local-writable
 	needZero  bool // lazy zero-fill still pending (§2.3.1)
 
 	// Virtual-time stamps for time-based policies (e.g. the
@@ -223,13 +225,14 @@ func (p *Page) GlobalFrame() *mem.Frame { return p.global }
 //numalint:hotpath
 func (p *Page) State() State { return p.state }
 
-// Owner returns the processor holding the local-writable copy, or -1.
+// Owner returns the node holding the local-writable copy, or -1. On the
+// ACE topology node indices coincide with processor indices.
 func (p *Page) Owner() int { return p.owner }
 
-// Copy returns processor proc's local replica, or nil.
+// Copy returns node's local replica, or nil.
 //
 //numalint:hotpath
-func (p *Page) Copy(proc int) *mem.Frame { return p.copies[proc] }
+func (p *Page) Copy(node int) *mem.Frame { return p.copies[node] }
 
 // NCopies reports how many local replicas exist.
 func (p *Page) NCopies() int {
@@ -362,8 +365,8 @@ type Manager struct {
 	// and page-move delays on the pressure paths.
 	chaos Injector
 
-	// Clock-reclaimer state, sharded by processor: which page's copy
-	// occupies each local frame (shards[proc].resident[frameIndex]), a
+	// Clock-reclaimer state, sharded by node: which page's copy occupies
+	// each local frame (shards[node].resident[frameIndex]), a
 	// second-chance reference bit per frame, and the clock hand. The
 	// residency shard is the per-memory index that makes deterministic
 	// eviction possible without iterating any map.
@@ -408,9 +411,9 @@ func NewManager(machine *ace.Machine, pol Policy) *Manager {
 	}
 	n := &Manager{machine: machine, policy: pol, bus: machine.Bus()}
 	machine.Engine().AddDumpSection(n.DumpSection)
-	nproc := machine.NProc()
-	n.shards = make([]procShard, nproc)
-	for p := 0; p < nproc; p++ {
+	nnodes := machine.NNodes()
+	n.shards = make([]procShard, nnodes)
+	for p := 0; p < nnodes; p++ {
 		size := machine.Memory().Local(p).Size()
 		n.shards[p].resident = make([]*Page, size)
 		n.shards[p].refbit = make([]bool, size)
@@ -479,8 +482,19 @@ func (n *Manager) newPageRecord() *Page {
 		lastOwner: -1,
 		home:      -1,
 		slot:      -1,
-		copies:    make([]*mem.Frame, n.machine.NProc()),
+		copies:    make([]*mem.Frame, n.machine.NNodes()),
 	}
+}
+
+// nodeProc returns a representative processor homed on node (the lowest-
+// numbered one), for protocol work initiated on a page rather than by a
+// faulting processor. On the ACE it is the node index itself. A node
+// with no processors falls back to processor 0.
+func (n *Manager) nodeProc(node int) int {
+	if ps := n.machine.NodeProcs(node); len(ps) > 0 {
+		return ps[0]
+	}
+	return 0
 }
 
 // NewPage allocates a fresh logical page backed by a newly allocated global
@@ -588,18 +602,24 @@ func (n *Manager) Access(th *sim.Thread, pg *Page, proc int, write bool, maxProt
 	}
 	n.MaybeSweep(th)
 
+	// The faulting processor's placements land on its home node's local
+	// memory (on the ACE the two indices coincide).
+	node := n.machine.Home(proc)
 	loc := n.policy.CachePolicy(pg, proc, write, maxProt)
-	if loc == Local && pg.copies[proc] == nil && !n.admitLocal(th, pg, proc) {
+	if loc == Local && pg.copies[node] == nil && !n.admitLocal(th, pg, node, proc) {
 		// Local memory could not yield a frame even after retry and
 		// reclaim: fall back to a global placement for this request only
 		// (the decision is re-made on the next fault).
 		loc = Global
 		n.stats.LocalFallback++
 	}
-	if loc == PlaceRemote && (pg.home < 0 ||
-		(pg.copies[pg.home] == nil && !n.admitLocal(th, pg, pg.home))) {
+	if loc == PlaceRemote {
 		// No home pragma, or the home's local memory is exhausted.
-		loc = Global
+		if pg.home < 0 {
+			loc = Global
+		} else if h := n.machine.Home(pg.home); pg.copies[h] == nil && !n.admitLocal(th, pg, h, proc) {
+			loc = Global
+		}
 	}
 	if n.bus.Enabled() {
 		n.bus.Emit(simtrace.Event{
@@ -620,11 +640,11 @@ func (n *Manager) Access(th *sim.Thread, pg *Page, proc int, write bool, maxProt
 	case loc == PlaceRemote:
 		f, prot = n.toRemote(th, pg, proc, maxProt)
 	case loc == Global:
-		f, prot = n.toGlobal(th, pg, proc, maxProt)
+		f, prot = n.toGlobal(th, pg, proc, node, maxProt)
 	case write:
-		f, prot = n.writeLocal(th, pg, proc, maxProt)
+		f, prot = n.writeLocal(th, pg, proc, node, maxProt)
 	default:
-		f, prot = n.readLocal(th, pg, proc)
+		f, prot = n.readLocal(th, pg, proc, node)
 	}
 	// Give the frame a second chance against the clock reclaimer: it was
 	// just used.
@@ -641,7 +661,7 @@ func (n *Manager) Access(th *sim.Thread, pg *Page, proc int, write bool, maxProt
 // rules are the "straightforward extension of the algorithm presented in
 // Section 2" the paper describes.
 func (n *Manager) toRemote(th *sim.Thread, pg *Page, proc int, maxProt mmu.Prot) (*mem.Frame, mmu.Prot) {
-	home := pg.home
+	home := n.machine.Home(pg.home)
 	switch pg.state {
 	case Remote:
 		if pg.owner == home {
@@ -661,7 +681,7 @@ func (n *Manager) toRemote(th *sim.Thread, pg *Page, proc int, maxProt mmu.Prot)
 	case GlobalWritable:
 		n.unmapAll(th, pg)
 	}
-	f := n.ensureCopy(th, pg, home)
+	f := n.ensureCopy(th, pg, home, proc)
 	pg.setState(Remote)
 	pg.owner = home
 	n.stats.RemotePlaced++
@@ -680,7 +700,7 @@ func (n *Manager) demoteRemote(th *sim.Thread, pg *Page, requester int) {
 	}
 	cost := n.machine.Cost()
 	pg.global.CopyFrom(src)
-	th.AdvanceSys(cost.CopyCost(src, pg.global, requester, n.machine.PageSize()))
+	n.machine.ChargeCopySys(th, src, pg.global, requester)
 	n.stats.Syncs++
 	n.chargeMoveDelay(th, requester)
 	// Every processor may map the home frame; drop them all.
@@ -699,29 +719,30 @@ func (n *Manager) demoteRemote(th *sim.Thread, pg *Page, requester int) {
 	n.emitAction(th, pg, requester, "sync&flush home")
 }
 
-// readLocal implements the LOCAL row of Table 1.
-func (n *Manager) readLocal(th *sim.Thread, pg *Page, proc int) (*mem.Frame, mmu.Prot) {
+// readLocal implements the LOCAL row of Table 1. node is proc's home
+// node, where the replica is placed.
+func (n *Manager) readLocal(th *sim.Thread, pg *Page, proc, node int) (*mem.Frame, mmu.Prot) {
 	switch pg.state {
 	case ReadOnly:
 		// Desired appearance: one more replica; state unchanged. Under the
 		// no-replication ablation the single copy migrates instead.
-		if n.noReplication && pg.copies[proc] == nil && pg.NCopies() > 0 {
-			n.flushExcept(th, pg, proc, "flush other")
+		if n.noReplication && pg.copies[node] == nil && pg.NCopies() > 0 {
+			n.flushExcept(th, pg, node, "flush other")
 		}
-		f := n.ensureCopy(th, pg, proc)
+		f := n.ensureCopy(th, pg, node, proc)
 		return f, mmu.ProtRead
 	case GlobalWritable:
 		n.unmapAll(th, pg)
-		f := n.ensureCopy(th, pg, proc)
+		f := n.ensureCopy(th, pg, node, proc)
 		pg.setState(ReadOnly)
 		return f, mmu.ProtRead
 	case LocalWritable:
-		if pg.owner == proc {
+		if pg.owner == node {
 			n.emitAction(th, pg, proc, "no action")
-			return pg.copies[proc], mmu.ProtRead
+			return pg.copies[node], mmu.ProtRead
 		}
 		n.syncFlush(th, pg, pg.owner, proc, "sync&flush other")
-		f := n.ensureCopy(th, pg, proc)
+		f := n.ensureCopy(th, pg, node, proc)
 		pg.setState(ReadOnly)
 		pg.owner = -1
 		return f, mmu.ProtRead
@@ -730,47 +751,49 @@ func (n *Manager) readLocal(th *sim.Thread, pg *Page, proc int) (*mem.Frame, mmu
 	}
 }
 
-// writeLocal implements the LOCAL row of Table 2.
-func (n *Manager) writeLocal(th *sim.Thread, pg *Page, proc int, maxProt mmu.Prot) (*mem.Frame, mmu.Prot) {
+// writeLocal implements the LOCAL row of Table 2. node is proc's home
+// node, which takes ownership.
+func (n *Manager) writeLocal(th *sim.Thread, pg *Page, proc, node int, maxProt mmu.Prot) (*mem.Frame, mmu.Prot) {
 	switch pg.state {
 	case ReadOnly:
-		n.flushExcept(th, pg, proc, "flush other")
-		f := n.ensureCopy(th, pg, proc)
-		n.becomeOwner(pg, proc)
+		n.flushExcept(th, pg, node, "flush other")
+		f := n.ensureCopy(th, pg, node, proc)
+		n.becomeOwner(pg, node)
 		return f, maxProt
 	case GlobalWritable:
 		n.unmapAll(th, pg)
-		f := n.ensureCopy(th, pg, proc)
+		f := n.ensureCopy(th, pg, node, proc)
 		// Coming home from global memory is not a transfer between
 		// processors, so it does not count against the move budget.
 		pg.setState(LocalWritable)
-		pg.owner = proc
-		pg.lastOwner = proc
+		pg.owner = node
+		pg.lastOwner = node
 		return f, maxProt
 	case LocalWritable:
-		if pg.owner == proc {
+		if pg.owner == node {
 			n.emitAction(th, pg, proc, "no action")
-			return pg.copies[proc], maxProt
+			return pg.copies[node], maxProt
 		}
 		n.syncFlush(th, pg, pg.owner, proc, "sync&flush other")
-		f := n.ensureCopy(th, pg, proc)
-		n.becomeOwner(pg, proc)
+		f := n.ensureCopy(th, pg, node, proc)
+		n.becomeOwner(pg, node)
 		return f, maxProt
 	default:
 		panic(n.violation(pg, "numa: writeLocal on a remote page (toRemote handles placement)"))
 	}
 }
 
-// toGlobal implements the GLOBAL rows of Tables 1 and 2.
-func (n *Manager) toGlobal(th *sim.Thread, pg *Page, proc int, maxProt mmu.Prot) (*mem.Frame, mmu.Prot) {
+// toGlobal implements the GLOBAL rows of Tables 1 and 2. node is proc's
+// home node, used only to label the sync of an own-node copy.
+func (n *Manager) toGlobal(th *sim.Thread, pg *Page, proc, node int, maxProt mmu.Prot) (*mem.Frame, mmu.Prot) {
 	switch pg.state {
 	case ReadOnly:
 		n.flushExcept(th, pg, -1, "flush all")
 	case GlobalWritable:
 		n.emitAction(th, pg, proc, "no action")
 	case LocalWritable:
-		if pg.owner == proc {
-			n.syncFlush(th, pg, proc, proc, "sync&flush own")
+		if pg.owner == node {
+			n.syncFlush(th, pg, node, proc, "sync&flush own")
 		} else {
 			n.syncFlush(th, pg, pg.owner, proc, "sync&flush other")
 		}
@@ -795,8 +818,7 @@ func (n *Manager) toGlobal(th *sim.Thread, pg *Page, proc int, maxProt mmu.Prot)
 		}
 	}
 	if pg.needZero {
-		cost := n.machine.Cost()
-		th.AdvanceSys(cost.ZeroCost(pg.global, proc, n.machine.PageSize()))
+		n.machine.ChargeZeroSys(th, pg.global, proc)
 		pg.needZero = false
 		n.stats.ZeroFills++
 	}
@@ -833,107 +855,110 @@ func (n *Manager) MaybeSweep(th *sim.Thread) {
 	n.gwPages = live
 }
 
-// becomeOwner records proc as the page's local-writable owner and counts an
-// ownership transfer when the page last belonged to a different processor
+// becomeOwner records node as the page's local-writable owner and counts
+// an ownership transfer when the page last belonged to a different node
 // ("transfers of page ownership", §2.3.2).
-func (n *Manager) becomeOwner(pg *Page, proc int) {
+func (n *Manager) becomeOwner(pg *Page, node int) {
 	pg.setState(LocalWritable)
-	pg.owner = proc
-	if pg.lastOwner >= 0 && pg.lastOwner != proc {
+	pg.owner = node
+	if pg.lastOwner >= 0 && pg.lastOwner != node {
 		pg.moves++
 		n.stats.Moves++
 		pg.lastMove = pg.lastRequest
 	}
-	pg.lastOwner = proc
+	pg.lastOwner = node
 }
 
-// ensureCopy guarantees that proc holds a local replica of the page,
+// ensureCopy guarantees that node holds a local replica of the page,
 // copying from global memory (or performing the pending lazy zero-fill) as
-// needed, and reports the replica's frame. The caller has verified that a
-// local frame is available.
-func (n *Manager) ensureCopy(th *sim.Thread, pg *Page, proc int) *mem.Frame {
-	if f := pg.copies[proc]; f != nil {
+// needed, and reports the replica's frame. The copy work is charged to
+// the faulting processor proc. The caller has verified that a local frame
+// is available.
+func (n *Manager) ensureCopy(th *sim.Thread, pg *Page, node, proc int) *mem.Frame {
+	if f := pg.copies[node]; f != nil {
 		return f
 	}
-	f, err := n.machine.Memory().Local(proc).Alloc()
+	f, err := n.machine.Memory().Local(node).Alloc()
 	if err != nil {
 		// Access checked Free() before deciding LOCAL.
-		panic(n.violation(pg, "numa: local pool %d unexpectedly empty: %v", proc, err))
+		panic(n.violation(pg, "numa: local pool %d unexpectedly empty: %v", node, err))
 	}
-	cost := n.machine.Cost()
 	if pg.needZero {
 		// Lazy zero-fill directly into local memory, avoiding "writing
 		// zeros into global memory and immediately copying them" (§2.3.1).
 		f.Zero()
-		th.AdvanceSys(cost.ZeroCost(f, proc, n.machine.PageSize()))
+		n.machine.ChargeZeroSys(th, f, proc)
 		pg.needZero = false
 		n.stats.ZeroFills++
 	} else {
 		f.CopyFrom(pg.global)
-		th.AdvanceSys(cost.CopyCost(pg.global, f, proc, n.machine.PageSize()))
+		n.machine.ChargeCopySys(th, pg.global, f, proc)
 		n.stats.Copies++
 		n.chargeMoveDelay(th, proc)
 	}
-	pg.copies[proc] = f
-	n.noteCopy(pg, proc, f)
+	pg.copies[node] = f
+	n.noteCopy(pg, node, f)
 	n.emitAction(th, pg, proc, "copy to local")
 	return f
 }
 
-// syncFlush copies the dirty local-writable copy held by owner back to the
-// global frame, then flushes that copy. The copy is performed by the
-// faulting processor, so syncing another node's page pays remote-fetch plus
-// global-store per word. The action label distinguishes the paper's
-// "sync&flush own" and "sync&flush other".
+// syncFlush copies the dirty local-writable copy held by the owner node
+// back to the global frame, then flushes that copy. The copy is performed
+// by the faulting processor, so syncing another node's page pays
+// remote-fetch plus global-store per word. The action label distinguishes
+// the paper's "sync&flush own" and "sync&flush other".
 func (n *Manager) syncFlush(th *sim.Thread, pg *Page, owner, requester int, label string) {
 	src := pg.copies[owner]
 	if src == nil {
 		panic(n.violation(pg, "numa: syncFlush without a local copy on cpu%d", owner))
 	}
-	cost := n.machine.Cost()
 	pg.global.CopyFrom(src)
-	th.AdvanceSys(cost.CopyCost(src, pg.global, requester, n.machine.PageSize()))
+	n.machine.ChargeCopySys(th, src, pg.global, requester)
 	n.stats.Syncs++
 	n.chargeMoveDelay(th, requester)
 	n.dropCopy(th, pg, owner)
 	n.emitAction(th, pg, requester, label)
 }
 
-// dropCopy removes owner's replica: drops any mapping to it and releases
-// the local frame.
-func (n *Manager) dropCopy(th *sim.Thread, pg *Page, proc int) {
-	f := pg.copies[proc]
+// dropCopy removes node's replica: drops any mapping to it (every
+// processor homed on the node may have one) and releases the local frame.
+func (n *Manager) dropCopy(th *sim.Thread, pg *Page, node int) {
+	f := pg.copies[node]
 	if f == nil {
 		return
 	}
 	cost := n.machine.Cost()
-	if n.machine.MMU(proc).RemoveFrame(f) {
-		th.AdvanceSys(cost.MMUOp)
+	for _, p := range n.machine.NodeProcs(node) {
+		if n.machine.MMU(p).RemoveFrame(f) {
+			th.AdvanceSys(cost.MMUOp)
+		}
 	}
-	n.machine.Memory().Local(proc).Release(f)
-	n.noteDrop(proc, f)
-	pg.copies[proc] = nil
+	n.machine.Memory().Local(node).Release(f)
+	n.noteDrop(node, f)
+	pg.copies[node] = nil
 	n.stats.Flushes++
 }
 
 // flushExcept drops every local replica except keep's (keep == -1 flushes
 // all), and also drops any read-only mappings of the global frame on the
-// flushed processors.
+// processors of the flushed nodes.
 func (n *Manager) flushExcept(th *sim.Thread, pg *Page, keep int, label string) {
 	cost := n.machine.Cost()
 	acted := false
-	for p := range pg.copies {
-		if p == keep {
+	for node := range pg.copies {
+		if node == keep {
 			continue
 		}
-		if pg.copies[p] != nil {
-			n.dropCopy(th, pg, p)
+		if pg.copies[node] != nil {
+			n.dropCopy(th, pg, node)
 			acted = true
 		}
 		// A processor may map the global frame read-only (local fallback).
-		if n.machine.MMU(p).RemoveFrame(pg.global) {
-			th.AdvanceSys(cost.MMUOp)
-			acted = true
+		for _, p := range n.machine.NodeProcs(node) {
+			if n.machine.MMU(p).RemoveFrame(pg.global) {
+				th.AdvanceSys(cost.MMUOp)
+				acted = true
+			}
 		}
 	}
 	if acted {
@@ -957,35 +982,36 @@ func (n *Manager) unmapAll(th *sim.Thread, pg *Page) {
 }
 
 // MigrateOwner moves a local-writable page's copy from its current owner
-// to a new processor — the §4.7 load-balancing primitive ("we will need to
-// migrate processes to new homes and move their local pages with them").
-// The copy is charged to th at memory speed; pages in other states are
-// left where they are. The transfer does not count against the page's move
-// budget: it is scheduler-initiated, not "in response to writes".
+// node to newProc's home node — the §4.7 load-balancing primitive ("we
+// will need to migrate processes to new homes and move their local pages
+// with them"). The copy is charged to th at memory speed; pages in other
+// states are left where they are. The transfer does not count against the
+// page's move budget: it is scheduler-initiated, not "in response to
+// writes".
 func (n *Manager) MigrateOwner(th *sim.Thread, pg *Page, newProc int) {
 	n.now = th.Clock()
-	if pg.state != LocalWritable || pg.owner == newProc {
+	node := n.machine.Home(newProc)
+	if pg.state != LocalWritable || pg.owner == node {
 		return
 	}
-	if n.machine.Memory().Local(newProc).Free() == 0 {
+	if n.machine.Memory().Local(node).Free() == 0 {
 		return // destination full: leave the page; faults will sort it out
 	}
 	src := pg.copies[pg.owner]
-	dst, err := n.machine.Memory().Local(newProc).Alloc()
+	dst, err := n.machine.Memory().Local(node).Alloc()
 	if err != nil {
 		// Free() was checked above.
-		panic(n.violation(pg, "numa: local pool %d unexpectedly empty: %v", newProc, err))
+		panic(n.violation(pg, "numa: local pool %d unexpectedly empty: %v", node, err))
 	}
-	cfg := n.machine
 	dst.CopyFrom(src)
-	th.AdvanceSys(cfg.Cost().CopyCost(src, dst, newProc, cfg.PageSize()))
+	n.machine.ChargeCopySys(th, src, dst, newProc)
 	n.stats.Copies++
 	n.chargeMoveDelay(th, newProc)
 	n.dropCopy(th, pg, pg.owner)
-	pg.copies[newProc] = dst
-	n.noteCopy(pg, newProc, dst)
-	pg.owner = newProc
-	pg.lastOwner = newProc
+	pg.copies[node] = dst
+	n.noteCopy(pg, node, dst)
+	pg.owner = node
+	pg.lastOwner = node
 	n.maybeAudit(pg)
 }
 
@@ -995,10 +1021,10 @@ func (n *Manager) MigrateOwner(th *sim.Thread, pg *Page, newProc int) {
 func (n *Manager) PrepareEvict(th *sim.Thread, pg *Page) {
 	n.now = th.Clock()
 	if pg.state == Remote {
-		n.demoteRemote(th, pg, pg.owner)
+		n.demoteRemote(th, pg, n.nodeProc(pg.owner))
 	}
 	if pg.state == LocalWritable {
-		n.syncFlush(th, pg, pg.owner, pg.owner, "sync&flush own")
+		n.syncFlush(th, pg, pg.owner, n.nodeProc(pg.owner), "sync&flush own")
 		pg.owner = -1
 	}
 	n.flushExcept(th, pg, -1, "flush all")
@@ -1017,7 +1043,7 @@ func (n *Manager) CheckInvariants(pg *Page) error {
 			return fmt.Errorf("numa: read-only page has owner %d", pg.owner)
 		}
 	case LocalWritable:
-		if pg.owner < 0 || pg.owner >= n.machine.NProc() {
+		if pg.owner < 0 || pg.owner >= n.machine.NNodes() {
 			return fmt.Errorf("numa: local-writable page has bad owner %d", pg.owner)
 		}
 		if pg.NCopies() != 1 || pg.copies[pg.owner] == nil {
@@ -1064,12 +1090,14 @@ type FreeTag struct {
 func (n *Manager) FreePage(th *sim.Thread, pg *Page) *FreeTag {
 	n.now = th.Clock()
 	if pg.state == Remote {
-		n.demoteRemote(th, pg, pg.owner)
+		n.demoteRemote(th, pg, n.nodeProc(pg.owner))
 	}
-	for p := range pg.copies {
-		n.dropCopy(th, pg, p)
-		if n.machine.MMU(p).RemoveFrame(pg.global) {
-			th.AdvanceSys(n.machine.Cost().MMUOp)
+	for node := range pg.copies {
+		n.dropCopy(th, pg, node)
+		for _, p := range n.machine.NodeProcs(node) {
+			if n.machine.MMU(p).RemoveFrame(pg.global) {
+				th.AdvanceSys(n.machine.Cost().MMUOp)
+			}
 		}
 	}
 	n.machine.Memory().Global().Release(pg.global)

@@ -15,17 +15,18 @@ import (
 // installed, which is what keeps default-configuration runs byte-identical
 // to a build without it.
 
-// admitLocal reports whether processor proc can take one more local copy
-// of pg, retrying injected transient failures with backoff and running
-// the clock reclaimer when the pool is genuinely full. On false the
-// caller demotes the placement to global for this request only.
-func (n *Manager) admitLocal(th *sim.Thread, pg *Page, proc int) bool {
+// admitLocal reports whether node can take one more local copy of pg,
+// retrying injected transient failures with backoff and running the clock
+// reclaimer when the pool is genuinely full. proc is the faulting
+// processor the work is billed to. On false the caller demotes the
+// placement to global for this request only.
+func (n *Manager) admitLocal(th *sim.Thread, pg *Page, node, proc int) bool {
 	if n.chaos != nil {
 		//numalint:coldpath fault injection: the retry loop runs only with an Injector installed
 		for attempt := 0; n.chaos.FailLocalAlloc(th.Clock(), proc); attempt++ {
 			n.stats.ChaosFaults++
 			if attempt >= n.chaos.MaxRetries() {
-				n.emitPressure(th, pg, proc, "chaos-fallback")
+				n.emitPressure(th, pg, node, proc, "chaos-fallback")
 				return false
 			}
 			// Wait out the transient condition in virtual time; the
@@ -43,26 +44,27 @@ func (n *Manager) admitLocal(th *sim.Thread, pg *Page, proc int) bool {
 			}
 		}
 	}
-	if n.machine.Memory().Local(proc).Free() > 0 {
+	if n.machine.Memory().Local(node).Free() > 0 {
 		return true
 	}
-	if n.reclaimLocal(th, pg, proc) {
+	if n.reclaimLocal(th, pg, node, proc) {
 		return true
 	}
-	n.emitPressure(th, pg, proc, "local-fallback")
+	n.emitPressure(th, pg, node, proc, "local-fallback")
 	return false
 }
 
-// reclaimLocal frees one frame of proc's local memory by evicting a
+// reclaimLocal frees one frame of node's local memory by evicting a
 // resident copy, chosen by a second-chance clock over the frame table:
 // the hand sweeps frame indices in order, clearing reference bits, and
 // evicts the first frame whose bit is already clear. Read-only replicas
 // are flushed (the global frame stays authoritative); a local-writable
 // copy is synced back to global memory first. Remote home placements are
 // sticky (§4.4) and are skipped, as is keep — the page being placed.
-// Reports false when nothing was evictable.
-func (n *Manager) reclaimLocal(th *sim.Thread, keep *Page, proc int) bool {
-	shard := &n.shards[proc]
+// proc is the faulting processor billed for the eviction. Reports false
+// when nothing was evictable.
+func (n *Manager) reclaimLocal(th *sim.Thread, keep *Page, node, proc int) bool {
+	shard := &n.shards[node]
 	size := len(shard.resident)
 	// Two revolutions bound the scan: the first may only clear bits.
 	for step := 0; step < 2*size; step++ {
@@ -80,20 +82,20 @@ func (n *Manager) reclaimLocal(th *sim.Thread, keep *Page, proc int) bool {
 		var action string
 		if victim.state == LocalWritable {
 			// The only copy of a local-writable page lives on its owner,
-			// so a resident local-writable victim is owned by proc.
-			n.syncFlush(th, victim, proc, proc, "sync&flush own")
+			// so a resident local-writable victim is owned by node.
+			n.syncFlush(th, victim, node, proc, "sync&flush own")
 			victim.setState(ReadOnly)
 			victim.owner = -1
 			action = "sync&flush own"
 		} else {
-			n.dropCopy(th, victim, proc)
+			n.dropCopy(th, victim, node)
 			action = "flush"
 		}
 		th.AdvanceSys(n.machine.Cost().NUMAOp)
 		n.stats.Evictions++
 		if n.bus.Enabled() {
 			n.bus.Emit(simtrace.Event{
-				Kind: simtrace.KindEvict, Proc: int32(proc), Thread: int32(th.ID()),
+				Kind: simtrace.KindEvict, Proc: int32(node), Thread: int32(th.ID()),
 				Time: int64(th.Clock()), Page: victim.id,
 				Arg: int64(before), Label: action,
 			})
@@ -104,30 +106,30 @@ func (n *Manager) reclaimLocal(th *sim.Thread, keep *Page, proc int) bool {
 	return false
 }
 
-// noteCopy records that frame f of proc's local memory now holds a copy
+// noteCopy records that frame f of node's local memory now holds a copy
 // of pg, and gives it a fresh reference bit.
 //
 //numalint:oraclechannel
-func (n *Manager) noteCopy(pg *Page, proc int, f *mem.Frame) {
-	shard := &n.shards[proc]
+func (n *Manager) noteCopy(pg *Page, node int, f *mem.Frame) {
+	shard := &n.shards[node]
 	shard.resident[f.Index()] = pg
 	shard.refbit[f.Index()] = true
 	if n.mir != nil {
 		//numalint:coldpath test-only: the mirror oracle is attached by the fuzz/parity suites
-		n.mir.noteCopy(pg, proc, f.Index())
+		n.mir.noteCopy(pg, node, f.Index())
 	}
 }
 
-// noteDrop clears the residency record for frame f of proc's pool.
+// noteDrop clears the residency record for frame f of node's pool.
 //
 //numalint:oraclechannel
-func (n *Manager) noteDrop(proc int, f *mem.Frame) {
-	shard := &n.shards[proc]
+func (n *Manager) noteDrop(node int, f *mem.Frame) {
+	shard := &n.shards[node]
 	shard.resident[f.Index()] = nil
 	shard.refbit[f.Index()] = false
 	if n.mir != nil {
 		//numalint:coldpath test-only: the mirror oracle is attached by the fuzz/parity suites
-		n.mir.noteDrop(proc, f.Index())
+		n.mir.noteDrop(node, f.Index())
 	}
 }
 
@@ -146,14 +148,14 @@ func (n *Manager) chargeMoveDelay(th *sim.Thread, proc int) {
 }
 
 // emitPressure reports one graceful-degradation event: a LOCAL or remote
-// placement could not get a local frame and the request proceeds against
-// global memory.
-func (n *Manager) emitPressure(th *sim.Thread, pg *Page, proc int, label string) {
+// placement could not get a frame of node's local memory and the request
+// by proc proceeds against global memory.
+func (n *Manager) emitPressure(th *sim.Thread, pg *Page, node, proc int, label string) {
 	if n.bus.Enabled() {
 		n.bus.Emit(simtrace.Event{
 			Kind: simtrace.KindPressure, Proc: int32(proc), Thread: int32(th.ID()),
 			Time: int64(th.Clock()), Page: pg.id,
-			Arg: int64(n.machine.Memory().Local(proc).Free()), Label: label,
+			Arg: int64(n.machine.Memory().Local(node).Free()), Label: label,
 		})
 	}
 }

@@ -236,7 +236,7 @@ func (m *Manager) CopyPage(th *sim.Thread, src, dst *numa.Page, proc int) {
 	to := dst.GlobalFrame()
 	to.CopyFrom(from)
 	m.numa.MarkFilled(dst)
-	th.AdvanceSys(m.machine.Cost().CopyCost(from, to, proc, m.machine.PageSize()))
+	m.machine.ChargeCopySys(th, from, to, proc)
 }
 
 // FreePage starts lazy cleanup of a freed logical page and returns a tag

@@ -85,6 +85,9 @@ func WriteChrome(w io.Writer, events []Event, meta ChromeMeta) error {
 		case KindRetry:
 			cw.instant("retry", ev.Proc, ev.Time,
 				fmt.Sprintf("{\"attempt\":%d,\"backoff\":%d,\"page\":%d}", ev.Arg, ev.Dur, ev.Page))
+		case KindLinkWait:
+			cw.instant("link-wait", ev.Proc, ev.Time,
+				fmt.Sprintf("{\"node\":%d,\"queued\":%d}", ev.Arg, ev.Dur))
 		case KindPageCreated:
 			cw.async('b', "page", ev.Page, ev.Time, "")
 			open[ev.Page] = true

@@ -75,6 +75,11 @@ const (
 	// a backoff (Arg: the zero-based attempt number, Dur: the backoff
 	// waited in virtual nanoseconds).
 	KindRetry
+	// KindLinkWait: a memory transfer queued behind earlier traffic on a
+	// busy interconnect link (contended topologies only; Dur: the
+	// queueing delay charged in virtual nanoseconds, Arg: the node of the
+	// frame being accessed, or -1 for interleaved global memory).
+	KindLinkWait
 
 	// KindCount is the number of event kinds.
 	KindCount
@@ -84,6 +89,7 @@ var kindNames = [KindCount]string{
 	"dispatch", "span", "fault-enter", "fault-exit", "decision",
 	"action", "state-change", "page-created", "page-freed", "pin",
 	"map-enter", "sched-assign", "pressure", "evict", "retry",
+	"link-wait",
 }
 
 func (k Kind) String() string {
@@ -139,6 +145,8 @@ func (e Event) String() string {
 		fmt.Fprintf(&b, " free=%d", e.Arg)
 	case KindRetry:
 		fmt.Fprintf(&b, " attempt=%d backoff=%dns", e.Arg, e.Dur)
+	case KindLinkWait:
+		fmt.Fprintf(&b, " node=%d queued=%dns", e.Arg, e.Dur)
 	}
 	if e.Label != "" {
 		fmt.Fprintf(&b, " %q", e.Label)

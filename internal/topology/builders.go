@@ -1,0 +1,194 @@
+package topology
+
+import (
+	"fmt"
+
+	"numasim/internal/sim"
+)
+
+// ACELatencies are the measured 32-bit reference latencies that seed the
+// ACE spec's latency matrix (§2.2 and §4.4 of the paper).
+type ACELatencies struct {
+	LocalFetch  sim.Time
+	LocalStore  sim.Time
+	GlobalFetch sim.Time
+	GlobalStore sim.Time
+	RemoteFetch sim.Time
+	RemoteStore sim.Time
+}
+
+// ACE builds the paper's two-level machine as a topology spec: one node
+// per processor (each processor's local memory is its own node), the
+// interleave column holding the global-memory latencies, every other
+// node at remote latency, and no contended links — the IPC bus is
+// modelled, as in the paper, by the fixed global latencies alone. The
+// distance matrix is derived from the fetch-latency ratios so
+// distance-ranked placement degrades exactly as the measured machine
+// does.
+func ACE(nprocs int, lat ACELatencies) (*Spec, error) {
+	if lat.LocalFetch <= 0 {
+		return nil, fmt.Errorf("topology: ace local fetch latency %v not positive", lat.LocalFetch)
+	}
+	nnodes := nprocs
+	homeOf := make([]int, nprocs)
+	dist := make([][]int, nnodes)
+	fetch := make([][]sim.Time, nprocs)
+	store := make([][]sim.Time, nprocs)
+	// Remote distance from the remote/local fetch ratio (1800/650 → 27).
+	remoteDist := int(lat.RemoteFetch * LocalDistance / lat.LocalFetch)
+	if remoteDist <= LocalDistance {
+		remoteDist = LocalDistance + 1
+	}
+	for p := 0; p < nprocs; p++ {
+		homeOf[p] = p
+		dist[p] = make([]int, nnodes)
+		fetch[p] = make([]sim.Time, nnodes+1)
+		store[p] = make([]sim.Time, nnodes+1)
+		for n := 0; n < nnodes; n++ {
+			if n == p {
+				dist[p][n] = LocalDistance
+				fetch[p][n] = lat.LocalFetch
+				store[p][n] = lat.LocalStore
+			} else {
+				dist[p][n] = remoteDist
+				fetch[p][n] = lat.RemoteFetch
+				store[p][n] = lat.RemoteStore
+			}
+		}
+		fetch[p][nnodes] = lat.GlobalFetch
+		store[p][nnodes] = lat.GlobalStore
+	}
+	return Explicit("ace", nnodes, nprocs, homeOf, dist, fetch, store)
+}
+
+// FourSocket builds a 4-socket fully-connected machine: SLIT distance 16
+// between any two sockets (one hop over a point-to-point link), local
+// latencies matching the ACE's measured local memory, and a contended
+// link per socket pair at 12ns/byte (≈80 MB/s, the ACE's IPC bus rate).
+// Processors are homed round-robin across the sockets.
+func FourSocket(nprocs int) (*Spec, error) {
+	const sockets = 4
+	dist := make([][]int, sockets)
+	for a := range dist {
+		dist[a] = make([]int, sockets)
+		for b := range dist[a] {
+			if a == b {
+				dist[a][b] = LocalDistance
+			} else {
+				dist[a][b] = 16
+			}
+		}
+	}
+	return Custom("4socket", nprocs, dist, 650*sim.Nanosecond, 840*sim.Nanosecond, true, 12*sim.Nanosecond)
+}
+
+// Mesh8 builds an 8-node 2x4 mesh: SLIT distance 10 + 6 per hop of
+// Manhattan routing, latencies derived from the distances, and a
+// contended link per mesh edge (10 links) with deterministic XY routing
+// (traverse the row first, then the column).
+func Mesh8(nprocs int) (*Spec, error) {
+	const rows, cols = 2, 4
+	const nnodes = rows * cols
+	dist := make([][]int, nnodes)
+	for a := 0; a < nnodes; a++ {
+		dist[a] = make([]int, nnodes)
+		for b := 0; b < nnodes; b++ {
+			hops := manhattan(a, b, cols)
+			dist[a][b] = LocalDistance + 6*hops
+		}
+	}
+	s := &Spec{name: "mesh8", nnodes: nnodes, nprocs: nprocs, homeOf: defaultHomes(nnodes, nprocs)}
+	var err error
+	if s.dist, err = flattenDist(s.name, nnodes, dist); err != nil {
+		return nil, err
+	}
+	s.fetch = deriveLatencies(s, 650*sim.Nanosecond)
+	s.store = deriveLatencies(s, 840*sim.Nanosecond)
+	s.contended = true
+	s.links, s.routes = meshLinks(rows, cols, 12*sim.Nanosecond)
+	return s.finish()
+}
+
+// manhattan counts mesh hops between nodes a and b on a cols-wide grid.
+func manhattan(a, b, cols int) int {
+	ar, ac := a/cols, a%cols
+	br, bc := b/cols, b%cols
+	dr, dc := ar-br, ac-bc
+	if dr < 0 {
+		dr = -dr
+	}
+	if dc < 0 {
+		dc = -dc
+	}
+	return dr + dc
+}
+
+// meshLinks builds one link per mesh edge and XY (row-first) routes.
+func meshLinks(rows, cols int, perByte sim.Time) ([]Link, [][]int) {
+	nnodes := rows * cols
+	var links []Link
+	// edge[a*nnodes+b] is the link index for adjacent nodes a, b.
+	edge := make([]int, nnodes*nnodes)
+	addEdge := func(a, b int) {
+		edge[a*nnodes+b] = len(links)
+		edge[b*nnodes+a] = len(links)
+		links = append(links, Link{Name: fmt.Sprintf("node%d-node%d", a, b), A: a, B: b, PerByte: perByte})
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols-1; c++ {
+			addEdge(r*cols+c, r*cols+c+1)
+		}
+	}
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows-1; r++ {
+			addEdge(r*cols+c, (r+1)*cols+c)
+		}
+	}
+	routes := make([][]int, nnodes*nnodes)
+	for a := 0; a < nnodes; a++ {
+		for b := 0; b < nnodes; b++ {
+			if a == b {
+				continue
+			}
+			var path []int
+			cur := a
+			// Row first: walk along a's row to b's column...
+			for cur%cols != b%cols {
+				next := cur + 1
+				if b%cols < cur%cols {
+					next = cur - 1
+				}
+				path = append(path, edge[cur*nnodes+next])
+				cur = next
+			}
+			// ...then down the column.
+			for cur/cols != b/cols {
+				next := cur + cols
+				if b/cols < cur/cols {
+					next = cur - cols
+				}
+				path = append(path, edge[cur*nnodes+next])
+				cur = next
+			}
+			routes[a*nnodes+b] = path
+		}
+	}
+	return links, routes
+}
+
+// ByName builds the registered topology named name for nprocs processors.
+// The ACE itself is not built here: it needs the machine's measured
+// latencies, so ace.SpecForConfig constructs it from the cost model.
+func ByName(name string, nprocs int) (*Spec, error) {
+	switch name {
+	case "4socket", "4-socket", "foursocket":
+		return FourSocket(nprocs)
+	case "mesh8", "8mesh", "mesh":
+		return Mesh8(nprocs)
+	}
+	return nil, fmt.Errorf("topology: unknown topology %q (have: %v)", name, Names())
+}
+
+// Names lists the registered topology names selectable via -topology,
+// including the default ACE.
+func Names() []string { return []string{"ace", "4socket", "mesh8"} }

@@ -46,6 +46,39 @@ func TestHotPathZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestHotPathZeroAllocTopology reruns the core guard on a contended
+// multi-node machine: the latency-matrix lookup, home-node mapping and
+// token-bucket link charging that replaced the Local/Global constants must
+// also be allocation-free per access.
+func TestHotPathZeroAllocTopology(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates on the hot path; guard runs in non-race CI")
+	}
+	cfg := smallCfg(4)
+	cfg.Topology = "4socket"
+	var tlbHit, localRef float64
+	run1(t, cfg, nil, func(c *vm.Context) {
+		base := c.Task().Allocate("data", 8192, mmu.ProtReadWrite)
+		c.Store32(base, 1)
+		c.Store32(base+4096, 2)
+		_ = c.Load32(base)
+
+		tlbHit = testing.AllocsPerRun(200, func() {
+			_ = c.Load32(base)
+		})
+		localRef = testing.AllocsPerRun(200, func() {
+			_ = c.Load32(base)
+			c.Store32(base+4096, 3)
+		})
+	})
+	if tlbHit != 0 {
+		t.Errorf("4socket TLB-hit load path allocates %.1f objects per access, want 0", tlbHit)
+	}
+	if localRef != 0 {
+		t.Errorf("4socket local-reference path allocates %.1f objects per access, want 0", localRef)
+	}
+}
+
 // TestHotPathRootsZeroAlloc extends the guard to every remaining
 // //numalint:hotpath root on Context and Kernel: the sized and atomic
 // access paths, and the steady-state fault path (refault of an already

@@ -749,14 +749,16 @@ func (c *Context) MigrateWithPages(proc int) int {
 	c.MigrateTo(proc)
 	moved := 0
 	ps := uint32(c.kernel.machine.PageSize())
+	oldNode := c.mach.Home(old)
+	newNode := c.mach.Home(proc)
 	for _, e := range c.task.entries {
 		for i := range e.obj.slots {
 			pg := e.obj.slots[i].pg
-			if pg == nil || pg.State() != numa.LocalWritable || pg.Owner() != old {
+			if pg == nil || pg.State() != numa.LocalWritable || pg.Owner() != oldNode {
 				continue
 			}
 			c.kernel.nm.MigrateOwner(c.th, pg, proc)
-			if pg.Owner() != proc {
+			if pg.Owner() != newNode {
 				continue
 			}
 			moved++
