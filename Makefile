@@ -31,6 +31,10 @@
 #   make topo     - the topology gate: ACE byte-identity goldens through
 #                   the generalized path, the multi-node protocol fuzz,
 #                   and the link-contention property tests, under -race
+#   make tournament - the policy-zoo gate: run the ranked tournament CSV
+#                   at -parallel 1 and -parallel 8 and require the bytes
+#                   to match, plus the capability fuzz and the adaptive
+#                   acceptance test
 
 GO ?= go
 NUMALINT := bin/numalint
@@ -49,9 +53,9 @@ BENCH_CI_FILTER := 'LocalAccess$$|PageMigration$$|FaultPath$$|PickManyThreads|Tr
 BENCH_CI_TIME := 300ms
 BENCHDIFF_TOL ?= 0.20
 
-.PHONY: check build vet lint numalint test bench bench-json bench-ci tables pressure audit topo
+.PHONY: check build vet lint numalint test bench bench-json bench-ci tables pressure audit topo tournament
 
-check: build vet lint test audit pressure topo
+check: build vet lint test audit pressure topo tournament
 
 build:
 	$(GO) build ./...
@@ -112,3 +116,16 @@ topo:
 	$(GO) test -race -count=1 -run 'TestTable3GoldenACE|TestFigure1Golden|TestTable3ACEExplicitTopology|TestTopologyParallelDeterminism' ./internal/harness/
 	$(GO) test -race -count=1 -run 'TestProtocolFuzzTopology' ./internal/numa/
 	$(GO) test -race -count=1 ./internal/topology/
+
+# tournament is the policy-zoo gate: the ranked grid must be
+# byte-identical at any -parallel (adaptive policies carry per-run
+# state — decaying histograms, a bandit PRNG — so this also proves no
+# state leaks across the worker pool), the capability fuzz must hold,
+# and at least one adaptive policy must beat the fixed threshold on the
+# skewed Zipf probe.
+tournament:
+	$(GO) run ./cmd/tables -small -nproc 3 -exp tournament -csv -parallel 1 > /tmp/tournament_p1.csv
+	$(GO) run ./cmd/tables -small -nproc 3 -exp tournament -csv -parallel 8 > /tmp/tournament_p8.csv
+	cmp /tmp/tournament_p1.csv /tmp/tournament_p8.csv
+	$(GO) test -race -count=1 -run 'TestTournament|TestAdaptiveBeatsThresholdOnZipf' ./internal/harness/
+	$(GO) test -race -count=1 -run 'TestProtocolFuzzCapabilities|TestHeatDecay' ./internal/numa/

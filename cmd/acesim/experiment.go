@@ -17,6 +17,8 @@ import (
 type experimentOptions struct {
 	app        string
 	appSet     bool // whether -app was given explicitly
+	policy     string
+	polSet     bool // whether -policy was given explicitly
 	topology   string
 	nproc      int
 	workers    int
@@ -94,6 +96,11 @@ func runExperiment(name string, eo experimentOptions, stdout, stderr io.Writer) 
 	// user actually chose one.
 	if eo.appSet {
 		opts.App = eo.app
+	}
+	// Likewise -policy: its single-run default (threshold) must not
+	// override an experiment's own policy choice.
+	if eo.polSet {
+		opts.Policy = eo.policy
 	}
 	res, err := e.Run(opts)
 	if err != nil {

@@ -27,9 +27,14 @@
 // and the -chaos-seed/-chaos-fail/-chaos-delay flags enable seeded fault
 // injection.
 //
-// Policies: threshold (default), allglobal, alllocal, neverpin, pragma,
-// reconsider, freezedefrost. Apps: ParMult, Gfetch, IMatMult, Primes1,
-// Primes2, Primes2-untuned, Primes3, FFT, PlyTrace.
+// Policies are registry specs of the form "name:key=val,..." (see
+// policy.Usage): threshold (default), allglobal, alllocal, neverpin,
+// pragma, reconsider, freezedefrost, decaythreshold, bandit, classifier,
+// coplace. Parameters ride on the spec ("threshold:limit=2"); the old
+// spelling of passing a bare name plus -threshold still works but is
+// deprecated in favour of the spec syntax. Apps: ParMult, Gfetch,
+// IMatMult, Primes1, Primes2, Primes2-untuned, Primes3, FFT, PlyTrace,
+// plus the Phased and Zipf policy probes.
 package main
 
 import (
@@ -239,8 +244,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("acesim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	app := fs.String("app", "IMatMult", "application to run, or a comma-separated list (case-insensitive)")
-	polName := fs.String("policy", "threshold", "placement policy")
-	threshold := fs.Int("threshold", policy.DefaultThreshold, "move limit for the threshold policy")
+	polName := fs.String("policy", "threshold", "placement policy, as a registry spec like decaythreshold or threshold:limit=2")
+	threshold := fs.Int("threshold", policy.DefaultThreshold, "move limit for the threshold policy (deprecated: prefer -policy threshold:limit=N)")
 	nproc := fs.Int("nproc", 7, "number of processors")
 	topo := fs.String("topology", "", "machine topology: ace (default), "+strings.Join(topology.Names()[1:], ", "))
 	workers := fs.Int("workers", 0, "worker threads (default: one per processor)")
@@ -299,7 +304,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *exp != "" {
 		return runExperiment(*exp, experimentOptions{
-			app: *app, appSet: flagWasSet(fs, "app"), nproc: *nproc, topology: *topo,
+			app: *app, appSet: flagWasSet(fs, "app"),
+			policy: *polName, polSet: flagWasSet(fs, "policy"),
+			nproc: *nproc, topology: *topo,
 			workers: *workers, threshold: *threshold, parallel: *parallel,
 			frames: *framesFlag, chaos: cc,
 			audit: *audit, timeout: *timeout, retries: *retries,

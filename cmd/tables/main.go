@@ -15,9 +15,11 @@
 // Every output is an experiment in the harness registry; -exp runs one by
 // name (-exp list prints them all), and -table/-figure are shorthand for
 // the tableN/figureN entries. -app selects the application for
-// experiments that take one (the pressure sweep, ablations), -frames the
-// local-frame budgets for the pressure sweep, and the -chaos flags enable
-// seeded fault injection.
+// experiments that take one (the pressure sweep, ablations), -policy the
+// placement policy for single-policy experiments (any registry spec,
+// e.g. decaythreshold or threshold:limit=2), -frames the local-frame
+// budgets for the pressure sweep, and the -chaos flags enable seeded
+// fault injection.
 //
 // -parallel bounds how many independent simulations run concurrently;
 // the tables are byte-identical at every setting. -timing reports
@@ -72,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	figure := fs.Int("figure", 0, "print only figure N (1-2)")
 	exp := fs.String("exp", "", "print only the named experiment (list: print the registry)")
 	app := fs.String("app", "", "application for single-app experiments (default: per experiment)")
+	polName := fs.String("policy", "", "placement policy for single-policy experiments, as a registry spec like decaythreshold or threshold:limit=2 (default: per experiment)")
 	framesFlag := fs.String("frames", "", "comma-separated local-frame budgets for the pressure sweep")
 	chaosSeed := fs.Int64("chaos-seed", 0, "seed for fault injection (used when a -chaos probability is set)")
 	chaosFail := fs.Float64("chaos-fail", 0, "probability a local frame allocation transiently fails (0 disables)")
@@ -111,7 +114,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	opts := harness.Options{
 		NProc: *nproc, Workers: *workers, Small: *smallFlag, Parallelism: *parallel,
-		App: *app, PressureFrames: frames, Topology: *topo,
+		App: *app, Policy: *polName, PressureFrames: frames, Topology: *topo,
 		Audit: *audit, Timeout: *timeout, Retries: *retries,
 		ReproDir: *reproDir, KeepGoing: *keepGoing, StallLimit: *stallLimit,
 		Command: "tables " + strings.Join(args, " "),

@@ -114,6 +114,7 @@ var Contracts = map[string]bool{
 	"(*numasim/internal/topology.Spec).FetchLatency":       true,
 	"(*numasim/internal/topology.Spec).StoreLatency":       true,
 	"(*numasim/internal/topology.Spec).Contended":          true,
+	"(*numasim/internal/topology.Spec).Dist":               true,
 	"(*numasim/internal/topology.Topology).Spec":           true,
 	"(*numasim/internal/topology.Topology).Contended":      true,
 	"(*numasim/internal/topology.Topology).ChargeTransfer": true,
@@ -162,6 +163,12 @@ var Contracts = map[string]bool{
 	"(*numasim/internal/numa.Page).Authoritative":   true,
 	"(*numasim/internal/numa.Page).GlobalFrame":     true,
 	"(*numasim/internal/numa.Page).Copy":            true,
+	"(*numasim/internal/numa.Page).NodeHeat":        true,
+	"(*numasim/internal/numa.Page).MoveHeat":        true,
+	"(*numasim/internal/numa.Page).TotalHeat":       true,
+	"(*numasim/internal/numa.Page).HotNode":         true,
+	"(*numasim/internal/numa.Page).PolicyWord":      true,
+	"(*numasim/internal/numa.Page).SetPolicyWord":   true,
 
 	// pmap: VPN-indexed residency lookups and mapping entry.
 	"(*numasim/internal/pmap.Pmap).Key":         true,
@@ -184,6 +191,14 @@ var InterfaceContracts = map[string]bool{
 	"(numasim/internal/numa.Policy).CachePolicy":                     true,
 	"(numasim/internal/numa.Policy).Name":                            true,
 	"(numasim/internal/numa.ReconsideringPolicy).ReconsiderInterval": true,
+	// The capability interfaces of the redesigned policy API
+	// (internal/numa/policyapi.go): per-access observation, thread
+	// migration advice, epoch retirement, and the scheduler's side of
+	// the co-placement channel all run per protocol request.
+	"(numasim/internal/numa.PageObserver).ObserveAccess": true,
+	"(numasim/internal/numa.ThreadAdvisor).AdviseThread": true,
+	"(numasim/internal/numa.Retirer).RetireEpoch":        true,
+	"(numasim/internal/numa.ThreadMover).MigrateHint":    true,
 }
 
 // cleanStd are standard-library packages whose exported functions are

@@ -146,8 +146,12 @@ func AffinityCompare(opts Options, app string) (AffinityResult, error) {
 	modes := []sched.Mode{sched.Affinity, sched.NoAffinity}
 	runs := make([]metrics.RunResult, len(modes))
 	err := opts.pool().Run(len(modes), func(i int) error {
+		pol, err := opts.policyOr(func() numa.Policy { return policy.NewDefault() })
+		if err != nil {
+			return err
+		}
 		res, err := opts.runInstance(app, metrics.RunSpec{
-			Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: modes[i],
+			Config: cfg, Policy: pol, Workers: opts.Workers, Sched: modes[i],
 		})
 		if err != nil {
 			return err
@@ -196,8 +200,12 @@ func UnixMasterCompare(opts Options, app string) (UnixMasterResult, error) {
 	cfg := opts.config()
 	runs := make([]metrics.RunResult, 2)
 	err := opts.pool().Run(2, func(i int) error {
+		pol, err := opts.policyOr(func() numa.Policy { return policy.NewDefault() })
+		if err != nil {
+			return err
+		}
 		res, err := opts.runInstance(app, metrics.RunSpec{
-			Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
+			Config: cfg, Policy: pol, Workers: opts.Workers, Sched: sched.Affinity,
 			UnixMast: i == 1,
 		})
 		if err != nil {
@@ -235,8 +243,12 @@ func ReplicationCompare(opts Options, app string) (ReplicationResult, error) {
 	cfg := opts.config()
 	runs := make([]metrics.RunResult, 2)
 	err := opts.pool().Run(2, func(i int) error {
+		pol, err := opts.policyOr(func() numa.Policy { return policy.NewDefault() })
+		if err != nil {
+			return err
+		}
 		res, err := opts.runInstance(app, metrics.RunSpec{
-			Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
+			Config: cfg, Policy: pol, Workers: opts.Workers, Sched: sched.Affinity,
 			NoReplication: i == 1,
 		})
 		if err != nil {
@@ -378,8 +390,12 @@ func PageSizeSweep(opts Options, app string, sizes []int) ([]SweepRow, error) {
 	err := opts.pool().Run(len(sizes), func(i int) error {
 		cfg := opts.config()
 		cfg.PageSize = sizes[i]
+		pol, err := opts.policyOr(func() numa.Policy { return policy.NewDefault() })
+		if err != nil {
+			return err
+		}
 		res, err := opts.runInstance(app, metrics.RunSpec{
-			Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
+			Config: cfg, Policy: pol, Workers: opts.Workers, Sched: sched.Affinity,
 		})
 		if err != nil {
 			return err
@@ -407,8 +423,12 @@ func GLSweep(opts Options, app string, factors []float64) ([]SweepRow, error) {
 		cfg := opts.config()
 		cfg.Cost.GlobalFetch = sim.Time(float64(cfg.Cost.GlobalFetch) * f)
 		cfg.Cost.GlobalStore = sim.Time(float64(cfg.Cost.GlobalStore) * f)
+		pol, err := opts.policyOr(func() numa.Policy { return policy.NewDefault() })
+		if err != nil {
+			return err
+		}
 		res, err := opts.runInstance(app, metrics.RunSpec{
-			Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
+			Config: cfg, Policy: pol, Workers: opts.Workers, Sched: sched.Affinity,
 		})
 		if err != nil {
 			return err
@@ -435,8 +455,12 @@ func QuantumSweep(opts Options, app string, quanta []sim.Time) ([]SweepRow, erro
 		q := quanta[i]
 		cfg := opts.config()
 		cfg.Quantum = q
+		pol, err := opts.policyOr(func() numa.Policy { return policy.NewDefault() })
+		if err != nil {
+			return err
+		}
 		res, err := opts.runInstance(app, metrics.RunSpec{
-			Config: cfg, Policy: policy.NewDefault(), Workers: opts.Workers, Sched: sched.Affinity,
+			Config: cfg, Policy: pol, Workers: opts.Workers, Sched: sched.Affinity,
 		})
 		if err != nil {
 			return err

@@ -15,6 +15,8 @@ import (
 	"numasim/internal/ace"
 	"numasim/internal/chaos"
 	"numasim/internal/metrics"
+	"numasim/internal/numa"
+	"numasim/internal/policy"
 	"numasim/internal/simtrace"
 	"numasim/internal/workloads"
 )
@@ -31,6 +33,13 @@ type Options struct {
 	Small bool
 	// Threshold is the policy's move limit (default 4).
 	Threshold int
+	// Policy, when non-empty, overrides the placement policy for
+	// single-policy experiments (the ablations, sweeps and pressure
+	// runs). It accepts any registry spec ("decaythreshold",
+	// "threshold:limit=2"; see policy.Usage). Experiments that compare a
+	// fixed policy set (table3, policycompare, tournament) ignore it.
+	// Empty keeps each experiment's default, byte-identical.
+	Policy string
 	// AppSize, when positive, overrides the workload's primary size
 	// parameter (see workloads.NewSized). Sweeps use it to keep repeated
 	// runs quick.
@@ -184,6 +193,20 @@ func (o Options) evaluator() *metrics.Evaluator {
 		ev.Threshold = o.Threshold
 	}
 	return ev
+}
+
+// policyOr builds the options' placement policy: the -policy spec when
+// one was chosen, def() otherwise. Policies carry state, so call it
+// inside each run closure for a fresh instance per run.
+func (o Options) policyOr(def func() numa.Policy) (numa.Policy, error) {
+	if o.Policy == "" {
+		return def(), nil
+	}
+	thr := o.Threshold
+	if thr == 0 {
+		thr = policy.DefaultThreshold
+	}
+	return policy.ByName(o.Policy, thr)
 }
 
 // forensics reports whether runs should gather crash forensics (ring

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"numasim/internal/metrics"
+	"numasim/internal/numa"
 	"numasim/internal/policy"
 	"numasim/internal/sched"
 	"numasim/internal/sim"
@@ -85,8 +86,12 @@ func PressureSweepAll(opts Options, apps []string, frames []int) ([]PressureRow,
 			if budget > 0 {
 				cfg.LocalFrames = budget
 			}
+			pol, err := o.policyOr(func() numa.Policy { return policy.NewThreshold(thr) })
+			if err != nil {
+				return err
+			}
 			res, err := o.runInstance(app, metrics.RunSpec{
-				Config: cfg, Policy: policy.NewThreshold(thr),
+				Config: cfg, Policy: pol,
 				Workers: o.Workers, Sched: sched.Affinity,
 				TraceSink: o.TraceSink, Chaos: o.Chaos,
 			})

@@ -204,6 +204,11 @@ func init() {
 			rows, err := PolicyCompare(opts)
 			return policyResult(rows), err
 		}})
+	Register(expFunc{"tournament", "policy zoo x workloads x topologies, ranked",
+		func(opts Options) (Result, error) {
+			r, err := Tournament(opts)
+			return r, err
+		}})
 }
 
 // Compile-time checks that experiment results satisfy the interfaces the
@@ -217,4 +222,5 @@ var (
 	_ CSVResult = table4Result(nil)
 	_ CSVResult = sweepResult{}
 	_ CSVResult = pressureResult{}
+	_ CSVResult = TournamentResult{}
 )

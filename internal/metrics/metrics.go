@@ -117,6 +117,9 @@ type RunResult struct {
 	// Links holds per-interconnect-link contention counters for topologies
 	// with a bandwidth model; nil on uncontended machines (the ACE).
 	Links []topology.LinkStats
+	// Sched holds the scheduler's counters: spawns, the co-placement
+	// channel's hint traffic, and per-node thread homes.
+	Sched sched.Stats
 }
 
 // Run executes one workload on a freshly built machine per spec.
@@ -189,6 +192,7 @@ func Run(w Runner, spec RunSpec) (RunResult, error) {
 		Faults:    machine.TotalFaults(),
 		MMUEnters: enters,
 		Links:     machine.Topo().LinkStats(),
+		Sched:     rt.Scheduler().Stats(),
 	}, nil
 }
 

@@ -148,6 +148,17 @@ type Page struct {
 	// unset.
 	home int
 
+	// Decaying counters for the adaptive policies (see policyapi.go):
+	// heat is the per-node access histogram, moveHeat the decaying
+	// analogue of moves, heatEpoch the decay epoch the counters were
+	// last shifted to, and pword an opaque 64-bit scratch word owned by
+	// the bound policy. Maintained only when the policy has the
+	// PageObserver or ThreadAdvisor capability; pooled with the record.
+	heat      []uint32
+	moveHeat  uint32
+	heatEpoch uint32
+	pword     uint64
+
 	// mgr is the owning manager (set on adoption); slot/gen locate the
 	// page in the manager's dense live-page directory (slot -1 after
 	// FreePage; gen guards against stale handles once the slot is
@@ -311,6 +322,8 @@ type Stats struct {
 	RemoteDemoted uint64 // remote placements revoked by a policy change
 	PagesCreated  uint64
 	PagesFreed    uint64
+	HintsAccepted uint64 // thread-migration hints the scheduler recorded
+	HintsRejected uint64 // thread-migration hints the scheduler refused
 }
 
 // Injector is the fault-injection hook the NUMA manager consults on the
@@ -361,6 +374,21 @@ type Manager struct {
 	gwPages   []*Page
 	lastSweep sim.Time
 
+	// Capability bindings (see policyapi.go): the policy's optional
+	// interfaces, asserted once in NewManager so the hot path only
+	// nil-checks. trackHeat is set when an observer or advisor is
+	// bound; heatEpoch is the decay period and curEpoch the epoch of
+	// the most recent request; mover is the scheduler-side co-placement
+	// channel installed by SetThreadMover.
+	observer   PageObserver
+	advisor    ThreadAdvisor
+	retirer    Retirer
+	reconsider ReconsideringPolicy
+	mover      ThreadMover
+	trackHeat  bool
+	heatEpoch  sim.Time
+	curEpoch   uint32
+
 	// chaos, when non-nil, injects transient local-allocation failures
 	// and page-move delays on the pressure paths.
 	chaos Injector
@@ -409,7 +437,8 @@ func NewManager(machine *ace.Machine, pol Policy) *Manager {
 	if pol == nil {
 		panic(newViolation(nil, nil, "numa: nil policy"))
 	}
-	n := &Manager{machine: machine, policy: pol, bus: machine.Bus()}
+	n := &Manager{machine: machine, policy: pol, bus: machine.Bus(), heatEpoch: DefaultHeatEpoch}
+	n.bindCapabilities(pol)
 	machine.Engine().AddDumpSection(n.DumpSection)
 	nnodes := machine.NNodes()
 	n.shards = make([]procShard, nnodes)
@@ -474,7 +503,11 @@ func (n *Manager) newPageRecord() *Page {
 		for i := range copies {
 			copies[i] = nil
 		}
-		*pg = Page{copies: copies, owner: -1, lastOwner: -1, home: -1, slot: -1}
+		heat := pg.heat
+		for i := range heat {
+			heat[i] = 0
+		}
+		*pg = Page{copies: copies, heat: heat, owner: -1, lastOwner: -1, home: -1, slot: -1}
 		return pg
 	}
 	return &Page{
@@ -483,6 +516,7 @@ func (n *Manager) newPageRecord() *Page {
 		home:      -1,
 		slot:      -1,
 		copies:    make([]*mem.Frame, n.machine.NNodes()),
+		heat:      make([]uint32, n.machine.NNodes()),
 	}
 }
 
@@ -605,6 +639,9 @@ func (n *Manager) Access(th *sim.Thread, pg *Page, proc int, write bool, maxProt
 	// The faulting processor's placements land on its home node's local
 	// memory (on the ACE the two indices coincide).
 	node := n.machine.Home(proc)
+	if n.trackHeat {
+		n.observeAccess(pg, proc, node, write, th.Clock())
+	}
 	loc := n.policy.CachePolicy(pg, proc, write, maxProt)
 	if loc == Local && pg.copies[node] == nil && !n.admitLocal(th, pg, node, proc) {
 		// Local memory could not yield a frame even after retry and
@@ -650,6 +687,12 @@ func (n *Manager) Access(th *sim.Thread, pg *Page, proc int, write bool, maxProt
 	// just used.
 	if f.Kind() == mem.Local {
 		n.shards[f.Proc()].refbit[f.Index()] = true
+	}
+	// With the co-placement channel connected, ask the advisor whether
+	// the faulting thread would be better placed elsewhere now that the
+	// request — and the counters it updated — are settled.
+	if n.advisor != nil && n.mover != nil {
+		n.adviseThread(th, pg, proc, node)
 	}
 	n.maybeAudit(pg)
 	return f, prot
@@ -813,7 +856,7 @@ func (n *Manager) toGlobal(th *sim.Thread, pg *Page, proc, node int, maxProt mmu
 				})
 			}
 		}
-		if _, ok := n.policy.(ReconsideringPolicy); ok {
+		if n.reconsider != nil {
 			n.gwPages = append(n.gwPages, pg) //numalint:coldpath bounded: one slot per pinned page, reclaimed by the sweep
 		}
 	}
@@ -834,11 +877,10 @@ func (n *Manager) toGlobal(th *sim.Thread, pg *Page, proc, node int, maxProt mmu
 //
 //numalint:hotpath
 func (n *Manager) MaybeSweep(th *sim.Thread) {
-	rp, ok := n.policy.(ReconsideringPolicy)
-	if !ok || len(n.gwPages) == 0 {
+	if n.reconsider == nil || len(n.gwPages) == 0 {
 		return
 	}
-	interval := rp.ReconsiderInterval()
+	interval := n.reconsider.ReconsiderInterval()
 	if th.Clock()-n.lastSweep < interval {
 		return
 	}
@@ -865,6 +907,9 @@ func (n *Manager) becomeOwner(pg *Page, node int) {
 		pg.moves++
 		n.stats.Moves++
 		pg.lastMove = pg.lastRequest
+		if n.trackHeat && pg.moveHeat < heatCap {
+			pg.moveHeat++
+		}
 	}
 	pg.lastOwner = node
 }

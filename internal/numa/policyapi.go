@@ -1,0 +1,268 @@
+// Capability interfaces: the redesigned policy API surface.
+//
+// numa.Policy stays a two-method core — CachePolicy plus Name — so the
+// paper's fixed policies keep compiling unchanged. Everything richer is
+// an optional capability detected once, by type assertion, when the
+// manager binds the policy in NewManager:
+//
+//   - PageObserver: the policy wants per-access notifications, and the
+//     manager maintains per-page decaying access histograms for it;
+//   - ThreadAdvisor: the policy may advise the scheduler to migrate the
+//     faulting thread toward the node holding the page's heat;
+//   - Retirer: the policy wants a hook at every decay-epoch rollover;
+//   - TopologyAware: the policy wants the machine's topology spec
+//     (distance matrix) at bind time.
+//
+// Binding once keeps the per-request hot path free of type assertions:
+// Access consults plain nil-checked interface fields, exactly the price
+// the pre-redesign ReconsideringPolicy assertions paid per call.
+//
+// The decaying counters themselves live on the Page record (heat,
+// moveHeat, heatEpoch, pword) and are pooled with it, so the counter
+// paths allocate nothing; they are maintained only when an observer or
+// advisor capability is bound, which keeps the default-policy hot path
+// — and every ACE golden — byte-identical to the pre-redesign manager.
+package numa
+
+import (
+	"numasim/internal/sim"
+	"numasim/internal/simtrace"
+	"numasim/internal/topology"
+)
+
+// DefaultHeatEpoch is the decay period for the per-page access
+// histograms and move-heat counters: every elapsed epoch halves every
+// counter (a lazy right-shift applied on the page's next touch). 50ms
+// matches the Reconsider policy's default sweep interval, so one epoch
+// is roughly "one reconsideration window".
+const DefaultHeatEpoch = 50 * sim.Millisecond
+
+// heatCap saturates the decaying counters. With shift decay the
+// counters cannot overflow in practice; the cap just bounds them
+// defensively and keeps TotalHeat comfortably inside uint64.
+const heatCap = 1 << 24
+
+// PageObserver is a Policy that wants to see every request the manager
+// handles. Binding an observer also turns on the manager's per-page
+// decaying access histograms (NodeHeat/MoveHeat/HotNode), which are
+// updated before ObserveAccess runs, so the observer — and the
+// CachePolicy call that follows it — sees counters current through the
+// present access.
+type PageObserver interface {
+	Policy
+	// ObserveAccess is called once per request, after the page's
+	// decaying counters have been updated for it and before CachePolicy
+	// is consulted. It runs on the protocol hot path: implementations
+	// must not allocate.
+	ObserveAccess(pg *Page, proc int, write bool, now sim.Time)
+}
+
+// ThreadAdvisor is a Policy that may steer threads as well as pages:
+// after each request is resolved the manager asks the advisor whether
+// the faulting thread would be better placed on another node, and
+// forwards an affirmative answer to the scheduler as a migration hint
+// (applied, if accepted, at the thread's next quantum boundary).
+// Binding an advisor turns on the per-page heat histograms just as
+// PageObserver does.
+type ThreadAdvisor interface {
+	Policy
+	// AdviseThread may nominate a node for the faulting thread to
+	// migrate to. node is proc's home node; returning (target, true)
+	// with target != node proposes the move. It runs on the protocol
+	// hot path: implementations must not allocate.
+	AdviseThread(pg *Page, proc, node int, now sim.Time) (int, bool)
+}
+
+// Retirer is a Policy that wants a hook at every decay-epoch rollover
+// — the moment the manager first handles a request in a new heat
+// epoch. Adaptive policies use it to retire exploration state or
+// re-seed deterministic exploration schedules.
+type Retirer interface {
+	Policy
+	// RetireEpoch is called once per decay epoch, from the protocol hot
+	// path: implementations must not allocate.
+	RetireEpoch(now sim.Time)
+}
+
+// TopologyAware is a Policy that wants the machine's topology spec at
+// bind time, so its answers can honour inter-node distances (e.g. only
+// advising a thread migration when it strictly shortens the distance
+// to the page's heat).
+type TopologyAware interface {
+	Policy
+	// BindTopology runs once, from NewManager.
+	BindTopology(spec *topology.Spec)
+}
+
+// ThreadMover accepts thread-migration hints on the manager's behalf;
+// sched.Scheduler implements it. MigrateHint reports whether the hint
+// was accepted (recorded for the thread's next quantum boundary) or
+// rejected (unknown thread, out-of-range node). It is called from the
+// protocol hot path: implementations must not allocate.
+type ThreadMover interface {
+	MigrateHint(th *sim.Thread, node int) bool
+}
+
+// SetThreadMover installs the co-placement channel: with a mover set
+// and a ThreadAdvisor-capable policy bound, the manager forwards the
+// policy's migration advice to the scheduler. Install before the
+// simulation runs; nil disconnects the channel.
+func (n *Manager) SetThreadMover(m ThreadMover) { n.mover = m }
+
+// SetHeatEpoch overrides the decay period of the per-page heat
+// counters (DefaultHeatEpoch otherwise). Install before the simulation
+// runs; d must be positive.
+func (n *Manager) SetHeatEpoch(d sim.Time) {
+	if d <= 0 {
+		panic(newViolation(nil, nil, "numa: non-positive heat epoch %v", d))
+	}
+	n.heatEpoch = d
+}
+
+// HeatEpoch returns the decay period of the per-page heat counters.
+func (n *Manager) HeatEpoch() sim.Time { return n.heatEpoch }
+
+// TracksHeat reports whether the bound policy's capabilities turned
+// the per-page heat histograms on.
+func (n *Manager) TracksHeat() bool { return n.trackHeat }
+
+// bindCapabilities detects the policy's optional capabilities once, at
+// manager construction, so the hot path never repeats the assertions.
+func (n *Manager) bindCapabilities(pol Policy) {
+	n.observer, _ = pol.(PageObserver)
+	n.advisor, _ = pol.(ThreadAdvisor)
+	n.retirer, _ = pol.(Retirer)
+	n.reconsider, _ = pol.(ReconsideringPolicy)
+	// A retirer needs the epoch clock, which ticks with the counters.
+	n.trackHeat = n.observer != nil || n.advisor != nil || n.retirer != nil
+	if ta, ok := pol.(TopologyAware); ok {
+		ta.BindTopology(n.machine.Spec())
+	}
+}
+
+// observeAccess maintains the decaying counters for one request and
+// runs the observer capability. Called from Access only when trackHeat
+// is set, after the request counters and timestamps are stamped and
+// before the policy is consulted.
+//
+//numalint:hotpath
+func (n *Manager) observeAccess(pg *Page, proc, node int, write bool, now sim.Time) {
+	e := uint32(now / n.heatEpoch)
+	if e != n.curEpoch {
+		n.curEpoch = e
+		if n.retirer != nil {
+			n.retirer.RetireEpoch(now)
+		}
+	}
+	pg.decayTo(e)
+	if pg.heat[node] < heatCap {
+		pg.heat[node]++
+	}
+	if n.observer != nil {
+		n.observer.ObserveAccess(pg, proc, write, now)
+	}
+}
+
+// adviseThread runs the advisor capability for one resolved request and
+// forwards its answer to the scheduler, emitting a KindSchedHint event
+// with the scheduler's verdict. Called from Access only when both an
+// advisor and a mover are bound.
+//
+//numalint:hotpath
+func (n *Manager) adviseThread(th *sim.Thread, pg *Page, proc, node int) {
+	target, ok := n.advisor.AdviseThread(pg, proc, node, th.Clock())
+	if !ok || target == node {
+		return
+	}
+	accepted := n.mover.MigrateHint(th, target)
+	if accepted {
+		n.stats.HintsAccepted++
+	} else {
+		n.stats.HintsRejected++
+	}
+	if n.bus.Enabled() {
+		verdict := int64(0)
+		if accepted {
+			verdict = 1
+		}
+		n.bus.Emit(simtrace.Event{
+			Kind: simtrace.KindSchedHint, Proc: int32(proc), Thread: int32(th.ID()),
+			Time: int64(th.Clock()), Page: pg.id,
+			Arg: int64(target), Arg2: verdict, Label: n.policy.Name(),
+		})
+	}
+}
+
+// decayTo applies the lazy shift decay: every epoch elapsed since the
+// page was last touched halves every counter.
+//
+//numalint:hotpath
+func (p *Page) decayTo(epoch uint32) {
+	if epoch == p.heatEpoch {
+		return
+	}
+	shift := epoch - p.heatEpoch
+	p.heatEpoch = epoch
+	if shift >= 32 {
+		for i := range p.heat {
+			p.heat[i] = 0
+		}
+		p.moveHeat = 0
+		return
+	}
+	for i := range p.heat {
+		p.heat[i] >>= shift
+	}
+	p.moveHeat >>= shift
+}
+
+// NodeHeat returns the page's decayed access count for node. Counters
+// are maintained only when the bound policy has the PageObserver or
+// ThreadAdvisor capability; otherwise every node reads zero.
+//
+//numalint:hotpath
+func (p *Page) NodeHeat(node int) uint32 { return p.heat[node] }
+
+// MoveHeat returns the page's decayed ownership-transfer count: the
+// adaptive analogue of Moves, which never decays.
+//
+//numalint:hotpath
+func (p *Page) MoveHeat() uint32 { return p.moveHeat }
+
+// TotalHeat sums the decayed access counts across all nodes.
+//
+//numalint:hotpath
+func (p *Page) TotalHeat() uint64 {
+	var t uint64
+	for _, h := range p.heat {
+		t += uint64(h)
+	}
+	return t
+}
+
+// HotNode returns the node with the highest decayed access count (ties
+// to the lowest node id), or -1 when every counter is zero.
+//
+//numalint:hotpath
+func (p *Page) HotNode() int {
+	best, node := uint32(0), -1
+	for i, h := range p.heat {
+		if h > best {
+			best, node = h, i
+		}
+	}
+	return node
+}
+
+// PolicyWord returns the page's 64-bit policy scratch word: opaque
+// per-page state for adaptive policies (the bandit packs its per-arm
+// value estimates here), zeroed when the page record is created or
+// recycled.
+//
+//numalint:hotpath
+func (p *Page) PolicyWord() uint64 { return p.pword }
+
+// SetPolicyWord stores the page's policy scratch word.
+//
+//numalint:hotpath
+func (p *Page) SetPolicyWord(w uint64) { p.pword = w }

@@ -1,0 +1,168 @@
+package policy_test
+
+// Differential tests for the Policy API redesign: a capability-free
+// policy must produce bit-identical runs whether or not it is wrapped
+// with no-op capabilities (heat tracking must be invisible), and the
+// deprecated ByName spellings must build the same policies the registry
+// Parse syntax does.
+
+import (
+	"reflect"
+	"testing"
+
+	"numasim/internal/ace"
+	"numasim/internal/metrics"
+	"numasim/internal/mmu"
+	"numasim/internal/numa"
+	"numasim/internal/policy"
+	"numasim/internal/sched"
+	"numasim/internal/sim"
+	"numasim/internal/workloads"
+)
+
+// shimmed is Threshold plus no-op observer and retirer capabilities: it
+// makes the manager maintain the heat histograms and tick the epoch
+// clock without acting on either, so any divergence from the bare
+// policy is a redesign bug.
+type shimmed struct {
+	*policy.Threshold
+}
+
+// ObserveAccess implements numa.PageObserver.
+//
+//numalint:hotpath
+func (shimmed) ObserveAccess(pg *numa.Page, proc int, write bool, now sim.Time) {}
+
+// RetireEpoch implements numa.Retirer.
+//
+//numalint:hotpath
+func (shimmed) RetireEpoch(now sim.Time) {}
+
+var (
+	_ numa.PageObserver = shimmed{}
+	_ numa.Retirer      = shimmed{}
+)
+
+func runWith(t *testing.T, w metrics.Runner, pol numa.Policy) metrics.RunResult {
+	t.Helper()
+	cfg := ace.DefaultConfig()
+	cfg.NProc = 3
+	res, err := metrics.Run(w, metrics.RunSpec{
+		Config: cfg, Policy: pol, Workers: 3, Sched: sched.Affinity,
+	})
+	if err != nil {
+		t.Fatalf("%s under %s: %v", w.Name(), pol.Name(), err)
+	}
+	return res
+}
+
+// TestCapabilityShimIsInvisible runs the same workloads under the bare
+// Threshold and the shimmed one; every measured field must match. This
+// is the differential proof that capability-free policies behave
+// identically before and after the redesign: the shim exercises the
+// entire counter-maintenance path the redesign added, and the results
+// may not move by a single count or tick.
+func TestCapabilityShimIsInvisible(t *testing.T) {
+	for _, mk := range []func() metrics.Runner{
+		func() metrics.Runner { return workloads.NewGfetch(12, 4) },
+		func() metrics.Runner { return workloads.NewZipf(0, 0, 0) },
+		func() metrics.Runner { return workloads.NewPhased(0, 0, 0) },
+	} {
+		bare := runWith(t, mk(), policy.NewDefault())
+		shim := runWith(t, mk(), shimmed{policy.NewDefault()})
+		if !reflect.DeepEqual(bare, shim) {
+			t.Errorf("%s: bare and shimmed Threshold diverge:\nbare: %+v\nshim: %+v",
+				bare.Workload, bare, shim)
+		}
+	}
+}
+
+// TestByNameMatchesParse checks that every deprecated ByName spelling
+// builds the same policy the registry syntax does.
+func TestByNameMatchesParse(t *testing.T) {
+	cases := []struct {
+		name string
+		thr  int
+		spec string
+	}{
+		{"threshold", 4, "threshold"},
+		{"threshold", 2, "threshold:limit=2"},
+		{"neverpin", 4, "neverpin"},
+		{"allglobal", 4, "allglobal"},
+		{"alllocal", 4, "alllocal"},
+		{"pragma", 4, "pragma"},
+		{"reconsider", 4, "reconsider:limit=4,period=64"},
+		{"freezedefrost", 4, "freezedefrost"},
+	}
+	for _, c := range cases {
+		old, err := policy.ByName(c.name, c.thr)
+		if err != nil {
+			t.Fatalf("ByName(%q, %d): %v", c.name, c.thr, err)
+		}
+		parsed, err := policy.Parse(c.spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.spec, err)
+		}
+		if reflect.TypeOf(old) != reflect.TypeOf(parsed) {
+			t.Errorf("%q vs %q: types %T and %T", c.name, c.spec, old, parsed)
+		}
+		if old.Name() != parsed.Name() {
+			t.Errorf("%q vs %q: names %q and %q", c.name, c.spec, old.Name(), parsed.Name())
+		}
+	}
+}
+
+// TestByNameRoutesNewSpecs checks that the deprecated entry point
+// accepts registry-only names and the new parameter syntax, so old
+// call sites gain the zoo for free.
+func TestByNameRoutesNewSpecs(t *testing.T) {
+	for _, spec := range []string{"decaythreshold", "bandit:eps=5,seed=3", "classifier", "coplace:min=4"} {
+		pol, err := policy.ByName(spec, 4)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", spec, err)
+		}
+		if pol.Name() == "" {
+			t.Errorf("ByName(%q): empty name", spec)
+		}
+	}
+	if _, err := policy.ByName("no-such-policy", 4); err == nil {
+		t.Error("ByName accepted an unknown policy")
+	}
+}
+
+// TestAdaptivePoliciesAnswerSanely drives each adaptive policy's
+// CachePolicy against a live manager page and checks the answers stay
+// within the protocol's vocabulary.
+func TestAdaptivePoliciesAnswerSanely(t *testing.T) {
+	for _, spec := range []string{"decaythreshold", "bandit", "classifier", "coplace"} {
+		pol, err := policy.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := ace.DefaultConfig()
+		cfg.NProc = 2
+		m := ace.MustMachine(cfg)
+		n := numa.NewManager(m, pol)
+		if !n.TracksHeat() {
+			t.Errorf("%s: adaptive policy bound but heat tracking is off", spec)
+		}
+		m.Engine().Spawn("probe", 0, func(th *sim.Thread) {
+			pg, err := n.NewPage()
+			if err != nil {
+				t.Errorf("%s: %v", spec, err)
+				return
+			}
+			for i := 0; i < 32; i++ {
+				loc := pol.CachePolicy(pg, i%2, i%3 == 0, mmu.ProtReadWrite)
+				if loc != numa.Local && loc != numa.Global && loc != numa.PlaceRemote {
+					t.Errorf("%s: answer %v out of vocabulary", spec, loc)
+					return
+				}
+				n.Access(th, pg, i%2, i%3 == 0, mmu.ProtReadWrite)
+			}
+		})
+		if err := m.Engine().Run(); err != nil {
+			t.Fatalf("%s: engine: %v", spec, err)
+		}
+	}
+}

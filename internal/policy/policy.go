@@ -254,10 +254,15 @@ func (s *Scripted) Consumed() int { return s.pos }
 //numalint:hotpath
 func (s *Scripted) Name() string { return "scripted" }
 
-// ByName builds a fresh policy instance from its command-line name
-// (case-insensitive). Policies hold per-run state, so concurrent runs must
-// each call ByName rather than share one value. threshold parameterizes
-// the threshold and reconsider policies; the others ignore it.
+// ByName builds a fresh policy instance from its pre-registry
+// command-line name (case-insensitive), with threshold parameterizing
+// the threshold and reconsider policies as the old -threshold flag did.
+// The old spellings keep their exact behaviour; any other name is
+// routed through the registry, so new "name:key=val" spellings work
+// here too.
+//
+// Deprecated: use Parse, which lets every policy declare its own
+// parameters ("threshold:limit=2" instead of ByName("threshold", 2)).
 func ByName(name string, threshold int) (numa.Policy, error) {
 	switch strings.ToLower(name) {
 	case "threshold":
@@ -275,7 +280,7 @@ func ByName(name string, threshold int) (numa.Policy, error) {
 	case "freezedefrost":
 		return NewFreezeDefrost(0, 0), nil
 	}
-	return nil, fmt.Errorf("unknown policy %q (want threshold, allglobal, alllocal, neverpin, pragma, reconsider or freezedefrost)", name)
+	return Parse(name)
 }
 
 // Compile-time interface checks.

@@ -52,20 +52,48 @@ func ParseMode(s string) (Mode, error) {
 	return Affinity, fmt.Errorf("unknown scheduler %q (want affinity or noaffinity)", s)
 }
 
+// Stats counts scheduler events: thread spawns, the migration-hint
+// traffic of the co-placement channel (numa.ThreadMover), and where
+// threads ended up. NodeThreads counts each thread once, at the node
+// it was last bound to (spawn binding, updated by hint migrations);
+// NodeMigrations counts hint migrations into each node.
+type Stats struct {
+	Spawns         uint64
+	HintsAccepted  uint64
+	HintsRejected  uint64
+	Migrations     uint64 // accepted hints applied at quantum boundaries
+	NodeThreads    []int
+	NodeMigrations []int
+}
+
 // Scheduler assigns simulated threads to processors.
 type Scheduler struct {
 	kernel *vm.Kernel
 	mode   Mode
 	live   []int // live thread count per processor
 	next   int   // next processor for sequential assignment
+
+	// Migration-hint state (the numa.ThreadMover side of the
+	// co-placement channel): hint holds the advised node per thread id
+	// (-1 none), homeNode the node each thread is currently bound to
+	// (-1 unknown). Both are grown at Spawn, so the hot-path MigrateHint
+	// only indexes.
+	hint     []int32
+	homeNode []int32
+	stats    Stats
 }
 
 // New creates a scheduler for the kernel's machine.
 func New(k *vm.Kernel, mode Mode) *Scheduler {
+	nnodes := k.Machine().NNodes()
 	return &Scheduler{
 		kernel: k,
 		mode:   mode,
 		live:   make([]int, k.Machine().NProc()),
+		stats: Stats{
+			NodeThreads:    make([]int, nnodes),
+			NodeMigrations: make([]int, nnodes),
+		},
 	}
 }
 
@@ -100,9 +128,15 @@ func (s *Scheduler) Spawn(name string, task *vm.Task, start sim.Time, fn func(*v
 		c := vm.NewContext(s.kernel, task, th, proc)
 		if s.mode == NoAffinity {
 			c.OnQuantum = s.hop
+		} else {
+			// The affinity scheduler honours migration hints at quantum
+			// boundaries; with no hint pending the hook is exactly the
+			// default quantum yield.
+			c.OnQuantum = s.applyHint
 		}
 		fn(c)
 	})
+	s.track(th, s.kernel.Machine().Home(proc))
 	if bus := s.kernel.Machine().Bus(); bus.Enabled() {
 		bus.Emit(simtrace.Event{
 			Kind: simtrace.KindSchedAssign, Proc: int32(proc), Thread: int32(th.ID()),
@@ -110,6 +144,20 @@ func (s *Scheduler) Spawn(name string, task *vm.Task, start sim.Time, fn func(*v
 		})
 	}
 	return th
+}
+
+// track records a newly spawned thread's home node and sizes the hint
+// tables so the hot-path MigrateHint never grows them.
+func (s *Scheduler) track(th *sim.Thread, node int) {
+	id := int(th.ID())
+	for len(s.hint) <= id {
+		s.hint = append(s.hint, -1)
+		s.homeNode = append(s.homeNode, -1)
+	}
+	s.hint[id] = -1
+	s.homeNode[id] = int32(node)
+	s.stats.Spawns++
+	s.stats.NodeThreads[node]++
 }
 
 // hop migrates a thread to the next processor in round-robin order, the
@@ -121,3 +169,90 @@ func (s *Scheduler) hop(c *vm.Context) {
 
 // Live reports the number of live threads bound to processor p.
 func (s *Scheduler) Live(p int) int { return s.live[p] }
+
+// MigrateHint records a request to rebind th to a processor homed on
+// node, applied at the thread's next quantum boundary. It implements
+// numa.ThreadMover: a ThreadAdvisor-capable policy reaches it through
+// the manager's co-placement channel. Hints are accepted only under
+// the affinity discipline (NoAffinity hops every quantum regardless)
+// and only for threads this scheduler spawned; a later hint for the
+// same thread replaces an unapplied earlier one. It runs on the
+// protocol hot path and must not allocate.
+//
+//numalint:hotpath
+func (s *Scheduler) MigrateHint(th *sim.Thread, node int) bool {
+	id := int(th.ID())
+	if s.mode != Affinity || node < 0 || node >= len(s.stats.NodeThreads) ||
+		id >= len(s.hint) || s.homeNode[id] < 0 {
+		s.stats.HintsRejected++
+		return false
+	}
+	if int(s.homeNode[id]) == node {
+		// Already bound there: honour the hint by doing nothing.
+		s.hint[id] = -1
+	} else {
+		s.hint[id] = int32(node)
+	}
+	s.stats.HintsAccepted++
+	return true
+}
+
+// applyHint is the affinity scheduler's quantum hook: apply a pending
+// migration hint, then yield the processor as an unhooked quantum
+// would.
+func (s *Scheduler) applyHint(c *vm.Context) {
+	id := int(c.Thread().ID())
+	if id < len(s.hint) {
+		if node := s.hint[id]; node >= 0 {
+			s.hint[id] = -1
+			s.migrate(c, int(node))
+		}
+	}
+	c.Thread().Yield()
+}
+
+// migrate rebinds the context's thread to the least-loaded processor
+// homed on node (ties to the lowest processor number) and accounts the
+// move. The thread travels to its pages — co-placement's complement to
+// the protocol moving pages to threads — so no page traffic is charged
+// here; the next faults simply land closer.
+func (s *Scheduler) migrate(c *vm.Context, node int) {
+	procs := s.kernel.Machine().NodeProcs(node)
+	if len(procs) == 0 {
+		return
+	}
+	target := procs[0]
+	for _, p := range procs[1:] {
+		if s.live[p] < s.live[target] {
+			target = p
+		}
+	}
+	from := c.Proc()
+	if target == from {
+		return
+	}
+	id := int(c.Thread().ID())
+	if old := s.homeNode[id]; old >= 0 {
+		s.stats.NodeThreads[old]--
+	}
+	s.homeNode[id] = int32(node)
+	s.stats.NodeThreads[node]++
+	s.stats.Migrations++
+	s.stats.NodeMigrations[node]++
+	c.MigrateTo(target)
+	if bus := s.kernel.Machine().Bus(); bus.Enabled() {
+		bus.Emit(simtrace.Event{
+			Kind: simtrace.KindSchedMigrate, Proc: int32(target), Thread: int32(c.Thread().ID()),
+			Time: int64(c.Thread().Clock()), Page: -1,
+			Arg: int64(node), Arg2: int64(from),
+		})
+	}
+}
+
+// Stats returns a copy of the scheduler's counters (slices cloned).
+func (s *Scheduler) Stats() Stats {
+	st := s.stats
+	st.NodeThreads = append([]int(nil), s.stats.NodeThreads...)
+	st.NodeMigrations = append([]int(nil), s.stats.NodeMigrations...)
+	return st
+}

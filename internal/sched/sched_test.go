@@ -70,3 +70,89 @@ func TestModeAccessor(t *testing.T) {
 		t.Error("mode accessor wrong")
 	}
 }
+
+// TestMigrateHint covers the explicit migration API: an accepted hint
+// moves the thread to the target node at its next quantum boundary, the
+// per-thread home-node accounting follows, and the stats ledger
+// reconciles with what the caller observed.
+func TestMigrateHint(t *testing.T) {
+	k := newKernel(4)
+	s := sched.New(k, sched.Affinity)
+	task := k.NewTask("t")
+	var before, after int
+	var th *sim.Thread
+	th = s.Spawn("w", task, 0, func(c *vm.Context) {
+		before = c.Proc()
+		if !s.MigrateHint(th, 2) {
+			t.Error("in-range hint on an affinity scheduler rejected")
+		}
+		c.Compute(20000) // cross a quantum boundary so the hint applies
+		after = c.Proc()
+	})
+	if err := k.Machine().Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if home := k.Machine().Home(before); home == 2 {
+		t.Fatalf("test setup: thread spawned on the target node")
+	}
+	if home := k.Machine().Home(after); home != 2 {
+		t.Errorf("after an accepted hint the thread runs on node %d, want 2", home)
+	}
+	st := s.Stats()
+	if st.HintsAccepted != 1 || st.Migrations != 1 {
+		t.Errorf("stats = %+v, want 1 accepted hint and 1 migration", st)
+	}
+	if st.NodeMigrations[2] != 1 {
+		t.Errorf("NodeMigrations[2] = %d, want 1", st.NodeMigrations[2])
+	}
+	if st.NodeThreads[2] != 1 {
+		t.Errorf("NodeThreads[2] = %d, want 1 (the migrated thread's new home)", st.NodeThreads[2])
+	}
+}
+
+// TestMigrateHintRejections checks the rejection cases: out-of-range
+// nodes, untracked threads, and any hint on a no-affinity scheduler.
+func TestMigrateHintRejections(t *testing.T) {
+	k := newKernel(2)
+	s := sched.New(k, sched.Affinity)
+	task := k.NewTask("t")
+	var th *sim.Thread
+	th = s.Spawn("w", task, 0, func(c *vm.Context) {
+		if s.MigrateHint(th, -1) || s.MigrateHint(th, 99) {
+			t.Error("out-of-range node accepted")
+		}
+		// A hint for the node the thread already lives on is accepted
+		// but clears any pending move.
+		if !s.MigrateHint(th, k.Machine().Home(c.Proc())) {
+			t.Error("same-node hint rejected")
+		}
+		c.Compute(1000)
+	})
+	if err := k.Machine().Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.HintsRejected != 2 {
+		t.Errorf("HintsRejected = %d, want 2", st.HintsRejected)
+	}
+	if st.Migrations != 0 {
+		t.Errorf("Migrations = %d, want 0 (same-node hint must not move)", st.Migrations)
+	}
+
+	k2 := newKernel(2)
+	s2 := sched.New(k2, sched.NoAffinity)
+	task2 := k2.NewTask("t")
+	var th2 *sim.Thread
+	th2 = s2.Spawn("w", task2, 0, func(c *vm.Context) {
+		if s2.MigrateHint(th2, 1) {
+			t.Error("no-affinity scheduler accepted a hint")
+		}
+		c.Compute(1000)
+	})
+	if err := k2.Machine().Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Stats().HintsRejected; got != 1 {
+		t.Errorf("no-affinity HintsRejected = %d, want 1", got)
+	}
+}

@@ -141,6 +141,8 @@ func (s *Spec) StoreLatency(proc, col int) sim.Time {
 func (s *Spec) Contended() bool { return s.contended }
 
 // Dist returns the SLIT distance from node a to node b.
+//
+//numalint:hotpath
 func (s *Spec) Dist(a, b int) int { return s.dist[a*s.nnodes+b] }
 
 // Ranked returns every node ordered by ascending distance from node

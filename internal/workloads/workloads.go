@@ -75,7 +75,13 @@ func ByName(name string) (Workload, error) {
 	if strings.EqualFold(name, "Primes2-untuned") {
 		return NewPrimes2(0, false), nil
 	}
-	return nil, fmt.Errorf("workloads: unknown workload %q (known: %v and Primes2-untuned)", name, Names())
+	if strings.EqualFold(name, "Phased") {
+		return NewPhased(0, 0, 0), nil
+	}
+	if strings.EqualFold(name, "Zipf") {
+		return NewZipf(0, 0, 0), nil
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q (known: %v plus Primes2-untuned, Phased and Zipf)", name, Names())
 }
 
 // NewSized returns the named workload at an explicit problem size. The
@@ -107,6 +113,10 @@ func NewSized(name string, size int) (Workload, error) {
 		return NewPlyTrace(size, 0, 0), nil
 	case "Syscaller":
 		return NewSyscaller(size, 0), nil
+	case "Phased":
+		return NewPhased(size, 0, 0), nil
+	case "Zipf":
+		return NewZipf(size, 0, 0), nil
 	default:
 		return nil, fmt.Errorf("workloads: unknown workload %q", name)
 	}
@@ -121,7 +131,7 @@ func canonical(name string) string {
 			return n
 		}
 	}
-	for _, n := range []string{"Primes2-untuned", "Syscaller"} {
+	for _, n := range []string{"Primes2-untuned", "Syscaller", "Phased", "Zipf"} {
 		if strings.EqualFold(n, name) {
 			return n
 		}
