@@ -35,6 +35,11 @@
 #                   at -parallel 1 and -parallel 8 and require the bytes
 #                   to match, plus the capability fuzz and the adaptive
 #                   acceptance test
+#   make avail    - the degraded-mode gate: the availability sweep
+#                   (every app through node/link failure schedules) must
+#                   be byte-identical at any -parallel, and the
+#                   failure-schedule fuzz, the evacuation property tests
+#                   and the rerouting unit tests must hold under -race
 
 GO ?= go
 NUMALINT := bin/numalint
@@ -53,9 +58,9 @@ BENCH_CI_FILTER := 'LocalAccess$$|PageMigration$$|FaultPath$$|PickManyThreads|Tr
 BENCH_CI_TIME := 300ms
 BENCHDIFF_TOL ?= 0.20
 
-.PHONY: check build vet lint numalint test bench bench-json bench-ci tables pressure audit topo tournament
+.PHONY: check build vet lint numalint test bench bench-json bench-ci tables pressure audit topo tournament avail
 
-check: build vet lint test audit pressure topo tournament
+check: build vet lint test audit pressure topo tournament avail
 
 build:
 	$(GO) build ./...
@@ -129,3 +134,15 @@ tournament:
 	cmp /tmp/tournament_p1.csv /tmp/tournament_p8.csv
 	$(GO) test -race -count=1 -run 'TestTournament|TestAdaptiveBeatsThresholdOnZipf' ./internal/harness/
 	$(GO) test -race -count=1 -run 'TestProtocolFuzzCapabilities|TestHeatDecay' ./internal/numa/
+
+# avail is the degraded-mode gate: the availability sweep (every Table 3
+# app plus Zipf through single-loss, rolling-loss and link-brownout
+# schedules) must be byte-identical at any -parallel, and the
+# failure-schedule fuzz (-short subset), the evacuation property tests
+# and the rerouting unit tests must hold under -race.
+avail:
+	$(GO) run ./cmd/tables -small -nproc 4 -exp availability -csv -parallel 1 > /tmp/avail_p1.csv
+	$(GO) run ./cmd/tables -small -nproc 4 -exp availability -csv -parallel 8 > /tmp/avail_p8.csv
+	cmp /tmp/avail_p1.csv /tmp/avail_p8.csv
+	$(GO) test -race -count=1 -short -run 'TestProtocolFuzzFailure|TestEvacuation|TestRevivedNodeStartsCold' ./internal/numa/
+	$(GO) test -race -count=1 -run 'TestMeshDetour|TestFullyConnectedRelay|TestNodeDownSeversIncidentLinks|TestDegradedChargeDeterminism|TestInterleaveSkipsOfflineNodes' ./internal/topology/

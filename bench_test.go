@@ -11,9 +11,14 @@ import (
 	"testing"
 
 	"numasim"
+	"numasim/internal/ace"
 	"numasim/internal/harness"
+	"numasim/internal/mmu"
+	"numasim/internal/numa"
+	"numasim/internal/policy"
 	"numasim/internal/sim"
 	"numasim/internal/simtrace"
+	"numasim/internal/topology"
 )
 
 // benchOpts uses the reduced problem sizes so a full -bench run stays
@@ -320,6 +325,57 @@ func BenchmarkAuditOverhead(b *testing.B) {
 	b.Run("off", func(b *testing.B) { run(b, 0) })
 	b.Run("sampled", func(b *testing.B) { run(b, 1024) })
 	b.Run("full", func(b *testing.B) { run(b, 1) })
+}
+
+// BenchmarkEvacuation prices one full degraded-mode cycle on the
+// 4-socket machine: place local writable copies on a node, fail it
+// (drain every copy onto the survivors through the bounded work queue,
+// quarantine the pool), then revive it cold. The per-op cost is what a
+// failure schedule charges the host per node event, on top of the
+// virtual time it bills the simulation.
+func BenchmarkEvacuation(b *testing.B) {
+	spec, err := topology.FourSocket(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ace.DefaultConfig()
+	cfg.NProc = 4
+	cfg.GlobalFrames = 128
+	cfg.LocalFrames = 32
+	cfg.Topo = spec
+	m := ace.MustMachine(cfg)
+	n := numa.NewManager(m, policy.NewDefault())
+
+	const npages = 16
+	pages := make([]*numa.Page, npages)
+	b.ReportAllocs()
+	m.Engine().Spawn("bench", 0, func(th *sim.Thread) {
+		for i := range pages {
+			pg, err := n.NewPage()
+			if err != nil {
+				b.Fatal(err)
+			}
+			pages[i] = pg
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, pg := range pages {
+				// Repeated writes pass the pin threshold, so the copies are
+				// local-writable on node 1 when the failure hits.
+				for j := 0; j < 3; j++ {
+					n.Access(th, pg, 1, true, mmu.ProtReadWrite)
+				}
+			}
+			n.FailNode(th, 1)
+			n.ReviveNode(th, 1)
+		}
+	})
+	if err := m.Engine().Run(); err != nil {
+		b.Fatal(err)
+	}
+	if n.Stats().Evacuations == 0 {
+		b.Fatal("benchmark never evacuated a page")
+	}
 }
 
 // BenchmarkMix runs two applications concurrently (the application-mix

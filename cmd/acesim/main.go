@@ -9,8 +9,12 @@
 //	acesim -app IMatMult [-policy threshold] [-threshold 4] [-nproc 7]
 //	       [-topology ace|4socket|mesh8]
 //	       [-workers N] [-sched affinity] [-trace] [-traceout FILE]
-//	       [-trace-out FILE] [-unixmaster] [-parallel N]
+//	       [-trace-out FILE] [-unixmaster] [-pagesize N] [-size N]
+//	       [-perproc] [-replication=false] [-parallel N]
 //	       [-cpuprofile FILE] [-memprofile FILE]
+//
+// Run acesim -h for the full flag set (the synopsis it prints names
+// every flag, and a test keeps it that way).
 //
 // -app accepts a comma-separated list (names are case-insensitive); the
 // simulations run concurrently (bounded by -parallel; results are
@@ -151,6 +155,11 @@ func runOne(app string, o runOpts, observe func(*ace.Machine)) (string, error) {
 	}
 	observe(machine)
 	rt := cthreads.New(kernel, o.mode)
+	if o.chaos.HealthEnabled() {
+		if err := metrics.StartHealthDriver(machine, kernel.NUMA(), rt.Scheduler(), o.chaos); err != nil {
+			return "", err
+		}
+	}
 
 	if err := w.Run(rt, o.workers); err != nil {
 		if o.forensics {
@@ -238,11 +247,40 @@ func runOne(app string, o runOpts, observe func(*ace.Machine)) (string, error) {
 	return b.String(), nil
 }
 
+// usageText is the synopsis -h prints before the flag defaults. The
+// usage test asserts it mentions every registered flag, so a flag
+// cannot be added without extending it.
+const usageText = `Usage: acesim [flags]
+
+Simulate the paper's applications on the ACE under a NUMA placement
+policy and report timing, placement and reference statistics.
+
+  acesim -app IMatMult[,Gfetch,...] [-policy SPEC] [-threshold N]
+         [-nproc N] [-topology ace|4socket|mesh8] [-workers N]
+         [-sched affinity|noaffinity] [-pagesize BYTES] [-size N]
+         [-unixmaster] [-perproc] [-replication=false] [-parallel N]
+  acesim -trace [-traceout FILE] [-trace-out FILE]      reference/event traces
+  acesim -exp NAME [-frames LIST]                       registry experiments (-exp list)
+  acesim -chaos-seed N -chaos-fail P -chaos-delay P     seeded fault injection
+         -chaos-panic-at D -chaos-stall-at D            crash/stall drills
+  acesim -chaos-node-fail 2@10ms-60ms                   degraded-mode failure
+         -chaos-link-fail node0-node1@5msx4-9ms         schedules (virtual time)
+  acesim -audit N -timeout D -retries N                 supervision: auditing,
+         -repro-dir DIR -keep-going -stall-limit N      repro bundles, watchdogs
+  acesim -cpuprofile FILE -memprofile FILE              host profiling
+
+Flags:
+`
+
 // run is the testable entry point: it parses args (without the program
 // name) and returns the process exit code.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("acesim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprint(stderr, usageText)
+		fs.PrintDefaults()
+	}
 	app := fs.String("app", "IMatMult", "application to run, or a comma-separated list (case-insensitive)")
 	polName := fs.String("policy", "threshold", "placement policy, as a registry spec like decaythreshold or threshold:limit=2")
 	threshold := fs.Int("threshold", policy.DefaultThreshold, "move limit for the threshold policy (deprecated: prefer -policy threshold:limit=N)")
@@ -266,6 +304,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	chaosDelay := fs.Float64("chaos-delay", 0, "probability a page move is delayed (0 disables)")
 	chaosPanicAt := fs.Duration("chaos-panic-at", 0, "inject one panic at this virtual time (crash drill; 0 disables)")
 	chaosStallAt := fs.Duration("chaos-stall-at", 0, "inject one virtual-time stall at this virtual time (watchdog drill; 0 disables)")
+	chaosNodeFail := fs.String("chaos-node-fail", "", "node failure schedule: comma-separated NODE@OFF[-ON] virtual times, e.g. 2@10ms-60ms")
+	chaosLinkFail := fs.String("chaos-link-fail", "", "link failure schedule: comma-separated LINK@AT[xFACTOR][-RESTORE], e.g. node0-node1@5msx4-9ms")
 	audit := fs.Int("audit", 0, "online protocol-audit sampling stride (0: off, 1: audit every protocol action, N: sampled)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget per supervised run (0: none)")
 	retries := fs.Int("retries", 0, "re-run a failed unit up to this many times before giving up")
@@ -296,7 +336,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	command := "acesim " + strings.Join(args, " ")
-	cc, err := chaosConfig(*chaosSeed, *chaosFail, *chaosDelay, *chaosPanicAt, *chaosStallAt)
+	cc, err := chaosConfig(*chaosSeed, *chaosFail, *chaosDelay, *chaosPanicAt, *chaosStallAt, *chaosNodeFail, *chaosLinkFail)
 	if err != nil {
 		fmt.Fprintln(stderr, "acesim:", err)
 		return 2
@@ -408,15 +448,20 @@ func simTime(d time.Duration) sim.Time {
 
 // chaosConfig assembles and validates the chaos configuration from the
 // CLI flags; the zero value (all flags unset) means chaos off.
-func chaosConfig(seed int64, fail, delay float64, panicAt, stallAt time.Duration) (chaos.Config, error) {
-	if fail <= 0 && delay <= 0 && panicAt <= 0 && stallAt <= 0 {
+func chaosConfig(seed int64, fail, delay float64, panicAt, stallAt time.Duration, nodeFail, linkFail string) (chaos.Config, error) {
+	if fail <= 0 && delay <= 0 && panicAt <= 0 && stallAt <= 0 && nodeFail == "" && linkFail == "" {
 		return chaos.Config{}, nil
+	}
+	health, err := chaos.ParseHealthSchedule(nodeFail, linkFail)
+	if err != nil {
+		return chaos.Config{}, err
 	}
 	cc := chaos.Config{
 		Seed: seed, FailProb: fail, DelayProb: delay,
 		MaxRetries: chaos.DefaultMaxRetries, Backoff: chaos.DefaultBackoff,
 		MoveDelay: chaos.DefaultMoveDelay,
 		PanicAt:   simTime(panicAt), StallAt: simTime(stallAt),
+		Health: health,
 	}
 	return cc, cc.Validate()
 }

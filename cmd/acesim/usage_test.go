@@ -1,0 +1,34 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// flagLine matches the "  -name" lines flag.PrintDefaults emits, which
+// follow the hand-written synopsis after the "Flags:" marker.
+var flagLine = regexp.MustCompile(`(?m)^  -([a-z0-9-]+)`)
+
+// TestUsageMentionsEveryFlag keeps the -h synopsis honest: every flag
+// the flag set registers must be named in the synopsis text, so adding
+// a flag without documenting it fails here.
+func TestUsageMentionsEveryFlag(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-h"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr: %s", code, errb.String())
+	}
+	synopsis, defaults, ok := strings.Cut(errb.String(), "Flags:")
+	if !ok {
+		t.Fatalf("usage output lacks the Flags: marker:\n%s", errb.String())
+	}
+	matches := flagLine.FindAllStringSubmatch(defaults, -1)
+	if len(matches) < 20 {
+		t.Fatalf("parsed only %d flags from the defaults section:\n%s", len(matches), defaults)
+	}
+	for _, m := range matches {
+		if !strings.Contains(synopsis, "-"+m[1]) {
+			t.Errorf("usage synopsis does not mention -%s", m[1])
+		}
+	}
+}

@@ -9,8 +9,11 @@
 //
 //	tables [-nproc N] [-topology NAME] [-workers N] [-small] [-parallel N] [-timing]
 //	       [-table N | -figure N | -exp NAME] [-csv]
-//	       [-app NAME] [-frames LIST] [-chaos-seed N] [-chaos-fail P]
+//	       [-app NAME] [-policy SPEC] [-frames LIST] [-chaos-seed N] [-chaos-fail P]
 //	       [-cpuprofile FILE] [-memprofile FILE]
+//
+// Run tables -h for the full flag set (the synopsis it prints names
+// every flag, and a test keeps it that way).
 //
 // Every output is an experiment in the harness registry; -exp runs one by
 // name (-exp list prints them all), and -table/-figure are shorthand for
@@ -61,11 +64,38 @@ func parseFrames(s string) ([]int, error) {
 	return frames, nil
 }
 
+// usageText is the synopsis -h prints before the flag defaults. The
+// usage test asserts it mentions every registered flag, so a flag
+// cannot be added without extending it.
+const usageText = `Usage: tables [flags]
+
+Regenerate the paper's tables and figures, or run one experiment from
+the harness registry.
+
+  tables [-nproc N] [-topology ace|4socket|mesh8] [-workers N] [-small]
+         [-parallel N] [-timing] [-csv]
+  tables -table N | -figure N | -exp NAME               one output (-exp list)
+  tables -app NAME -policy SPEC -frames LIST            experiment parameters
+  tables -chaos-seed N -chaos-fail P -chaos-delay P     seeded fault injection
+         -chaos-panic-at D -chaos-stall-at D            crash/stall drills
+  tables -chaos-node-fail 2@10ms-60ms                   degraded-mode failure
+         -chaos-link-fail node0-node1@5msx4-9ms         schedules (virtual time)
+  tables -audit N -timeout D -retries N                 supervision: auditing,
+         -repro-dir DIR -keep-going -stall-limit N      repro bundles, watchdogs
+  tables -cpuprofile FILE -memprofile FILE              host profiling
+
+Flags:
+`
+
 // run is the testable entry point: it parses args (without the program
 // name) and returns the process exit code.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprint(stderr, usageText)
+		fs.PrintDefaults()
+	}
 	nproc := fs.Int("nproc", 7, "number of processors for parallel runs")
 	topo := fs.String("topology", "", "machine topology: ace (default), "+strings.Join(topology.Names()[1:], ", "))
 	workers := fs.Int("workers", 0, "worker threads (default: one per processor)")
@@ -81,6 +111,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	chaosDelay := fs.Float64("chaos-delay", 0, "probability a page move is delayed (0 disables)")
 	chaosPanicAt := fs.Duration("chaos-panic-at", 0, "inject one panic at this virtual time (crash drill; 0 disables)")
 	chaosStallAt := fs.Duration("chaos-stall-at", 0, "inject one virtual-time stall at this virtual time (watchdog drill; 0 disables)")
+	chaosNodeFail := fs.String("chaos-node-fail", "", "node failure schedule: comma-separated NODE@OFF[-ON] virtual times, e.g. 2@10ms-60ms")
+	chaosLinkFail := fs.String("chaos-link-fail", "", "link failure schedule: comma-separated LINK@AT[xFACTOR][-RESTORE], e.g. node0-node1@5msx4-9ms")
 	audit := fs.Int("audit", 0, "online protocol-audit sampling stride (0: off, 1: audit every protocol action, N: sampled)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget per supervised run (0: none)")
 	retries := fs.Int("retries", 0, "re-run a failed unit up to this many times before giving up")
@@ -119,13 +151,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ReproDir: *reproDir, KeepGoing: *keepGoing, StallLimit: *stallLimit,
 		Command: "tables " + strings.Join(args, " "),
 	}
-	if *chaosFail > 0 || *chaosDelay > 0 || *chaosPanicAt > 0 || *chaosStallAt > 0 {
+	if *chaosFail > 0 || *chaosDelay > 0 || *chaosPanicAt > 0 || *chaosStallAt > 0 ||
+		*chaosNodeFail != "" || *chaosLinkFail != "" {
+		health, err := chaos.ParseHealthSchedule(*chaosNodeFail, *chaosLinkFail)
+		if err != nil {
+			fmt.Fprintln(stderr, "tables:", err)
+			return 2
+		}
 		cc := chaos.Config{
 			Seed: *chaosSeed, FailProb: *chaosFail, DelayProb: *chaosDelay,
 			MaxRetries: chaos.DefaultMaxRetries, Backoff: chaos.DefaultBackoff,
 			MoveDelay: chaos.DefaultMoveDelay,
 			PanicAt:   sim.Time(chaosPanicAt.Nanoseconds()) * sim.Nanosecond,
 			StallAt:   sim.Time(chaosStallAt.Nanoseconds()) * sim.Nanosecond,
+			Health:    health,
 		}
 		if err := cc.Validate(); err != nil {
 			fmt.Fprintln(stderr, "tables:", err)

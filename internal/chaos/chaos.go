@@ -54,6 +54,11 @@ type Config struct {
 	// stall watchdog tears the run down. It fires at most once per
 	// injector.
 	StallAt sim.Time
+	// Health is the hard-failure schedule: node offline/online and link
+	// degrade/sever/restore events applied at fixed virtual times by the
+	// metrics layer's health driver. See health.go. An empty schedule is
+	// strictly inert — no driver thread is even spawned.
+	Health []HealthEvent
 }
 
 // Defaults for WithDefaults.
@@ -114,7 +119,7 @@ func (c Config) Validate() error {
 	if c.PanicAt < 0 || c.StallAt < 0 {
 		return fmt.Errorf("chaos: negative PanicAt or StallAt")
 	}
-	return nil
+	return c.ValidateHealth()
 }
 
 // Injector draws the fault schedule for one machine. It implements

@@ -1,0 +1,253 @@
+// Hard-failure schedules: virtual-time-stamped node offline/online and
+// link degrade/sever/restore events. Unlike the probabilistic injector,
+// a health schedule is explicit data — the same schedule replays the
+// same failures at the same virtual instants on every run, so degraded
+// runs are as deterministic as healthy ones. The metrics layer drives
+// the schedule from a dedicated engine thread; this package only
+// defines, validates, parses and orders the events.
+
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"numasim/internal/sim"
+)
+
+// HealthKind classifies a HealthEvent.
+type HealthKind uint8
+
+// Health event kinds.
+const (
+	// NodeOffline marks a node failing at At: its pages evacuate, its
+	// frame pool quarantines, and its processors stop receiving threads.
+	NodeOffline HealthKind = iota
+	// NodeOnline returns a previously offline node to service, cold.
+	NodeOnline
+	// LinkSever makes a link unusable; routes recompute around it.
+	LinkSever
+	// LinkDegrade multiplies a link's per-byte service time by Factor.
+	LinkDegrade
+	// LinkRestore undoes LinkSever and LinkDegrade for a link.
+	LinkRestore
+)
+
+func (k HealthKind) String() string {
+	switch k {
+	case NodeOffline:
+		return "node-offline"
+	case NodeOnline:
+		return "node-online"
+	case LinkSever:
+		return "link-sever"
+	case LinkDegrade:
+		return "link-degrade"
+	case LinkRestore:
+		return "link-restore"
+	}
+	return fmt.Sprintf("health-kind(%d)", int(k))
+}
+
+// HealthEvent is one scheduled health transition.
+type HealthEvent struct {
+	// At is the virtual time the event fires.
+	At sim.Time
+	// Kind selects the transition.
+	Kind HealthKind
+	// Node is the target node for NodeOffline/NodeOnline.
+	Node int
+	// Link names the target link ("node0-node1") for the link kinds; it
+	// is resolved against the machine's topology when the run starts, so
+	// a bad name fails setup instead of mid-run.
+	Link string
+	// Factor is LinkDegrade's capacity divisor (>= 2: "four times
+	// slower" is Factor 4).
+	Factor int
+}
+
+func (e HealthEvent) String() string {
+	switch e.Kind {
+	case NodeOffline, NodeOnline:
+		return fmt.Sprintf("%v@%v node%d", e.Kind, e.At, e.Node)
+	case LinkDegrade:
+		return fmt.Sprintf("%v@%v %s x%d", e.Kind, e.At, e.Link, e.Factor)
+	}
+	return fmt.Sprintf("%v@%v %s", e.Kind, e.At, e.Link)
+}
+
+// HealthEnabled reports whether the config carries a failure schedule.
+// It is deliberately separate from Enabled: the probabilistic injector
+// and the health driver are independent machineries.
+func (c Config) HealthEnabled() bool { return len(c.Health) > 0 }
+
+// ValidateHealth checks the failure schedule.
+func (c Config) ValidateHealth() error {
+	for i, e := range c.Health {
+		if e.At <= 0 {
+			return fmt.Errorf("chaos: health event %d (%v) at non-positive time %v", i, e.Kind, e.At)
+		}
+		switch e.Kind {
+		case NodeOffline, NodeOnline:
+			if e.Node < 0 {
+				return fmt.Errorf("chaos: health event %d (%v) targets negative node %d", i, e.Kind, e.Node)
+			}
+		case LinkSever, LinkDegrade, LinkRestore:
+			if e.Link == "" {
+				return fmt.Errorf("chaos: health event %d (%v) names no link", i, e.Kind)
+			}
+			if e.Kind == LinkDegrade && e.Factor < 2 {
+				return fmt.Errorf("chaos: health event %d degrades %s by factor %d < 2", i, e.Link, e.Factor)
+			}
+		default:
+			return fmt.Errorf("chaos: health event %d has unknown kind %d", i, int(e.Kind))
+		}
+	}
+	return nil
+}
+
+// SortedHealth returns the schedule ordered by firing time (stable, so
+// same-instant events keep their declaration order). The config's own
+// slice is not mutated.
+func (c Config) SortedHealth() []HealthEvent {
+	evs := append([]HealthEvent(nil), c.Health...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs
+}
+
+// ParseNodeFail parses a -chaos-node-fail spec: comma-separated
+// NODE@OFF[-ON] entries where OFF and ON are virtual-time durations —
+// "2@10ms-60ms,5@20ms" takes node 2 offline at 10ms and back at 60ms,
+// and node 5 offline at 20ms for the rest of the run.
+func ParseNodeFail(spec string) ([]HealthEvent, error) {
+	var evs []HealthEvent
+	for _, part := range splitSpec(spec) {
+		node, rest, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("chaos: node-fail %q: want NODE@OFF[-ON]", part)
+		}
+		n, err := strconv.Atoi(node)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("chaos: node-fail %q: bad node %q", part, node)
+		}
+		off, on, hasOn := strings.Cut(rest, "-")
+		at, err := parseSimTime(off)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: node-fail %q: %v", part, err)
+		}
+		evs = append(evs, HealthEvent{At: at, Kind: NodeOffline, Node: n})
+		if hasOn {
+			back, err := parseSimTime(on)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: node-fail %q: %v", part, err)
+			}
+			if back <= at {
+				return nil, fmt.Errorf("chaos: node-fail %q: online time %v not after offline time %v", part, back, at)
+			}
+			evs = append(evs, HealthEvent{At: back, Kind: NodeOnline, Node: n})
+		}
+	}
+	return evs, nil
+}
+
+// ParseLinkFail parses a -chaos-link-fail spec: comma-separated
+// LINK@AT[xFACTOR][-RESTORE] entries — "node0-node1@5ms" severs the
+// link at 5ms, "node0-node1@5msx4" slows it fourfold instead, and an
+// optional -RESTORE time heals it ("node0-node1@5msx4-9ms").
+func ParseLinkFail(spec string) ([]HealthEvent, error) {
+	var evs []HealthEvent
+	for _, part := range splitSpec(spec) {
+		link, rest, ok := strings.Cut(part, "@")
+		if !ok || link == "" {
+			return nil, fmt.Errorf("chaos: link-fail %q: want LINK@AT[xFACTOR][-RESTORE]", part)
+		}
+		// Durations never contain '-', so the first '-' after '@' splits
+		// off the restore time even though link names contain dashes.
+		fail, restore, hasRestore := strings.Cut(rest, "-")
+		at, factor := fail, 0
+		if head, fac, hasFactor := strings.Cut(fail, "x"); hasFactor {
+			f, err := strconv.Atoi(fac)
+			if err != nil || f < 2 {
+				return nil, fmt.Errorf("chaos: link-fail %q: bad degrade factor %q (want an integer >= 2)", part, fac)
+			}
+			at, factor = head, f
+		}
+		t, err := parseSimTime(at)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: link-fail %q: %v", part, err)
+		}
+		if factor > 0 {
+			evs = append(evs, HealthEvent{At: t, Kind: LinkDegrade, Link: link, Factor: factor})
+		} else {
+			evs = append(evs, HealthEvent{At: t, Kind: LinkSever, Link: link})
+		}
+		if hasRestore {
+			back, err := parseSimTime(restore)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: link-fail %q: %v", part, err)
+			}
+			if back <= t {
+				return nil, fmt.Errorf("chaos: link-fail %q: restore time %v not after failure time %v", part, back, t)
+			}
+			evs = append(evs, HealthEvent{At: back, Kind: LinkRestore, Link: link})
+		}
+	}
+	return evs, nil
+}
+
+// ParseHealthSchedule assembles a failure schedule from the two CLI
+// specs (-chaos-node-fail and -chaos-link-fail); either may be empty.
+func ParseHealthSchedule(nodeSpec, linkSpec string) ([]HealthEvent, error) {
+	evs, err := ParseNodeFail(nodeSpec)
+	if err != nil {
+		return nil, err
+	}
+	links, err := ParseLinkFail(linkSpec)
+	if err != nil {
+		return nil, err
+	}
+	return append(evs, links...), nil
+}
+
+// splitSpec splits a comma-separated spec, dropping empty entries.
+func splitSpec(spec string) []string {
+	var parts []string
+	for _, p := range strings.Split(spec, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			parts = append(parts, p)
+		}
+	}
+	return parts
+}
+
+// parseSimTime parses a virtual-time duration ("10ms", "1500us", "2s")
+// without importing the host time package: the deterministic core owns
+// its own unit table.
+func parseSimTime(s string) (sim.Time, error) {
+	units := []struct {
+		suffix string
+		scale  sim.Time
+	}{
+		{"ns", sim.Nanosecond},
+		{"us", sim.Microsecond},
+		{"µs", sim.Microsecond},
+		{"ms", sim.Millisecond},
+		{"s", sim.Second},
+	}
+	for _, u := range units {
+		num, ok := strings.CutSuffix(s, u.suffix)
+		if !ok {
+			continue
+		}
+		// "1500ms" could also suffix-match "s"; require a numeric head so
+		// the longest sensible unit wins (the table tries ns/us/ms first).
+		v, err := strconv.ParseInt(num, 10, 64)
+		if err != nil || v <= 0 {
+			return 0, fmt.Errorf("bad duration %q (want a positive integer with a ns/us/ms/s suffix)", s)
+		}
+		return sim.Time(v) * u.scale, nil
+	}
+	return 0, fmt.Errorf("bad duration %q (want a positive integer with a ns/us/ms/s suffix)", s)
+}

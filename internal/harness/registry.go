@@ -119,6 +119,12 @@ type pressureResult []PressureRow
 func (r pressureResult) Render() string    { return RenderPressure(r) }
 func (r pressureResult) RenderCSV() string { return RenderPressureCSV(r) }
 
+// availResult carries an availability sweep.
+type availResult []AvailRow
+
+func (r availResult) Render() string    { return RenderAvail(r) }
+func (r availResult) RenderCSV() string { return RenderAvailCSV(r) }
+
 // policyResult carries the policy-comparison rows.
 type policyResult []PolicyRow
 
@@ -204,6 +210,16 @@ func init() {
 			rows, err := PolicyCompare(opts)
 			return policyResult(rows), err
 		}})
+	Register(expFunc{"availability", "degradation under node/link failure schedules",
+		func(opts Options) (Result, error) {
+			// With no -app, sweep the whole mix plus the Zipf probe.
+			var apps []string
+			if opts.App != "" {
+				apps = []string{opts.App}
+			}
+			rows, err := AvailabilitySweep(opts, apps)
+			return availResult(rows), err
+		}})
 	Register(expFunc{"tournament", "policy zoo x workloads x topologies, ranked",
 		func(opts Options) (Result, error) {
 			r, err := Tournament(opts)
@@ -222,5 +238,6 @@ var (
 	_ CSVResult = table4Result(nil)
 	_ CSVResult = sweepResult{}
 	_ CSVResult = pressureResult{}
+	_ CSVResult = availResult{}
 	_ CSVResult = TournamentResult{}
 )

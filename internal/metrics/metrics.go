@@ -161,6 +161,11 @@ func Run(w Runner, spec RunSpec) (RunResult, error) {
 		spec.OnMachine(machine)
 	}
 	rt := cthreads.New(kernel, spec.Sched)
+	if spec.Chaos.HealthEnabled() {
+		if err := StartHealthDriver(machine, kernel.NUMA(), rt.Scheduler(), spec.Chaos); err != nil {
+			return RunResult{}, fmt.Errorf("metrics: %s: %w", w.Name(), err)
+		}
+	}
 	if err := w.Run(rt, spec.Workers); err != nil {
 		err = fmt.Errorf("metrics: %s under %s: %w", w.Name(), spec.Policy.Name(), err)
 		if spec.Forensics {

@@ -124,6 +124,9 @@ func (n *Manager) auditCheckPage(pg *Page) error {
 			return fmt.Errorf("page%d copy on cpu%d frame %d is missing from the residency table",
 				pg.id, p, c.Index())
 		}
+		if n.offline != nil && n.offline[p] {
+			return fmt.Errorf("page%d holds a copy on offline node%d", pg.id, p)
+		}
 	}
 	if pg.pinSeen && !pg.pinned {
 		return fmt.Errorf("page%d pin bit cleared outside FreePage", pg.id)
@@ -180,6 +183,24 @@ func (n *Manager) AuditAll() error {
 		if alloc := pool.Size() - pool.Free(); used > alloc {
 			return fmt.Errorf("cpu%d residency table records %d copies but only %d frames are allocated",
 				p, used, alloc)
+		}
+		// Degraded-mode invariants: an offline node stays empty (no
+		// residency, pool fully free) for the whole quarantine, and the
+		// quarantine is monotonic — only ReviveNode may lift it (it clears
+		// the auditor's shadow bit before the mask).
+		if n.offline != nil {
+			if n.offline[p] {
+				n.offlineSeen[p] = true
+				if used != 0 {
+					return fmt.Errorf("offline node%d has %d resident copies", p, used)
+				}
+				if pool.Free() != pool.Size() {
+					return fmt.Errorf("offline node%d pool holds %d allocated frames",
+						p, pool.Size()-pool.Free())
+				}
+			} else if n.offlineSeen[p] {
+				return fmt.Errorf("node%d came back online outside ReviveNode (quarantine is monotonic)", p)
+			}
 		}
 	}
 	return nil

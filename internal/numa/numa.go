@@ -324,6 +324,11 @@ type Stats struct {
 	PagesFreed    uint64
 	HintsAccepted uint64 // thread-migration hints the scheduler recorded
 	HintsRejected uint64 // thread-migration hints the scheduler refused
+	Evacuations   uint64 // page copies moved or dropped off failing nodes
+	EvacRetries   uint64 // evacuations that backed off on destination pressure
+	EvacFallbacks uint64 // evacuated pages synced to global (no survivor had room)
+	NodesFailed   uint64 // nodes taken offline by the failure schedule
+	NodesRevived  uint64 // offline nodes returned to service
 }
 
 // Injector is the fault-injection hook the NUMA manager consults on the
@@ -392,6 +397,17 @@ type Manager struct {
 	// chaos, when non-nil, injects transient local-allocation failures
 	// and page-move delays on the pressure paths.
 	chaos Injector
+
+	// Degraded-mode state (see evacuate.go): offline is the node
+	// quarantine mask (nil until the first FailNode, so healthy runs pay
+	// one nil check on the fault path and allocate nothing), offlineSeen
+	// the auditor's monotonic-quarantine shadow, evacQueue the bounded
+	// evacuation work list reused across failures, and topoAware the
+	// bound TopologyAware capability, kept so health changes can rebind.
+	offline     []bool
+	offlineSeen []bool
+	evacQueue   []*Page
+	topoAware   TopologyAware
 
 	// Clock-reclaimer state, sharded by node: which page's copy occupies
 	// each local frame (shards[node].resident[frameIndex]), a
@@ -643,6 +659,10 @@ func (n *Manager) Access(th *sim.Thread, pg *Page, proc int, write bool, maxProt
 		n.observeAccess(pg, proc, node, write, th.Clock())
 	}
 	loc := n.policy.CachePolicy(pg, proc, write, maxProt)
+	if n.offline != nil {
+		//numalint:coldpath degraded mode: the offline mask exists only under a failure schedule
+		loc = n.degradeOffline(pg, loc, node)
+	}
 	if loc == Local && pg.copies[node] == nil && !n.admitLocal(th, pg, node, proc) {
 		// Local memory could not yield a frame even after retry and
 		// reclaim: fall back to a global placement for this request only
@@ -1038,6 +1058,9 @@ func (n *Manager) MigrateOwner(th *sim.Thread, pg *Page, newProc int) {
 	node := n.machine.Home(newProc)
 	if pg.state != LocalWritable || pg.owner == node {
 		return
+	}
+	if n.offline != nil && n.offline[node] {
+		return // quarantined destination: leave the page where it is
 	}
 	if n.machine.Memory().Local(node).Free() == 0 {
 		return // destination full: leave the page; faults will sort it out

@@ -90,7 +90,10 @@ type Retirer interface {
 // to the page's heat).
 type TopologyAware interface {
 	Policy
-	// BindTopology runs once, from NewManager.
+	// BindTopology runs from NewManager, and again whenever a node's
+	// health changes in degraded mode (FailNode/ReviveNode) — a
+	// cache-invalidation signal for any distance state the policy
+	// derived. Implementations must be idempotent.
 	BindTopology(spec *topology.Spec)
 }
 
@@ -135,8 +138,9 @@ func (n *Manager) bindCapabilities(pol Policy) {
 	n.reconsider, _ = pol.(ReconsideringPolicy)
 	// A retirer needs the epoch clock, which ticks with the counters.
 	n.trackHeat = n.observer != nil || n.advisor != nil || n.retirer != nil
-	if ta, ok := pol.(TopologyAware); ok {
-		ta.BindTopology(n.machine.Spec())
+	n.topoAware, _ = pol.(TopologyAware)
+	if n.topoAware != nil {
+		n.topoAware.BindTopology(n.machine.Spec())
 	}
 }
 

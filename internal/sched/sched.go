@@ -62,6 +62,7 @@ type Stats struct {
 	HintsAccepted  uint64
 	HintsRejected  uint64
 	Migrations     uint64 // accepted hints applied at quantum boundaries
+	Failovers      uint64 // threads moved off dead processors at quantum boundaries
 	NodeThreads    []int
 	NodeMigrations []int
 }
@@ -81,6 +82,13 @@ type Scheduler struct {
 	hint     []int32
 	homeNode []int32
 	stats    Stats
+
+	// Degraded-mode state (see failover.go): deadProc/deadNode mask
+	// processors and nodes taken offline by a failure schedule. Both are
+	// nil until the first FailNode, so the healthy paths pay one nil
+	// check and the scheduler stays byte-identical without a schedule.
+	deadProc []bool
+	deadNode []bool
 }
 
 // New creates a scheduler for the kernel's machine.
@@ -101,12 +109,24 @@ func New(k *vm.Kernel, mode Mode) *Scheduler {
 func (s *Scheduler) Mode() Mode { return s.mode }
 
 // pick assigns a processor for a new thread: sequentially by number,
-// skipping busy processors unless all are busy (§4.7).
+// skipping busy processors unless all are busy (§4.7). Dead processors
+// are never picked unless every processor is dead (a degenerate
+// schedule); without a failure schedule the walk is unchanged.
 func (s *Scheduler) pick() int {
 	n := len(s.live)
 	for i := 0; i < n; i++ {
 		p := (s.next + i) % n
+		if s.deadProc != nil && s.deadProc[p] {
+			continue
+		}
 		if s.live[p] == 0 {
+			s.next = (p + 1) % n
+			return p
+		}
+	}
+	for i := 0; i < n; i++ {
+		p := (s.next + i) % n
+		if s.deadProc == nil || !s.deadProc[p] {
 			s.next = (p + 1) % n
 			return p
 		}
@@ -161,9 +181,17 @@ func (s *Scheduler) track(th *sim.Thread, node int) {
 }
 
 // hop migrates a thread to the next processor in round-robin order, the
-// locality-destroying behaviour of a single global run queue.
+// locality-destroying behaviour of a single global run queue. Dead
+// processors are skipped.
 func (s *Scheduler) hop(c *vm.Context) {
-	c.MigrateTo((c.Proc() + 1) % s.kernel.Machine().NProc())
+	n := s.kernel.Machine().NProc()
+	next := (c.Proc() + 1) % n
+	if s.deadProc != nil {
+		for i := 0; i < n && s.deadProc[next]; i++ {
+			next = (next + 1) % n
+		}
+	}
+	c.MigrateTo(next)
 	c.Thread().Yield()
 }
 
@@ -183,7 +211,8 @@ func (s *Scheduler) Live(p int) int { return s.live[p] }
 func (s *Scheduler) MigrateHint(th *sim.Thread, node int) bool {
 	id := int(th.ID())
 	if s.mode != Affinity || node < 0 || node >= len(s.stats.NodeThreads) ||
-		id >= len(s.hint) || s.homeNode[id] < 0 {
+		id >= len(s.hint) || s.homeNode[id] < 0 ||
+		(s.deadNode != nil && s.deadNode[node]) {
 		s.stats.HintsRejected++
 		return false
 	}
@@ -197,15 +226,21 @@ func (s *Scheduler) MigrateHint(th *sim.Thread, node int) bool {
 	return true
 }
 
-// applyHint is the affinity scheduler's quantum hook: apply a pending
-// migration hint, then yield the processor as an unhooked quantum
-// would.
+// applyHint is the affinity scheduler's quantum hook: fail the thread
+// over if its processor has died, apply a pending migration hint, then
+// yield the processor as an unhooked quantum would. A hint accepted
+// before its target node died is dropped, not applied.
 func (s *Scheduler) applyHint(c *vm.Context) {
+	if s.deadProc != nil && s.deadProc[c.Proc()] {
+		s.failover(c)
+	}
 	id := int(c.Thread().ID())
 	if id < len(s.hint) {
 		if node := s.hint[id]; node >= 0 {
 			s.hint[id] = -1
-			s.migrate(c, int(node))
+			if s.deadNode == nil || !s.deadNode[node] {
+				s.migrate(c, int(node))
+			}
 		}
 	}
 	c.Thread().Yield()
@@ -218,14 +253,17 @@ func (s *Scheduler) applyHint(c *vm.Context) {
 // here; the next faults simply land closer.
 func (s *Scheduler) migrate(c *vm.Context, node int) {
 	procs := s.kernel.Machine().NodeProcs(node)
-	if len(procs) == 0 {
-		return
-	}
-	target := procs[0]
-	for _, p := range procs[1:] {
-		if s.live[p] < s.live[target] {
+	target := -1
+	for _, p := range procs {
+		if s.deadProc != nil && s.deadProc[p] {
+			continue
+		}
+		if target < 0 || s.live[p] < s.live[target] {
 			target = p
 		}
+	}
+	if target < 0 {
+		return
 	}
 	from := c.Proc()
 	if target == from {

@@ -88,6 +88,21 @@ const (
 	// quantum boundary, rebinding the thread (Proc: the new processor,
 	// Arg: the target node, Arg2: the processor left behind).
 	KindSchedMigrate
+	// KindNodeOffline: a health schedule marked a node failing (Arg: the
+	// node; Arg2: the number of resident pages evacuated from it).
+	KindNodeOffline
+	// KindNodeOnline: a previously failed node rejoined cold (Arg: the
+	// node).
+	KindNodeOnline
+	// KindLinkChange: an interconnect link changed health (Arg: the link
+	// index, Arg2: the capacity divisor — 0 for severed, 1 for restored,
+	// >1 for degraded; Label: "sever", "degrade" or "restore").
+	KindLinkChange
+	// KindEvacuate: the evacuation protocol moved or dropped one page off
+	// a failing node (Page: the page, Arg: the source node, Arg2: the
+	// destination node or -1 when the copy was dropped/synced to global,
+	// Label: the evacuation action).
+	KindEvacuate
 
 	// KindCount is the number of event kinds.
 	KindCount
@@ -98,6 +113,7 @@ var kindNames = [KindCount]string{
 	"action", "state-change", "page-created", "page-freed", "pin",
 	"map-enter", "sched-assign", "pressure", "evict", "retry",
 	"link-wait", "sched-hint", "sched-migrate",
+	"node-offline", "node-online", "link-change", "evacuate",
 }
 
 func (k Kind) String() string {
@@ -163,6 +179,18 @@ func (e Event) String() string {
 		fmt.Fprintf(&b, " node=%d %s", e.Arg, verdict)
 	case KindSchedMigrate:
 		fmt.Fprintf(&b, " node=%d from=cpu%d", e.Arg, e.Arg2)
+	case KindNodeOffline:
+		fmt.Fprintf(&b, " node=%d evacuated=%d", e.Arg, e.Arg2)
+	case KindNodeOnline:
+		fmt.Fprintf(&b, " node=%d", e.Arg)
+	case KindLinkChange:
+		fmt.Fprintf(&b, " link=%d factor=%d", e.Arg, e.Arg2)
+	case KindEvacuate:
+		if e.Arg2 >= 0 {
+			fmt.Fprintf(&b, " node%d->node%d", e.Arg, e.Arg2)
+		} else {
+			fmt.Fprintf(&b, " node%d->global", e.Arg)
+		}
 	}
 	if e.Label != "" {
 		fmt.Fprintf(&b, " %q", e.Label)

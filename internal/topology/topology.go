@@ -421,6 +421,17 @@ type Topology struct {
 	spec  *Spec
 	links []linkState
 	rr    int
+
+	// Degraded-mode runtime health. All nil/false until the first health
+	// mutation (SetNodeHealth, SeverLink, DegradeLink): the healthy hot
+	// path pays one bool check and nothing else, and a machine with no
+	// failure schedule never allocates any of it.
+	degraded bool
+	nodeDown []bool
+	severed  []bool     // links explicitly severed
+	linkDown []bool     // severed OR an endpoint node is down
+	perByte  []sim.Time // runtime per-link service time (degrade override)
+	routes   [][]int    // runtime routes, recomputed around dead links
 }
 
 // New builds the runtime state for spec.
@@ -457,14 +468,21 @@ func (t *Topology) ChargeTransfer(now sim.Time, proc, col, bytes int) sim.Time {
 	src := s.homeOf[proc]
 	dst := col
 	if dst == s.nnodes {
-		dst = t.rr
-		t.rr++
-		if t.rr == s.nnodes {
-			t.rr = 0
+		if t.degraded {
+			dst = t.nextInterleave()
+		} else {
+			dst = t.rr
+			t.rr++
+			if t.rr == s.nnodes {
+				t.rr = 0
+			}
 		}
 	}
 	if dst == src {
 		return 0
+	}
+	if t.degraded {
+		return t.chargeDegraded(now, t.routes[src*s.nnodes+dst], bytes)
 	}
 	route := s.routes[src*s.nnodes+dst]
 	var wait sim.Time
